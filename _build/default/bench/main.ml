@@ -1,0 +1,791 @@
+(* Benchmark & reproduction harness.
+
+   One entry point per table/figure of the paper plus the ablations listed
+   in DESIGN.md. With no argument every experiment runs in sequence:
+
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- fig3      # one experiment
+     dune exec bench/main.exe -- micro     # Bechamel micro-benchmarks
+
+   Experiments: fig1 fig2 fig3 abl-te abl-probe abl-sharing abl-fec
+                abl-scaling micro *)
+
+module T = Ff_topology.Topology
+module Scenario = Fastflex.Scenario
+module Orchestrator = Fastflex.Orchestrator
+module Series = Ff_util.Series
+module Table = Ff_util.Table
+
+let banner name description =
+  Printf.printf "\n==================================================================\n";
+  Printf.printf "%s — %s\n" name description;
+  Printf.printf "==================================================================\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* fig1: module table, sharing, packing (paper Figure 1 a-c)           *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  banner "fig1" "booster decomposition, module sharing, switch packing";
+  let compiled = Fastflex.Compile.boosters () in
+  print_endline "Merged module table (paper Figure 1, 'Module | Stages | SRAM | TCAM'):";
+  Table.print
+    ~header:[ "module"; "shared-by"; "stages"; "SRAM(KB)"; "TCAM"; "ALUs"; "hash" ]
+    ~rows:
+      (List.map
+         (fun (name, boosters, res) ->
+           name :: string_of_int (List.length boosters) :: Ff_dataplane.Resource.to_row res)
+         (Fastflex.Compile.module_rows compiled));
+  Printf.printf "\nPPMs before merging: %d   after: %d   stage savings: %.0f%%\n"
+    (List.fold_left
+       (fun acc (_, g) -> acc + Ff_dataflow.Graph.num_vertices g)
+       0 compiled.Fastflex.Compile.graphs)
+    (Ff_dataflow.Graph.num_vertices compiled.Fastflex.Compile.merged)
+    (100. *. compiled.Fastflex.Compile.savings);
+  (* packing the whole catalogue *)
+  print_endline "\nPacking the merged catalogue onto Tofino-class switches:";
+  let rows =
+    List.map
+      (fun pool ->
+        let switches = List.init pool Fun.id in
+        match Fastflex.Compile.pack_onto compiled ~switches () with
+        | Ok bins ->
+          [ string_of_int pool;
+            string_of_int (Ff_placement.Pack.bins_used bins);
+            (if Ff_placement.Pack.respects_capacity bins then "yes" else "NO") ]
+        | Error e -> [ string_of_int pool; "-"; "infeasible: " ^ e ])
+      [ 1; 2; 4; 8 ]
+  in
+  Table.print ~header:[ "switch pool"; "switches used"; "capacity ok" ] ~rows
+
+(* ------------------------------------------------------------------ *)
+(* fig2: the multimode timeline (paper Figure 2 a-d)                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  banner "fig2" "multimode data plane timeline: default -> detect -> mitigate -> rolling";
+  let attack = { Scenario.default_attack with start = 10.; roll_schedule = [ 30. ] } in
+  let r =
+    Scenario.run_lfa ~defense:(Scenario.Fastflex Orchestrator.default_config)
+      ~attack:(Some attack) ~duration:50. ()
+  in
+  print_endline "Mode-change log (probe-driven, no controller in the loop):";
+  List.iter
+    (fun (t, sw, attack, up) ->
+      Printf.printf "  t=%6.2fs  switch %-2d %s %s mode set\n" t sw
+        (if up then "activates" else "deactivates")
+        (Ff_dataplane.Packet.attack_kind_to_string attack))
+    r.Scenario.mode_log;
+  let activation_times =
+    List.filter_map (fun (t, _, _, up) -> if up then Some t else None) r.Scenario.mode_log
+  in
+  (match activation_times with
+  | t0 :: _ ->
+    let tn = List.fold_left Float.max t0 activation_times in
+    Printf.printf
+      "\n(a) default mode until t=%.1fs (defenses off, TE-optimal routing)\n\
+       (b) LFA detected at t=%.2fs; activation probes flooded the region\n\
+      \    in %.0f ms (every switch in defense mode by t=%.2fs)\n\
+       (c) mitigation: %d packets classified suspicious, %d rerouting probes,\n\
+      \    %d suspicious packets dropped (rate-limit + illusion-of-success)\n\
+       (d) forced re-target at t=30s absorbed at data plane timescale:\n"
+      attack.Scenario.start t0
+      ((tn -. t0) *. 1000.)
+      tn r.Scenario.suspicious_marked r.Scenario.probes_sent
+      (List.fold_left
+         (fun acc (reason, n) ->
+           if reason = "suspicious-rate-limit" || reason = "illusion-of-success" then acc + n
+           else acc)
+         0 r.Scenario.drops)
+  | [] -> print_endline "no activations?!");
+  List.iter
+    (fun (ev, rt) -> Printf.printf "    event t=%.1fs -> back to 80%% in %.1fs\n" ev rt)
+    r.Scenario.recovery_times;
+  print_endline "\nNormalized goodput during the timeline:";
+  Series.pp_ascii ~height:10 Format.std_formatter [ r.Scenario.normalized ]
+
+(* ------------------------------------------------------------------ *)
+(* fig3: the headline result (paper Figure 3)                          *)
+(* ------------------------------------------------------------------ *)
+
+let rename s name =
+  let out = Series.create ~name in
+  List.iter (fun (t, v) -> Series.add out ~time:t v) (Series.points s);
+  out
+
+let fig3 () =
+  banner "fig3" "normalized throughput under a 3-round rolling LFA (the paper's evaluation)";
+  let run name defense =
+    Printf.printf "  running %-14s ...%!" name;
+    let r = Scenario.run_lfa ~defense ~duration:120. () in
+    Printf.printf " mean %.2f  min %.2f  rolls %d  reconfigs %d\n%!"
+      r.Scenario.mean_during_attack r.Scenario.min_during_attack
+      (List.length r.Scenario.rolls) (List.length r.Scenario.reconfigs);
+    r
+  in
+  let none = run "no-defense" Scenario.No_defense in
+  let sdn = run "baseline-sdn" (Scenario.Baseline_sdn { period = 30.; delay = 0.5 }) in
+  let ff = run "fastflex" (Scenario.Fastflex Orchestrator.default_config) in
+  print_endline "\nFigure 3 series (normalized throughput, 5 s grid):";
+  let grid s = Series.resample s ~step:5. ~until:120. in
+  let cells s = List.map (fun (_, v) -> Printf.sprintf "%.2f" v) (grid s) in
+  let times = List.map (fun (t, _) -> Printf.sprintf "%.0f" t) (grid none.Scenario.normalized) in
+  Table.print
+    ~header:("time(s)" :: times)
+    ~rows:
+      [ "baseline-sdn" :: cells sdn.Scenario.normalized;
+        "fastflex" :: cells ff.Scenario.normalized;
+        "no-defense" :: cells none.Scenario.normalized ];
+  print_endline "";
+  Series.pp_ascii ~height:14 Format.std_formatter
+    [ rename sdn.Scenario.normalized "Baseline (SDN)";
+      rename ff.Scenario.normalized "FastFlex" ];
+  print_endline "\nSummary (paper claim: baseline constantly falls behind rolling attacks;";
+  print_endline "FastFlex disperses traffic almost instantaneously by data plane mode changes):";
+  let median_recovery (r : Scenario.result) =
+    let finite = List.filter (fun x -> x < infinity) (List.map snd r.Scenario.recovery_times) in
+    if finite = [] then "never" else Printf.sprintf "%.1fs" (Ff_util.Stats.median finite)
+  in
+  Table.print
+    ~header:[ "defense"; "mean goodput"; "min"; "median recovery"; "mechanism latency" ]
+    ~rows:
+      [
+        [ "no-defense"; Printf.sprintf "%.2f" none.Scenario.mean_during_attack;
+          Printf.sprintf "%.2f" none.Scenario.min_during_attack; median_recovery none; "-" ];
+        [ "baseline-sdn"; Printf.sprintf "%.2f" sdn.Scenario.mean_during_attack;
+          Printf.sprintf "%.2f" sdn.Scenario.min_during_attack; median_recovery sdn;
+          "30s TE period" ];
+        [ "fastflex"; Printf.sprintf "%.2f" ff.Scenario.mean_during_attack;
+          Printf.sprintf "%.2f" ff.Scenario.min_during_attack; median_recovery ff;
+          "RTT-scale probes" ];
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* abl-te: baseline TE period sweep                                    *)
+(* ------------------------------------------------------------------ *)
+
+let abl_te () =
+  banner "abl-te" "how fast must centralized TE be to keep up with a rolling attack?";
+  let rows =
+    List.map
+      (fun period ->
+        let r =
+          Scenario.run_lfa ~defense:(Scenario.Baseline_sdn { period; delay = 0.5 })
+            ~duration:120. ()
+        in
+        [ Printf.sprintf "%.0f" period;
+          Printf.sprintf "%.2f" r.Scenario.mean_during_attack;
+          Printf.sprintf "%.2f" r.Scenario.min_during_attack;
+          string_of_int (List.length r.Scenario.rolls);
+          string_of_int (List.length r.Scenario.reconfigs) ])
+      [ 5.; 10.; 30.; 60. ]
+  in
+  let ff = Scenario.run_lfa ~defense:(Scenario.Fastflex Orchestrator.default_config)
+      ~duration:120. () in
+  Table.print
+    ~header:[ "TE period (s)"; "mean goodput"; "min"; "attacker rolls"; "reconfigs" ]
+    ~rows:
+      (rows
+      @ [ [ "fastflex"; Printf.sprintf "%.2f" ff.Scenario.mean_during_attack;
+            Printf.sprintf "%.2f" ff.Scenario.min_during_attack;
+            string_of_int (List.length ff.Scenario.rolls); "0" ] ]);
+  print_endline "\n(the attacker re-targets within seconds of each reconfiguration, so even";
+  print_endline " aggressive controller periods trail the attack; the data plane does not)"
+
+(* ------------------------------------------------------------------ *)
+(* abl-probe: mode/probe timescale sweep                               *)
+(* ------------------------------------------------------------------ *)
+
+let abl_probe () =
+  banner "abl-probe" "reaction-time knobs: rerouting probe interval and classification age";
+  let attack = Some { Scenario.default_attack with start = 10.; roll_schedule = [] } in
+  let recovery (r : Scenario.result) =
+    match r.Scenario.recovery_times with
+    | (_, rt) :: _ when rt < infinity -> Printf.sprintf "%.1f" rt
+    | _ -> "never"
+  in
+  let rows =
+    List.map
+      (fun probe_interval ->
+        let config = { Orchestrator.default_config with probe_interval } in
+        let r = Scenario.run_lfa ~defense:(Scenario.Fastflex config) ~attack ~duration:60. () in
+        [ Printf.sprintf "%.0f" (probe_interval *. 1000.);
+          Printf.sprintf "%.2f" r.Scenario.mean_during_attack; recovery r;
+          string_of_int r.Scenario.probes_sent ])
+      [ 0.01; 0.05; 0.2; 0.5 ]
+  in
+  Table.print
+    ~header:[ "probe interval (ms)"; "mean goodput"; "recovery (s)"; "probes sent" ]
+    ~rows;
+  print_endline "";
+  let rows =
+    List.map
+      (fun min_age ->
+        let config = { Orchestrator.default_config with min_age } in
+        let r = Scenario.run_lfa ~defense:(Scenario.Fastflex config) ~attack ~duration:60. () in
+        [ Printf.sprintf "%.1f" min_age;
+          Printf.sprintf "%.2f" r.Scenario.mean_during_attack; recovery r;
+          string_of_int r.Scenario.suspicious_marked ])
+      [ 0.5; 1.0; 2.0; 4.0 ]
+  in
+  Table.print
+    ~header:[ "classification age (s)"; "mean goodput"; "recovery (s)"; "marked packets" ]
+    ~rows;
+  print_endline "\n(probe interval moves reaction time by milliseconds; the classification";
+  print_endline " age dominates recovery — the indistinguishability cost of Crossfire)"
+
+(* ------------------------------------------------------------------ *)
+(* abl-sharing: packing with/without module sharing across topologies  *)
+(* ------------------------------------------------------------------ *)
+
+let abl_sharing () =
+  banner "abl-sharing" "module sharing vs. naive per-booster deployment";
+  let compiled = Fastflex.Compile.boosters () in
+  let topologies =
+    [ ("fig2", (T.Fig2.build ()).T.Fig2.topo);
+      ("fat-tree(4)", T.fat_tree ~k:4 ());
+      ("abilene", T.abilene ());
+      ("waxman(12)", T.waxman ~n:12 ~seed:3 ()) ]
+  in
+  let rows =
+    List.map
+      (fun (name, topo) ->
+        let capacities =
+          List.map (fun (s : T.node) -> (s.T.id, Ff_dataplane.Resource.tofino_like))
+            (T.switches topo)
+        in
+        let merged =
+          match
+            Ff_placement.Pack.first_fit_decreasing ~capacities compiled.Fastflex.Compile.merged
+          with
+          | Ok bins -> Ff_placement.Pack.bins_used bins
+          | Error _ -> -1
+        in
+        let unmerged =
+          List.fold_left
+            (fun acc (_, g) ->
+              match Ff_placement.Pack.first_fit_decreasing ~capacities g with
+              | Ok bins -> acc + Ff_placement.Pack.bins_used bins
+              | Error _ -> acc)
+            0 compiled.Fastflex.Compile.graphs
+        in
+        [ name;
+          string_of_int (List.length (T.switches topo));
+          string_of_int unmerged;
+          string_of_int merged;
+          Printf.sprintf "%.1fx" (float_of_int unmerged /. float_of_int (max 1 merged)) ])
+      topologies
+  in
+  Table.print
+    ~header:[ "topology"; "switches"; "slots no-sharing"; "slots shared"; "reduction" ]
+    ~rows;
+  Printf.printf "\n(resource stages saved by the analyzer: %.0f%%; %d PPM pairs deduplicated)\n"
+    (100. *. compiled.Fastflex.Compile.savings)
+    (List.length compiled.Fastflex.Compile.sharing)
+
+(* ------------------------------------------------------------------ *)
+(* abl-fec: state-transfer FEC vs. loss                                *)
+(* ------------------------------------------------------------------ *)
+
+let abl_fec () =
+  banner "abl-fec" "in-band state transfer under loss: FEC vs. retransmission alone";
+  let entries = List.init 400 (fun i -> (Printf.sprintf "reg[%d]" i, float_of_int i)) in
+  let run ~loss ~fec ~seed =
+    let topo = T.linear ~n:4 () in
+    let engine = Ff_netsim.Engine.create () in
+    let net = Ff_netsim.Net.create engine topo in
+    let s0 = (T.node_by_name topo "s0").T.id in
+    let s3 = (T.node_by_name topo "s3").T.id in
+    if loss > 0. then
+      ignore
+        (Ff_scaling.Loss.install net ~sw:(s0 + 1) ~prob:loss ~seed
+           ~classes:Ff_scaling.Loss.State_chunks_only ());
+    let done_at = ref infinity in
+    let x =
+      Ff_scaling.Transfer.send net ~src_sw:s0 ~dst_sw:s3 ~entries ~fec
+        ~on_complete:(fun _ -> done_at := Ff_netsim.Engine.now engine)
+        ()
+    in
+    Ff_netsim.Engine.run engine ~until:30.;
+    ( Ff_scaling.Transfer.complete x, !done_at, Ff_scaling.Transfer.chunks_sent x,
+      Ff_scaling.Transfer.retransmitted_groups x, Ff_scaling.Transfer.fec_recoveries x )
+  in
+  let average ~loss ~fec =
+    let seeds = [ 11; 22; 33; 44; 55 ] in
+    let ok, time, chunks, retx, recov =
+      List.fold_left
+        (fun (ok, time, chunks, retx, recov) seed ->
+          let o, t, c, r, v = run ~loss ~fec ~seed in
+          ((if o then ok + 1 else ok), time +. t, chunks + c, retx + r, recov + v))
+        (0, 0., 0, 0, 0) seeds
+    in
+    let n = float_of_int (List.length seeds) in
+    (ok, time /. n, float_of_int chunks /. n, float_of_int retx /. n, float_of_int recov /. n)
+  in
+  let rows =
+    List.concat_map
+      (fun loss ->
+        List.map
+          (fun fec ->
+            let ok, time, chunks, retx, recov = average ~loss ~fec in
+            [ Printf.sprintf "%.0f%%" (loss *. 100.);
+              (if fec then "on" else "off");
+              Printf.sprintf "%d/5" ok;
+              (if time = infinity then "-" else Printf.sprintf "%.0f" (time *. 1000.));
+              Printf.sprintf "%.0f" chunks;
+              Printf.sprintf "%.1f" retx;
+              Printf.sprintf "%.1f" recov ])
+          [ true; false ])
+      [ 0.; 0.05; 0.1; 0.2; 0.3 ]
+  in
+  Table.print
+    ~header:
+      [ "loss"; "FEC"; "completed"; "time (ms)"; "chunks sent"; "retx groups";
+        "FEC recoveries" ]
+    ~rows;
+  print_endline "\n(parity lets a group survive one lost chunk without waiting out the";
+  print_endline " retransmission timer: completion time stays near-flat under moderate loss)"
+
+(* ------------------------------------------------------------------ *)
+(* abl-scaling: repurposing downtime vs. fast-reroute                  *)
+(* ------------------------------------------------------------------ *)
+
+let abl_scaling () =
+  banner "abl-scaling" "switch repurposing: downtime model vs. traffic continuity";
+  let run ~downtime ~fast_reroute =
+    let lm = T.Fig2.build () in
+    let topo = lm.T.Fig2.topo in
+    let engine = Ff_netsim.Engine.create () in
+    let net = Ff_netsim.Net.create engine topo in
+    let hosts = T.hosts topo in
+    List.iter
+      (fun (h1 : T.node) ->
+        List.iter
+          (fun (h2 : T.node) ->
+            if h1.T.id <> h2.T.id then
+              match T.shortest_path topo ~src:h1.T.id ~dst:h2.T.id with
+              | Some p -> Ff_netsim.Net.install_path net ~dst:h2.T.id p
+              | None -> ())
+          hosts)
+      hosts;
+    let mid_of (l : T.link) = if l.T.a = lm.T.Fig2.agg then l.T.b else l.T.a in
+    let m1 = mid_of (List.hd lm.T.Fig2.critical) in
+    let src = List.hd lm.T.Fig2.normal_sources in
+    Ff_netsim.Net.set_route net ~sw:lm.T.Fig2.agg ~dst:lm.T.Fig2.victim ~next_hop:m1;
+    Ff_netsim.Net.set_route net ~sw:m1 ~dst:lm.T.Fig2.victim ~next_hop:lm.T.Fig2.victim_agg;
+    let flow = Ff_netsim.Flow.Cbr.start net ~src ~dst:lm.T.Fig2.victim ~rate_pps:200. () in
+    Ff_netsim.Engine.schedule engine ~at:2. (fun () ->
+        if fast_reroute then
+          Ff_scaling.Repurpose.repurpose net ~sw:m1 ~downtime
+            ~install:(fun () -> ())
+            ~on_done:(fun _ -> ())
+            ()
+        else begin
+          (* no neighbor notification: the switch just goes dark *)
+          Ff_netsim.Net.set_switch_up net ~sw:m1 false;
+          Ff_netsim.Engine.after engine ~delay:downtime (fun () ->
+              Ff_netsim.Net.set_switch_up net ~sw:m1 true)
+        end);
+    Ff_netsim.Engine.run engine ~until:10.;
+    Ff_netsim.Flow.Cbr.delivered_bytes flow
+    /. float_of_int (Ff_netsim.Flow.Cbr.sent_packets flow * 1000)
+  in
+  let rows =
+    List.map
+      (fun downtime ->
+        let with_frr = run ~downtime ~fast_reroute:true in
+        let without = run ~downtime ~fast_reroute:false in
+        [ (if downtime = 0. then "0 (Trident-style)" else Printf.sprintf "%.1f" downtime);
+          Printf.sprintf "%.1f%%" (100. *. with_frr);
+          Printf.sprintf "%.1f%%" (100. *. without) ])
+      [ 0.; 0.5; 2.; 5. ]
+  in
+  Table.print
+    ~header:[ "downtime (s)"; "delivery w/ fast reroute"; "delivery w/o notification" ]
+    ~rows;
+  print_endline "\n(with neighbor notification the reconfiguration is invisible even for";
+  print_endline " Tofino-style multi-second installs; without it, downtime = loss)"
+
+
+(* ------------------------------------------------------------------ *)
+(* abl-pulse: short-lived pulsing attacks (paper Fig. 2 caption)       *)
+(* ------------------------------------------------------------------ *)
+
+let abl_pulse () =
+  banner "abl-pulse" "pulsing (shrew-style) attacks against the multimode data plane";
+  let run ~defend ~duty =
+    let lm = T.Fig2.build ~bots:8 ~normals:4 () in
+    let topo = lm.T.Fig2.topo in
+    let engine = Ff_netsim.Engine.create () in
+    let net = Ff_netsim.Net.create engine topo in
+    let hosts = T.hosts topo in
+    List.iter
+      (fun (h1 : T.node) ->
+        List.iter
+          (fun (h2 : T.node) ->
+            if h1.T.id <> h2.T.id then
+              match T.shortest_path topo ~src:h1.T.id ~dst:h2.T.id with
+              | Some p -> Ff_netsim.Net.install_path net ~dst:h2.T.id p
+              | None -> ())
+          hosts)
+      hosts;
+    let matrix = Ff_te.Traffic_matrix.empty () in
+    List.iter
+      (fun n -> Ff_te.Traffic_matrix.set matrix ~src:n ~dst:lm.T.Fig2.victim 2_300_000.)
+      lm.T.Fig2.normal_sources;
+    let plan = Ff_te.Solver.solve ~k:2 topo matrix in
+    Ff_te.Solver.install net plan;
+    let normal_flows =
+      List.map
+        (fun n ->
+          Ff_netsim.Flow.Tcp.start net ~src:n ~dst:lm.T.Fig2.victim ~at:0.5 ~max_cwnd:4. ())
+        lm.T.Fig2.normal_sources
+    in
+    if defend then
+      ignore (Orchestrator.deploy net ~landmarks:lm ~default_plan:plan ());
+    let _atk =
+      Ff_attacks.Pulsing.launch net ~bots:lm.T.Fig2.bot_sources ~victim:lm.T.Fig2.victim
+        ~burst_pps:250. ~period:1.0 ~duty ~start:10. ()
+    in
+    let goodput =
+      Ff_netsim.Monitor.aggregate_goodput net ~flows:normal_flows ~period:0.5 ~name:"g" ()
+    in
+    Ff_netsim.Engine.run engine ~until:60.;
+    let vals t0 t1 =
+      List.filter_map
+        (fun (t, v) -> if t >= t0 && t <= t1 then Some v else None)
+        (Series.points goodput)
+    in
+    let baseline = Ff_util.Stats.mean (vals 4. 9.) in
+    Ff_util.Stats.mean (vals 12. 60.) /. Float.max 1. baseline
+  in
+  let rows =
+    List.map
+      (fun duty ->
+        [ Printf.sprintf "%.0f%%" (duty *. 100.);
+          Printf.sprintf "%.2f" (run ~defend:false ~duty);
+          Printf.sprintf "%.2f" (run ~defend:true ~duty) ])
+      [ 0.1; 0.2; 0.5 ]
+  in
+  Table.print ~header:[ "duty cycle"; "undefended goodput"; "fastflex goodput" ] ~rows;
+  print_endline "\n(low/medium duty: classification catches the persistent senders and the";
+  print_endline " multimode defense absorbs the pulses. At 50% duty the sustained congestion";
+  print_endline " depresses normal flows below the suspicion threshold too - classification";
+  print_endline " collateral, the false-positive risk the paper's indistinguishability";
+  print_endline " discussion warns about; see abl-probe for the threshold sensitivity)"
+
+(* ------------------------------------------------------------------ *)
+(* abl-sync: local vs network-wide detection (paper section 3.3)       *)
+(* ------------------------------------------------------------------ *)
+
+let abl_sync () =
+  banner "abl-sync" "distributed floods: local detection vs synchronized network-wide views";
+  let run ~rate_pps_per_bot =
+    let lm = T.Fig2.build ~bots:8 ~normals:4 () in
+    let topo = lm.T.Fig2.topo in
+    let engine = Ff_netsim.Engine.create () in
+    let net = Ff_netsim.Net.create engine topo in
+    let hosts = T.hosts topo in
+    List.iter
+      (fun (h1 : T.node) ->
+        List.iter
+          (fun (h2 : T.node) ->
+            if h1.T.id <> h2.T.id then
+              match T.shortest_path topo ~src:h1.T.id ~dst:h2.T.id with
+              | Some p -> Ff_netsim.Net.install_path net ~dst:h2.T.id p
+              | None -> ())
+          hosts)
+      hosts;
+    let e1 = (T.node_by_name topo "e1").T.id and e2 = (T.node_by_name topo "e2").T.id in
+    let threshold = 6_000_000. in
+    (* local-only detector: the same per-destination logic but with a view
+       limited to one ingress (no synchronization) *)
+    let local_alarm = ref false in
+    let _local =
+      Ff_boosters.Network_wide_hh.install net ~ingresses:[ e1 ] ~threshold_bps:threshold
+        ~on_alarm:(fun _ -> local_alarm := true)
+        ~on_clear:(fun _ -> ())
+        ()
+    in
+    (* network-wide detector across both ingresses *)
+    let nw_alarm = ref false in
+    let nw =
+      Ff_boosters.Network_wide_hh.install net ~ingresses:[ e1; e2 ] ~threshold_bps:threshold
+        ~on_alarm:(fun _ -> nw_alarm := true)
+        ~on_clear:(fun _ -> ())
+        ()
+    in
+    List.iter
+      (fun bot ->
+        ignore
+          (Ff_netsim.Flow.Cbr.start net ~src:bot ~dst:lm.T.Fig2.victim
+             ~rate_pps:rate_pps_per_bot ~at:1. ()))
+      lm.T.Fig2.bot_sources;
+    Ff_netsim.Engine.run engine ~until:8.;
+    (!local_alarm, !nw_alarm, Ff_boosters.Network_wide_hh.sync_probes nw)
+  in
+  let rows =
+    List.map
+      (fun rate_pps_per_bot ->
+        let total_mbps = rate_pps_per_bot *. 8. *. 8000. /. 1e6 in
+        let local, nw, probes = run ~rate_pps_per_bot in
+        [ Printf.sprintf "%.1f" total_mbps;
+          (if local then "yes" else "no");
+          (if nw then "yes" else "no");
+          string_of_int probes ])
+      [ 40.; 80.; 125.; 250. ]
+  in
+  Table.print
+    ~header:
+      [ "aggregate flood (Mb/s)"; "local detector fires"; "network-wide fires"; "sync probes" ]
+    ~rows;
+  print_endline "\n(between ~6 and ~12 Mb/s aggregate, each ingress sees under the threshold:";
+  print_endline " only the synchronized network-wide view catches the attack)"
+
+
+(* ------------------------------------------------------------------ *)
+(* abl-topo: the architecture beyond the case-study topology           *)
+(* ------------------------------------------------------------------ *)
+
+let abl_topo () =
+  banner "abl-topo" "pervasive deployment on a fat-tree(4): same defense, bigger network";
+  (* victim in pod 0 edge 0; decoys on pod 0 edge 1; the two critical
+     cuts are the core->agg0_0 and core->agg0_1 downlinks into the pod *)
+  let run ~defend =
+    let topo = T.fat_tree ~k:4 () in
+    let engine = Ff_netsim.Engine.create () in
+    let net = Ff_netsim.Net.create engine topo in
+    let id name = (T.node_by_name topo name).T.id in
+    let hosts = T.hosts topo in
+    List.iter
+      (fun (h1 : T.node) ->
+        List.iter
+          (fun (h2 : T.node) ->
+            if h1.T.id <> h2.T.id then
+              match T.shortest_path topo ~src:h1.T.id ~dst:h2.T.id with
+              | Some p -> Ff_netsim.Net.install_path net ~dst:h2.T.id p
+              | None -> ())
+          hosts)
+      hosts;
+    let victim = id "h0_0_0" in
+    let decoy1 = id "h0_1_0" and decoy2 = id "h0_1_1" in
+    (* pin each decoy behind a different aggregation path into pod 0
+       (agg0_0 reachable via core0/core1, agg0_1 via core2/core3), giving
+       the attacker its two rollable targets *)
+    List.iter
+      (fun pod ->
+        List.iter
+          (fun e ->
+            let edge = id (Printf.sprintf "edge%d_%d" pod e) in
+            Ff_netsim.Net.set_route net ~sw:edge ~dst:decoy1
+              ~next_hop:(id (Printf.sprintf "agg%d_0" pod));
+            Ff_netsim.Net.set_route net ~sw:edge ~dst:decoy2
+              ~next_hop:(id (Printf.sprintf "agg%d_1" pod));
+            (* concentrate each decoy's traffic through one core: the
+               attacker's target link is that core's downlink into pod 0 *)
+            Ff_netsim.Net.set_route net
+              ~sw:(id (Printf.sprintf "agg%d_0" pod))
+              ~dst:decoy1 ~next_hop:(id "core0");
+            Ff_netsim.Net.set_route net
+              ~sw:(id (Printf.sprintf "agg%d_1" pod))
+              ~dst:decoy2 ~next_hop:(id "core2"))
+          [ 0; 1 ])
+      [ 1; 2; 3 ];
+    Ff_netsim.Net.set_route net ~sw:(id "core0") ~dst:decoy1 ~next_hop:(id "agg0_0");
+    Ff_netsim.Net.set_route net ~sw:(id "core1") ~dst:decoy1 ~next_hop:(id "agg0_0");
+    Ff_netsim.Net.set_route net ~sw:(id "core2") ~dst:decoy2 ~next_hop:(id "agg0_1");
+    Ff_netsim.Net.set_route net ~sw:(id "core3") ~dst:decoy2 ~next_hop:(id "agg0_1");
+    Ff_netsim.Net.set_route net ~sw:(id "agg0_0") ~dst:decoy1 ~next_hop:(id "edge0_1");
+    Ff_netsim.Net.set_route net ~sw:(id "agg0_1") ~dst:decoy2 ~next_hop:(id "edge0_1");
+    Ff_netsim.Net.set_route net ~sw:(id "agg0_0") ~dst:decoy1 ~next_hop:(id "edge0_1");
+    Ff_netsim.Net.set_route net ~sw:(id "agg0_1") ~dst:decoy2 ~next_hop:(id "edge0_1");
+    (* normal flows from pods 1-2, split over the two agg paths into pod 0 *)
+    let normal_specs =
+      (* one flow through each targeted core downlink, two on untouched
+         cores: each attack round cuts a quarter of the normal traffic *)
+      [ ("h1_0_0", "agg1_0", "core0", "agg0_0"); ("h1_1_0", "agg1_1", "core2", "agg0_1");
+        ("h2_0_0", "agg2_0", "core1", "agg0_0"); ("h2_1_0", "agg2_1", "core3", "agg0_1") ]
+    in
+    let normal_flows =
+      List.map
+        (fun (src_name, agg_src, core, agg_dst) ->
+          let src = id src_name in
+          let src_edge = Ff_netsim.Net.access_switch net ~host:src in
+          Ff_netsim.Net.install_pair_path net ~src ~dst:victim
+            [ src; src_edge; id agg_src; id core; id agg_dst; id "edge0_0"; victim ];
+          Ff_netsim.Flow.Tcp.start net ~src ~dst:victim ~at:0.5 ~max_cwnd:3. ())
+        normal_specs
+    in
+    if defend then begin
+      (* tighter suspicious-flow budget than the fig2 scenario: the
+         fat-tree pod has no spare detour capacity, so mitigation leans on
+         policing (24 suspicious flows x 150 kb/s = 3.6 Mb/s residual) *)
+      let config =
+        { Fastflex.Orchestrator.default_config with drop_rate_limit = 150_000. }
+      in
+      ignore
+        (Fastflex.Orchestrator.deploy_wide net ~protect:[ victim; decoy1; decoy2 ] ~config ())
+    end;
+    (* rolling Crossfire from 8 bots spread over pods 1-3 *)
+    let bots =
+      List.map id
+        [ "h1_0_1"; "h1_1_1"; "h2_0_1"; "h2_1_1"; "h3_0_0"; "h3_0_1"; "h3_1_0"; "h3_1_1" ]
+    in
+    let _atk =
+      Ff_attacks.Lfa.launch net ~bots ~decoy_groups:[ [ decoy1 ]; [ decoy2 ] ] ~start:10.
+        ~roll_schedule:[ 35. ] ()
+    in
+    let goodput =
+      Ff_netsim.Monitor.aggregate_goodput net ~flows:normal_flows ~period:0.5 ~name:"g" ()
+    in
+    Ff_netsim.Engine.run engine ~until:60.;
+    let vals t0 t1 =
+      List.filter_map
+        (fun (t, v) -> if t >= t0 && t <= t1 then Some v else None)
+        (Series.points goodput)
+    in
+    let baseline = Float.max 1. (Ff_util.Stats.mean (vals 4. 9.)) in
+    ( Ff_util.Stats.mean (vals 11. 60.) /. baseline,
+      List.fold_left Float.min infinity (List.map (fun v -> v /. baseline) (vals 11. 60.)) )
+  in
+  let mean_u, min_u = run ~defend:false in
+  let mean_d, min_d = run ~defend:true in
+  Table.print
+    ~header:[ "defense"; "mean goodput under attack"; "min" ]
+    ~rows:
+      [ [ "none"; Printf.sprintf "%.2f" mean_u; Printf.sprintf "%.2f" min_u ];
+        [ "fastflex (deploy_wide)"; Printf.sprintf "%.2f" mean_d; Printf.sprintf "%.2f" min_d ] ];
+  print_endline "\n(20 switches, detectors everywhere, alarms from whichever switch sees the";
+  print_endline " congestion, classification activated network-wide by mode probes: the";
+  print_endline " same multimode machinery generalizes beyond the paper's sketch topology)"
+
+
+(* ------------------------------------------------------------------ *)
+(* abl-vol: the volumetric scenario (HH -> modes -> police + HCF)      *)
+(* ------------------------------------------------------------------ *)
+
+let abl_vol () =
+  banner "abl-vol" "volumetric DDoS with spoofing: heavy-hitter detection through the modes";
+  let rows =
+    List.concat_map
+      (fun spoof ->
+        List.map
+          (fun defended ->
+            let r = Scenario.run_volumetric ~defended ~spoof () in
+            [ (if spoof then "yes" else "no");
+              (if defended then "yes" else "no");
+              Printf.sprintf "%.2f" r.Scenario.vr_normalized_mean;
+              string_of_int r.Scenario.vr_spoofed_filtered;
+              string_of_int r.Scenario.vr_offender_drops ])
+          [ false; true ])
+      [ true; false ]
+  in
+  Table.print
+    ~header:[ "spoofed"; "defended"; "normal goodput"; "hcf filtered"; "offenders policed" ]
+    ~rows;
+  print_endline "\n(HashPipe flags the 4.8 Mb/s offender flows, the mode probes light the";
+  print_endline " drop + hcf modes, policing removes the volume and the hop-count filter";
+  print_endline " discards the spoofed packets without touching the real address owners)"
+
+(* ------------------------------------------------------------------ *)
+(* micro: Bechamel micro-benchmarks of the primitives                  *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  banner "micro" "per-operation cost of the data plane primitives (Bechamel OLS)";
+  let open Bechamel in
+  let open Toolkit in
+  let sketch = Ff_dataplane.Sketch.create ~rows:4 ~cols:1024 () in
+  let bloom = Ff_dataplane.Bloom.create ~bits:8192 ~hashes:4 () in
+  let hashpipe = Ff_dataplane.Hashpipe.create ~stages:4 ~slots_per_stage:64 () in
+  let heap = Ff_util.Heap.create () in
+  let lm = T.Fig2.build () in
+  let key = ref 0 in
+  let lfa_parser = List.hd (Ff_boosters.Specs.specs_of "lfa-detector") in
+  let fec_entries = List.init 64 (fun i -> (Printf.sprintf "r[%d]" i, float_of_int i)) in
+  let fec_chunks = Ff_scaling.Fec.encode fec_entries in
+  let tests =
+    [
+      Test.make ~name:"sketch-add"
+        (Staged.stage (fun () ->
+             incr key;
+             Ff_dataplane.Sketch.add sketch !key 1.));
+      Test.make ~name:"sketch-estimate"
+        (Staged.stage (fun () -> ignore (Ff_dataplane.Sketch.estimate sketch 42)));
+      Test.make ~name:"bloom-add"
+        (Staged.stage (fun () ->
+             incr key;
+             Ff_dataplane.Bloom.add bloom !key));
+      Test.make ~name:"bloom-mem"
+        (Staged.stage (fun () -> ignore (Ff_dataplane.Bloom.mem bloom 42)));
+      Test.make ~name:"hashpipe-update"
+        (Staged.stage (fun () ->
+             incr key;
+             Ff_dataplane.Hashpipe.update hashpipe ~key:(!key mod 512) ~weight:1.));
+      Test.make ~name:"event-heap-push-pop"
+        (Staged.stage (fun () ->
+             Ff_util.Heap.push heap ~prio:(float_of_int (!key mod 97)) ();
+             incr key;
+             ignore (Ff_util.Heap.pop heap)));
+      Test.make ~name:"equiv-canonicalize"
+        (Staged.stage (fun () -> ignore (Ff_dataflow.Equiv.canonical lfa_parser)));
+      Test.make ~name:"yen-4-paths-fig2"
+        (Staged.stage (fun () ->
+             ignore
+               (T.k_shortest_paths ~k:4 lm.T.Fig2.topo
+                  ~src:(List.hd lm.T.Fig2.normal_sources) ~dst:lm.T.Fig2.victim)));
+      Test.make ~name:"fec-encode-64"
+        (Staged.stage (fun () -> ignore (Ff_scaling.Fec.encode fec_entries)));
+      Test.make ~name:"fec-decode-64"
+        (Staged.stage (fun () -> ignore (Ff_scaling.Fec.decode fec_chunks)));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"fastflex" tests in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns = match Analyze.OLS.estimates ols with Some (x :: _) -> x | _ -> nan in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+    |> List.map (fun (name, ns) -> [ name; Printf.sprintf "%.1f" ns ])
+  in
+  Table.print ~header:[ "operation"; "ns/op" ] ~rows
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig1", fig1);
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("abl-te", abl_te);
+    ("abl-probe", abl_probe);
+    ("abl-sharing", abl_sharing);
+    ("abl-fec", abl_fec);
+    ("abl-scaling", abl_scaling);
+    ("abl-pulse", abl_pulse);
+    ("abl-sync", abl_sync);
+    ("abl-topo", abl_topo);
+    ("abl-vol", abl_vol);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] | [ "all" ] -> List.iter (fun (_, f) -> f ()) experiments
+  | names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown experiment %S; available: %s\n" name
+            (String.concat " " (List.map fst experiments));
+          exit 1)
+      names

@@ -1,0 +1,1 @@
+examples/dynamic_scaling.ml: Ff_dataplane Ff_netsim Ff_scaling Ff_topology List Printf

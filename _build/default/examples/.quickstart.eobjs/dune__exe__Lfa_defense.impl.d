@@ -1,0 +1,1 @@
+examples/lfa_defense.ml: Fastflex Ff_util Format List Printf

@@ -1,0 +1,1 @@
+examples/lfa_defense.mli:

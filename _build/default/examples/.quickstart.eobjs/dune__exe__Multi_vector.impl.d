@@ -1,0 +1,1 @@
+examples/multi_vector.ml: Fastflex Ff_attacks Ff_boosters Ff_dataplane Ff_modes Ff_netsim Ff_te Ff_topology List Printf String

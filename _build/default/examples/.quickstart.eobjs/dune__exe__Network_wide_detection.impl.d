@@ -1,0 +1,1 @@
+examples/network_wide_detection.ml: Ff_boosters Ff_netsim Ff_topology List Printf

@@ -1,0 +1,1 @@
+examples/placement_explorer.ml: Fastflex Ff_dataflow Ff_dataplane Ff_placement Ff_te Ff_topology Ff_util List Printf

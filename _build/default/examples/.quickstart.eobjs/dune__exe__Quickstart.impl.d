@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fastflex Ff_boosters Ff_dataflow Ff_dataplane Ff_placement Ff_util Format List Printf String

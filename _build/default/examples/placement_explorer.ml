@@ -1,0 +1,107 @@
+(* Placement explorer: how the booster catalogue packs and places across
+   different topologies and switch generations (paper sections 3.1-3.2).
+
+   For each topology it reports: packing with vs. without module sharing,
+   dataflow co-location quality, on-path detection coverage, and the cost
+   of the classic fixed-middlebox alternative.
+
+   Run with: dune exec examples/placement_explorer.exe *)
+
+module T = Ff_topology.Topology
+module Resource = Ff_dataplane.Resource
+module Pack = Ff_placement.Pack
+module Placement = Ff_placement.Placement
+
+let topologies =
+  [
+    ("fig2", fun () -> (T.Fig2.build ()).T.Fig2.topo);
+    ("fat-tree(4)", fun () -> T.fat_tree ~k:4 ());
+    ("abilene", fun () -> T.abilene ());
+    ("waxman(10)", fun () -> T.waxman ~n:10 ~seed:7 ());
+  ]
+
+let host_pair_paths topo =
+  let hosts = T.hosts topo in
+  List.concat_map
+    (fun (h1 : T.node) ->
+      List.filter_map
+        (fun (h2 : T.node) ->
+          if h1.T.id < h2.T.id then T.shortest_path topo ~src:h1.T.id ~dst:h2.T.id else None)
+        hosts)
+    hosts
+
+let () =
+  let compiled = Fastflex.Compile.boosters () in
+  Printf.printf "booster catalogue: %d PPMs merged into %d (%.0f%% stage savings)\n\n"
+    (List.fold_left
+       (fun acc (_, g) -> acc + Ff_dataflow.Graph.num_vertices g)
+       0 compiled.Fastflex.Compile.graphs)
+    (Ff_dataflow.Graph.num_vertices compiled.Fastflex.Compile.merged)
+    (100. *. compiled.Fastflex.Compile.savings);
+
+  let rows =
+    List.map
+      (fun (name, build) ->
+        let topo = build () in
+        let switches = T.switches topo in
+        let capacities =
+          List.map (fun (s : T.node) -> (s.T.id, Resource.tofino_like)) switches
+        in
+        (* merged vs unmerged packing *)
+        let bins_needed graph =
+          match Pack.first_fit_decreasing ~capacities graph with
+          | Ok bins -> string_of_int (Pack.bins_used bins)
+          | Error _ -> "inf"
+        in
+        let merged_bins = bins_needed compiled.Fastflex.Compile.merged in
+        let unmerged_bins =
+          let total =
+            List.fold_left
+              (fun acc (_, g) ->
+                match Pack.first_fit_decreasing ~capacities g with
+                | Ok bins -> acc + Pack.bins_used bins
+                | Error _ -> acc + List.length switches)
+              0 compiled.Fastflex.Compile.graphs
+          in
+          string_of_int total
+        in
+        let coloc =
+          match Pack.first_fit_decreasing ~capacities compiled.Fastflex.Compile.merged with
+          | Ok bins -> Printf.sprintf "%.2f" (Pack.colocation_score compiled.Fastflex.Compile.merged bins)
+          | Error _ -> "-"
+        in
+        (* on-path placement over all host-pair shortest paths *)
+        let paths = host_pair_paths topo in
+        let plan = Placement.place topo ~paths ~capacities compiled.Fastflex.Compile.merged in
+        (* fixed middleboxes at the two most critical links' endpoints *)
+        let matrix = Ff_te.Traffic_matrix.empty () in
+        let hosts = T.hosts topo in
+        List.iter
+          (fun (h1 : T.node) ->
+            List.iter
+              (fun (h2 : T.node) ->
+                if h1.T.id <> h2.T.id then
+                  Ff_te.Traffic_matrix.set matrix ~src:h1.T.id ~dst:h2.T.id 1_000_000.)
+              hosts)
+          hosts;
+        let sites =
+          match T.critical_links topo ~n:1 with
+          | l :: _ -> [ l.T.a ]
+          | [] -> [ (List.hd switches).T.id ]
+        in
+        let detour = Placement.middlebox_detour topo matrix ~sites in
+        [ name;
+          string_of_int (List.length switches);
+          unmerged_bins;
+          merged_bins;
+          coloc;
+          Printf.sprintf "%.0f%%" (100. *. plan.Placement.path_coverage);
+          Printf.sprintf "%.1f" plan.Placement.avg_mitigation_distance;
+          Printf.sprintf "%.2fx" detour.Placement.avg_stretch ])
+      topologies
+  in
+  Ff_util.Table.print
+    ~header:
+      [ "topology"; "switches"; "slots(no-share)"; "slots(shared)"; "co-location";
+        "detect-coverage"; "mitig-dist"; "middlebox-stretch" ]
+    ~rows

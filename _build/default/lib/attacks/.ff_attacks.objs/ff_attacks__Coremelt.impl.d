@@ -1,0 +1,1 @@
+lib/attacks/coremelt.ml: Ff_netsim List

@@ -1,0 +1,1 @@
+lib/attacks/coremelt.mli: Ff_netsim

@@ -1,0 +1,1 @@
+lib/attacks/lfa.ml: Ff_netsim Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/attacks/lfa.mli: Ff_netsim

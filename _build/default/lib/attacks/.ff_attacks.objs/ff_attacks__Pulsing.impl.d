@@ -1,0 +1,1 @@
+lib/attacks/pulsing.ml: Ff_netsim List

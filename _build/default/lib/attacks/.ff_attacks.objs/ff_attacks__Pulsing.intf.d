@@ -1,0 +1,1 @@
+lib/attacks/pulsing.mli: Ff_netsim

@@ -1,0 +1,1 @@
+lib/attacks/volumetric.ml: Ff_netsim List

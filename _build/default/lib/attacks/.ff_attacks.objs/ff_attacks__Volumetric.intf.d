@@ -1,0 +1,1 @@
+lib/attacks/volumetric.mli: Ff_netsim

@@ -1,0 +1,30 @@
+module Flow = Ff_netsim.Flow
+
+type t = { mutable flows : Flow.Tcp.t list; pairs : int }
+
+let launch net ~bots ?(flows_per_pair = 1) ?(bot_max_cwnd = 4.) ?(start = 0.) ?stop () =
+  let flows = ref [] in
+  let pairs = ref 0 in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          if src <> dst then begin
+            incr pairs;
+            for _ = 1 to flows_per_pair do
+              flows :=
+                Flow.Tcp.start net ~src ~dst ~at:start ?stop ~max_cwnd:bot_max_cwnd ()
+                :: !flows
+            done
+          end)
+        bots)
+    bots;
+  { flows = !flows; pairs = !pairs }
+
+let flows t = t.flows
+let pair_count t = t.pairs
+
+let attack_rate t ~now =
+  List.fold_left (fun acc f -> acc +. Flow.Tcp.goodput f ~now) 0. t.flows
+
+let stop_now t = List.iter Flow.Tcp.pause t.flows

@@ -1,0 +1,25 @@
+(** The Coremelt attack (Studer & Perrig, ESORICS '09; paper citation
+    [74]): N bots generate pairwise traffic {e between themselves}, melting
+    the core links their N^2 flows cross. Unlike Crossfire there are no
+    decoys and no victim-bound packets at all — every flow has a consenting
+    attacker at both ends, so endpoint filtering is useless and only
+    in-network defenses see the aggregate. *)
+
+type t
+
+val launch :
+  Ff_netsim.Net.t ->
+  bots:int list ->
+  ?flows_per_pair:int ->
+  ?bot_max_cwnd:float ->
+  ?start:float ->
+  ?stop:float ->
+  unit ->
+  t
+(** Opens [flows_per_pair] (default 1) TCP flows for every ordered bot
+    pair, window-capped (default 4) so each flow stays unremarkable. *)
+
+val flows : t -> Ff_netsim.Flow.Tcp.t list
+val pair_count : t -> int
+val attack_rate : t -> now:float -> float
+val stop_now : t -> unit

@@ -1,0 +1,146 @@
+module Net = Ff_netsim.Net
+module Engine = Ff_netsim.Engine
+module Flow = Ff_netsim.Flow
+
+type t = {
+  net : Net.t;
+  bots : int list;
+  decoy_groups : int list list;
+  stop : float option;
+  flows_per_bot : int;
+  bot_max_cwnd : float;
+  recon_interval : float;
+  roll_on_path_change : bool;
+  min_roll_gap : float;
+  baselines : (int, (int * int) list) Hashtbl.t; (* decoy -> (hop, responder) pre-attack *)
+  observed : (int, (int * int) list) Hashtbl.t;
+  mutable group : int;
+  mutable flows : Flow.Tcp.t list;
+  mutable rolls : float list;
+  mutable last_roll : float;
+  mutable running : bool;
+}
+
+let probe_bot t = match t.bots with b :: _ -> b | [] -> invalid_arg "Lfa: no bots"
+
+let responders hops = List.map snd hops
+
+(* A reply lost to congestion is not a route change: compare only the hops
+   present in both observations. *)
+let paths_differ ~baseline ~observed =
+  List.exists
+    (fun (hop, responder) ->
+      match List.assoc_opt hop baseline with
+      | Some expected -> expected <> responder
+      | None -> false)
+    observed
+
+let stopped t =
+  (not t.running) || (match t.stop with Some s -> Net.now t.net >= s | None -> false)
+
+let open_flows t =
+  let now = Net.now t.net in
+  let decoys = List.nth t.decoy_groups t.group in
+  let flows = ref [] in
+  List.iter
+    (fun bot ->
+      for i = 0 to t.flows_per_bot - 1 do
+        let dst = List.nth decoys ((bot + i) mod List.length decoys) in
+        flows :=
+          Flow.Tcp.start t.net ~src:bot ~dst ~at:(now +. 0.01) ?stop:t.stop
+            ~max_cwnd:t.bot_max_cwnd ()
+          :: !flows
+      done)
+    t.bots;
+  t.flows <- !flows
+
+let halt_flows t = List.iter Flow.Tcp.pause t.flows
+
+let roll t ~why =
+  ignore why;
+  let now = Net.now t.net in
+  if now -. t.last_roll >= t.min_roll_gap && not (stopped t) then begin
+    t.last_roll <- now;
+    t.rolls <- now :: t.rolls;
+    halt_flows t;
+    t.group <- (t.group + 1) mod List.length t.decoy_groups;
+    open_flows t
+  end
+
+(* Reconnaissance loop: traceroute the decoys of the current target group
+   and compare with the pre-attack baseline. *)
+let recon t () =
+  if not (stopped t) then begin
+    let decoys = List.nth t.decoy_groups t.group in
+    List.iter
+      (fun decoy ->
+        Flow.Traceroute.run t.net ~src:(probe_bot t) ~dst:decoy
+          ~on_done:(fun hops ->
+            Hashtbl.replace t.observed decoy hops;
+            if t.roll_on_path_change && not (stopped t) then
+              match Hashtbl.find_opt t.baselines decoy with
+              | Some baseline
+                when baseline <> [] && hops <> []
+                     && paths_differ ~baseline ~observed:hops ->
+                (* the changed path becomes the new reference: the attacker
+                   adapts its map, it does not re-roll on the same change *)
+                Hashtbl.replace t.baselines decoy hops;
+                roll t ~why:"path-change"
+              | _ -> ())
+          ())
+      decoys
+  end
+
+let launch net ~bots ~decoy_groups ?(start = 0.) ?stop ?(flows_per_bot = 3)
+    ?(bot_max_cwnd = 4.) ?(recon_interval = 1.0) ?(roll_on_path_change = true)
+    ?(roll_schedule = []) ?(min_roll_gap = 3.0) () =
+  assert (decoy_groups <> [] && List.for_all (fun g -> g <> []) decoy_groups);
+  let t =
+    {
+      net;
+      bots;
+      decoy_groups;
+      stop;
+      flows_per_bot;
+      bot_max_cwnd;
+      recon_interval;
+      roll_on_path_change;
+      min_roll_gap;
+      baselines = Hashtbl.create 8;
+      observed = Hashtbl.create 8;
+      group = 0;
+      flows = [];
+      rolls = [];
+      last_roll = neg_infinity;
+      running = true;
+    }
+  in
+  let engine = Net.engine net in
+  (* pre-attack reconnaissance: learn the baseline path to every decoy *)
+  Engine.schedule engine ~at:(Float.max 0. (start -. 2.)) (fun () ->
+      List.iter
+        (fun decoy ->
+          Flow.Traceroute.run net ~src:(probe_bot t) ~dst:decoy
+            ~on_done:(fun hops -> Hashtbl.replace t.baselines decoy hops)
+            ())
+        (List.concat decoy_groups));
+  Engine.schedule engine ~at:start (fun () -> if t.running then open_flows t);
+  Engine.every engine ~start:(start +. t.recon_interval) ~period:t.recon_interval (recon t);
+  List.iter
+    (fun at -> Engine.schedule engine ~at (fun () -> roll t ~why:"schedule"))
+    roll_schedule;
+  t
+
+let rolls t = List.rev t.rolls
+let current_group t = t.group
+let bot_flows t = t.flows
+
+let attack_rate t ~now =
+  List.fold_left (fun acc f -> acc +. Flow.Tcp.goodput f ~now) 0. t.flows
+
+let observed_paths t =
+  Hashtbl.fold (fun d p acc -> (d, responders p) :: acc) t.observed [] |> List.sort compare
+
+let stop_now t =
+  t.running <- false;
+  halt_flows t

@@ -1,0 +1,54 @@
+(** The Crossfire-style rolling link-flooding adversary (paper section 4;
+    Kang et al., IEEE S&P '13).
+
+    The attacker controls bot hosts and targets a victim it never sends a
+    byte to: it maps paths to {e public decoy servers} near the victim with
+    traceroute, picks the decoy group whose paths cross a chosen target
+    link, and has every bot open many persistent low-rate TCP flows to
+    those decoys — individually indistinguishable from legitimate traffic,
+    collectively enough to flood the link.
+
+    The {e rolling} behaviour: the attacker keeps tracerouting its decoys;
+    when the observed path differs from the baseline it learned before
+    attacking (i.e. the defense rerouted its flows), it shifts the flood to
+    the next decoy group — faster than a periodic TE controller can chase.
+    A [roll_schedule] can additionally force rolls at fixed times (the
+    paper's rounds 1-3), making baseline and FastFlex runs face the same
+    adversary timeline. *)
+
+type t
+
+val launch :
+  Ff_netsim.Net.t ->
+  bots:int list ->
+  decoy_groups:int list list ->
+  ?start:float ->
+  ?stop:float ->
+  ?flows_per_bot:int ->
+  ?bot_max_cwnd:float ->
+  ?recon_interval:float ->
+  ?roll_on_path_change:bool ->
+  ?roll_schedule:float list ->
+  ?min_roll_gap:float ->
+  unit ->
+  t
+(** Each decoy group is the set of public servers whose paths share one
+    target link. Defaults: 3 flows per bot, bot window capped at 4
+    packets (low-rate), traceroute every 1 s, rolling on path change
+    enabled, at most one roll per [min_roll_gap] = 3 s. *)
+
+val rolls : t -> float list
+(** Times the attacker shifted target (oldest first). *)
+
+val current_group : t -> int
+val bot_flows : t -> Ff_netsim.Flow.Tcp.t list
+(** Currently active attack flows. *)
+
+val attack_rate : t -> now:float -> float
+(** Aggregate goodput its flows achieve, bytes/s (what the attacker
+    believes it is landing on the target). *)
+
+val observed_paths : t -> (int * int list) list
+(** Decoy -> last observed traceroute responders. *)
+
+val stop_now : t -> unit

@@ -1,0 +1,17 @@
+module Flow = Ff_netsim.Flow
+
+type t = { burst_pps : float; duty : float; mutable flows : Flow.Cbr.t list }
+
+let launch net ~bots ~victim ~burst_pps ?(period = 1.0) ?(duty = 0.2) ?(start = 0.) ?stop () =
+  let flows =
+    List.map
+      (fun bot ->
+        Flow.Cbr.start net ~src:bot ~dst:victim ~rate_pps:burst_pps ~at:start ?stop
+          ~pulse_period:period ~pulse_duty:duty ())
+      bots
+  in
+  { burst_pps; duty; flows }
+
+let flows t = t.flows
+let average_rate_pps t = t.burst_pps *. t.duty *. float_of_int (List.length t.flows)
+let stop_now t = List.iter Flow.Cbr.stop_now t.flows

@@ -1,0 +1,1 @@
+lib/boosters/access_control.ml: Common Ff_dataplane Ff_netsim Hashtbl

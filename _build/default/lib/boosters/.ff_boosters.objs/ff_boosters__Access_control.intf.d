@@ -1,0 +1,1 @@
+lib/boosters/access_control.mli: Ff_netsim

@@ -1,0 +1,1 @@
+lib/boosters/common.ml: Ff_netsim Hashtbl

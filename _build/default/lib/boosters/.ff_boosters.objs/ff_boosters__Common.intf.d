@@ -1,0 +1,1 @@
+lib/boosters/common.mli: Ff_netsim

@@ -1,0 +1,1 @@
+lib/boosters/dropper.ml: Common Ff_dataplane Ff_netsim Ff_util Hashtbl

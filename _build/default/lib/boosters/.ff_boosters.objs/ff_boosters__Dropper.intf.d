@@ -1,0 +1,1 @@
+lib/boosters/dropper.mli: Ff_netsim

@@ -1,0 +1,1 @@
+lib/boosters/global_rate_limit.ml: Common Ff_dataplane Ff_netsim Ff_util Hashtbl List

@@ -1,0 +1,1 @@
+lib/boosters/global_rate_limit.mli: Ff_netsim

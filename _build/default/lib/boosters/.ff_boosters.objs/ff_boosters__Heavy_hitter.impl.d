@@ -1,0 +1,1 @@
+lib/boosters/heavy_hitter.ml: Ff_dataplane Ff_netsim Lfa_detector List

@@ -1,0 +1,1 @@
+lib/boosters/heavy_hitter.mli: Ff_netsim Lfa_detector

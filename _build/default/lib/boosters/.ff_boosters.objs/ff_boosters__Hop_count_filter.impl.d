@@ -1,0 +1,1 @@
+lib/boosters/hop_count_filter.ml: Common Ff_dataplane Ff_netsim Float Hashtbl

@@ -1,0 +1,1 @@
+lib/boosters/hop_count_filter.mli: Ff_netsim

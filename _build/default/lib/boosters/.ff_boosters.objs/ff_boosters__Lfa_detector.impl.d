@@ -1,0 +1,1 @@
+lib/boosters/lfa_detector.ml: Common Ff_dataplane Ff_netsim Ff_topology Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/boosters/lfa_detector.mli: Ff_dataplane Ff_netsim

@@ -1,0 +1,1 @@
+lib/boosters/network_wide_hh.ml: Ff_dataplane Ff_modes Ff_netsim Ff_util Hashtbl Lfa_detector List Printf

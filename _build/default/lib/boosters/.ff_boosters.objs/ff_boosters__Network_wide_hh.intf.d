@@ -1,0 +1,1 @@
+lib/boosters/network_wide_hh.mli: Ff_netsim Lfa_detector

@@ -1,0 +1,1 @@
+lib/boosters/obfuscator.ml: Common Ff_dataplane Ff_netsim List

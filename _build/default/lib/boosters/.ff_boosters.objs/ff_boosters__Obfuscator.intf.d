@@ -1,0 +1,1 @@
+lib/boosters/obfuscator.mli: Ff_netsim

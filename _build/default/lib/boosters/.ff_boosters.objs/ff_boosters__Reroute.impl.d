@@ -1,0 +1,1 @@
+lib/boosters/reroute.ml: Common Ff_dataplane Ff_netsim Float Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/boosters/reroute.mli: Ff_netsim

@@ -1,0 +1,1 @@
+lib/boosters/slowpath.ml: Common Ff_dataplane Ff_netsim Float Hashtbl Lazy

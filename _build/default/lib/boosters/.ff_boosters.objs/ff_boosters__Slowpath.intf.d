@@ -1,0 +1,1 @@
+lib/boosters/slowpath.mli: Ff_dataplane Ff_netsim

@@ -1,0 +1,1 @@
+lib/boosters/specs.ml: Ff_dataplane List Resource

@@ -1,0 +1,1 @@
+lib/boosters/specs.mli: Ff_dataplane

@@ -1,0 +1,34 @@
+module Net = Ff_netsim.Net
+module Packet = Ff_dataplane.Packet
+
+type t = {
+  mode : string;
+  default_allow : bool;
+  policy : (int * int, unit) Hashtbl.t;
+  mutable violations : int;
+}
+
+let allowed t ~src ~dst = if Hashtbl.mem t.policy (src, dst) then true else t.default_allow
+
+let stage t =
+  {
+    Net.stage_name = "access-control";
+    process =
+      (fun ctx pkt ->
+        match pkt.Packet.payload with
+        | Packet.Data
+          when Common.mode_active ctx.Net.sw t.mode
+               && not (allowed t ~src:pkt.Packet.src ~dst:pkt.Packet.dst) ->
+          t.violations <- t.violations + 1;
+          Net.Drop "acl-violation"
+        | _ -> Net.Continue);
+  }
+
+let install net ~sw ?(mode = Common.mode_acl) ?(default_allow = false) () =
+  let t = { mode; default_allow; policy = Hashtbl.create 64; violations = 0 } in
+  Net.add_stage net ~sw (stage t);
+  t
+
+let permit t ~src ~dst = Hashtbl.replace t.policy (src, dst) ()
+let revoke t ~src ~dst = Hashtbl.remove t.policy (src, dst)
+let violations t = t.violations

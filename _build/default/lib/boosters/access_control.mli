@@ -1,0 +1,16 @@
+(** In-network access control booster (after Poise, HotCloud '18):
+    the network as the last line of defense against compromised endpoints.
+
+    A policy table lists the destinations each source may talk to. While
+    the ["acl"] mode is active, data packets violating the policy are
+    dropped at the switch — a compromised host cannot exfiltrate to an
+    unapproved destination even with full control of its own stack. *)
+
+type t
+
+val install : Ff_netsim.Net.t -> sw:int -> ?mode:string -> ?default_allow:bool -> unit -> t
+
+val permit : t -> src:int -> dst:int -> unit
+val revoke : t -> src:int -> dst:int -> unit
+val allowed : t -> src:int -> dst:int -> bool
+val violations : t -> int

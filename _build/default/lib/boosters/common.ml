@@ -1,0 +1,15 @@
+let mode_active (sw : Ff_netsim.Net.switch) name =
+  match Hashtbl.find_opt sw.Ff_netsim.Net.vars ("mode:" ^ name) with
+  | Some v -> v > 0.
+  | None -> false
+
+let set_mode (sw : Ff_netsim.Net.switch) name on =
+  Hashtbl.replace sw.Ff_netsim.Net.vars ("mode:" ^ name) (if on then 1. else 0.)
+
+let mode_classify = "classify"
+let mode_reroute = "reroute"
+let mode_obfuscate = "obfuscate"
+let mode_drop = "drop"
+let mode_hcf = "hcf"
+let mode_acl = "acl"
+let mode_grl = "grl"

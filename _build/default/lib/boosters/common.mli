@@ -1,0 +1,25 @@
+(** Conventions shared by all booster runtimes.
+
+    Mode activation is communicated through switch vars under the key
+    ["mode:<name>"] (written by [Ff_modes.Protocol], read here), keeping
+    boosters free of a dependency on the mode-protocol library — exactly
+    the loose coupling a real data plane has, where a mode bit in switch
+    memory gates a table. *)
+
+val mode_active : Ff_netsim.Net.switch -> string -> bool
+
+val set_mode : Ff_netsim.Net.switch -> string -> bool -> unit
+(** Directly toggle a mode var (tests and standalone examples; production
+    paths go through the mode protocol). *)
+
+(** Standard mode names used by the shipped boosters. *)
+
+val mode_classify : string
+(** LFA detector classifies and marks flows. *)
+
+val mode_reroute : string
+val mode_obfuscate : string
+val mode_drop : string
+val mode_hcf : string
+val mode_acl : string
+val mode_grl : string

@@ -1,0 +1,60 @@
+module Net = Ff_netsim.Net
+module Packet = Ff_dataplane.Packet
+module Meter = Ff_dataplane.Register.Meter
+
+type t = {
+  mode : string;
+  rate_limit : float; (* bits/s *)
+  burst : float; (* bytes *)
+  drop_prob : float;
+  rng : Ff_util.Prng.t;
+  meters : (int, Meter.t) Hashtbl.t;
+  mutable dropped : int;
+}
+
+let meter t flow =
+  match Hashtbl.find_opt t.meters flow with
+  | Some m -> m
+  | None ->
+    let m = Meter.create ~rate:(t.rate_limit /. 8.) ~burst:t.burst in
+    Hashtbl.replace t.meters flow m;
+    m
+
+let stage t =
+  {
+    Net.stage_name = "dropper";
+    process =
+      (fun ctx pkt ->
+        match pkt.Packet.payload with
+        | Packet.Data when pkt.Packet.suspicious && Common.mode_active ctx.Net.sw t.mode ->
+          let m = meter t pkt.Packet.flow in
+          if not (Meter.allow m ~now:ctx.Net.now ~bytes:(float_of_int pkt.Packet.size)) then begin
+            t.dropped <- t.dropped + 1;
+            Net.Drop "suspicious-rate-limit"
+          end
+          else if t.drop_prob > 0. && Ff_util.Prng.float t.rng 1. < t.drop_prob then begin
+            t.dropped <- t.dropped + 1;
+            Net.Drop "illusion-of-success"
+          end
+          else Net.Continue
+        | _ -> Net.Continue);
+  }
+
+let install net ~sw ?(mode = Common.mode_drop) ?(rate_limit = 500_000.) ?(burst = 12_000.)
+    ?(drop_prob = 0.1) ?(seed = 42) () =
+  let t =
+    {
+      mode;
+      rate_limit;
+      burst;
+      drop_prob;
+      rng = Ff_util.Prng.create ~seed:(seed + sw);
+      meters = Hashtbl.create 64;
+      dropped = 0;
+    }
+  in
+  Net.add_stage net ~sw (stage t);
+  t
+
+let dropped t = t.dropped
+let metered_flows t = Hashtbl.length t.meters

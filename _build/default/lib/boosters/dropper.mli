@@ -1,0 +1,27 @@
+(** Packet-dropping / rate-limiting booster (paper section 4.1,
+    "Packet-dropping defense", and step (5), the "illusion of success").
+
+    While the ["drop"] mode is active, packets marked suspicious pass
+    through a per-flow token-bucket meter; traffic beyond [rate_limit] is
+    dropped. On top, a deterministic pseudo-random [drop_prob] discards a
+    fraction of the remaining suspicious packets so that the attacker keeps
+    observing loss on its flows even after rerouting has relieved the
+    target link — and so keeps believing the attack works. *)
+
+type t
+
+val install :
+  Ff_netsim.Net.t ->
+  sw:int ->
+  ?mode:string ->
+  ?rate_limit:float ->
+  ?burst:float ->
+  ?drop_prob:float ->
+  ?seed:int ->
+  unit ->
+  t
+(** Defaults: 500 kb/s per suspicious flow ([rate_limit] is bits/s),
+    burst 12 kB, [drop_prob] 0.1. *)
+
+val dropped : t -> int
+val metered_flows : t -> int

@@ -1,0 +1,35 @@
+(** Distributed global rate limiting (paper section 3.3, "Distributed
+    detection"; after cloud control with distributed rate limiting,
+    SIGCOMM '07).
+
+    Some attacks are only visible network-wide: each participating switch
+    counts a tenant's local bytes, and every [sync_period] floods a sync
+    probe with its local rates. Switches merge the views they receive, so
+    each holds an estimate of the tenant's {e global} rate. While the
+    ["grl"] mode is active, a tenant above its limit is policed
+    probabilistically with drop probability [1 - limit/global] — the
+    aggregate converges to the limit wherever the traffic enters. *)
+
+type t
+
+val install :
+  Ff_netsim.Net.t ->
+  participants:int list ->
+  ?sync_period:float ->
+  ?mode:string ->
+  ?seed:int ->
+  unit ->
+  t
+
+val set_limit : t -> tenant:int -> float -> unit
+(** Global limit in bits/s. *)
+
+val assign : t -> src:int -> tenant:int -> unit
+(** Map a source host to a tenant (unassigned sources are not policed). *)
+
+val global_rate : t -> sw:int -> tenant:int -> float
+(** The switch-local estimate of the tenant's network-wide rate (bits/s). *)
+
+val local_rate : t -> sw:int -> tenant:int -> float
+val dropped : t -> int
+val sync_probes : t -> int

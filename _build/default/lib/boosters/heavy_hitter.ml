@@ -1,0 +1,81 @@
+module Net = Ff_netsim.Net
+module Engine = Ff_netsim.Engine
+module Packet = Ff_dataplane.Packet
+module Hashpipe = Ff_dataplane.Hashpipe
+
+type t = {
+  net : Net.t;
+  sw : int;
+  epoch : float;
+  threshold_bps : float;
+  pipe : Hashpipe.t;
+  mutable offenders : int list;
+  mutable alarmed : bool;
+  on_alarm : Lfa_detector.alarm -> unit;
+  on_clear : Lfa_detector.alarm -> unit;
+}
+
+let stage t =
+  {
+    Net.stage_name = "heavy-hitter";
+    process =
+      (fun _ctx pkt ->
+        (match pkt.Packet.payload with
+        | Packet.Data ->
+          Hashpipe.update t.pipe ~key:pkt.Packet.flow ~weight:(float_of_int pkt.Packet.size)
+        | _ -> ());
+        Net.Continue);
+  }
+
+let epoch_tick t () =
+  (* bytes accumulated over one epoch -> bits/s *)
+  let threshold_bytes = t.threshold_bps *. t.epoch /. 8. in
+  let heavy = Hashpipe.heavy_hitters t.pipe ~threshold:threshold_bytes in
+  t.offenders <- List.map fst heavy;
+  (match (heavy, t.alarmed) with
+  | _ :: _, false ->
+    t.alarmed <- true;
+    t.on_alarm { Lfa_detector.switch = t.sw; attack = Packet.Volumetric }
+  | [], true ->
+    t.alarmed <- false;
+    t.on_clear { Lfa_detector.switch = t.sw; attack = Packet.Volumetric }
+  | _ -> ());
+  Hashpipe.reset t.pipe
+
+let install net ~sw ?(epoch = 1.0) ?(stages = 4) ?(slots = 64) ?(threshold_bps = 4_000_000.)
+    ~on_alarm ~on_clear () =
+  let t =
+    {
+      net;
+      sw;
+      epoch;
+      threshold_bps;
+      pipe = Hashpipe.create ~stages ~slots_per_stage:slots ();
+      offenders = [];
+      alarmed = false;
+      on_alarm;
+      on_clear;
+    }
+  in
+  Net.add_stage net ~sw (stage t);
+  Engine.every (Net.engine net) ~period:epoch (epoch_tick t);
+  t
+
+let top t ~k =
+  let all = Hashpipe.heavy_hitters t.pipe ~threshold:0. in
+  List.filteri (fun i _ -> i < k) all
+
+let offenders t = t.offenders
+let alarmed t = t.alarmed
+
+let mark_offenders_stage t =
+  {
+    Net.stage_name = "hh-marker";
+    process =
+      (fun _ctx pkt ->
+        (match pkt.Packet.payload with
+        | Packet.Data when List.mem pkt.Packet.flow t.offenders ->
+          pkt.Packet.suspicious <- true
+        | _ -> ());
+        Net.Continue);
+  }

@@ -1,0 +1,34 @@
+(** Heavy-hitter / volumetric-DDoS detection booster (after HashPipe,
+    SOSR '17, and network-wide heavy hitters, SOSR '18).
+
+    Every data packet updates a HashPipe table keyed by flow. Each epoch
+    the booster converts resident counts to rates; any flow above
+    [threshold_bps] triggers a volumetric alarm (once per epoch), and the
+    offending flows are reported so a dropper can be pointed at them. *)
+
+type t
+
+val install :
+  Ff_netsim.Net.t ->
+  sw:int ->
+  ?epoch:float ->
+  ?stages:int ->
+  ?slots:int ->
+  ?threshold_bps:float ->
+  on_alarm:(Lfa_detector.alarm -> unit) ->
+  on_clear:(Lfa_detector.alarm -> unit) ->
+  unit ->
+  t
+(** Defaults: 1 s epochs, 4x64 HashPipe, alarm above 4 Mb/s per flow. *)
+
+val top : t -> k:int -> (int * float) list
+(** Current epoch's top flows by bytes. *)
+
+val offenders : t -> int list
+(** Flows above threshold in the last completed epoch. *)
+
+val alarmed : t -> bool
+
+val mark_offenders_stage : t -> Ff_netsim.Net.stage
+(** Optional stage marking offender packets suspicious (so the generic
+    dropper mitigates volumetric attacks too). *)

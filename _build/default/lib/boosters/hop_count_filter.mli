@@ -1,0 +1,30 @@
+(** Hop-count filtering booster (after NetHCF, ICNP '19): line-rate
+    spoofed-IP filtering.
+
+    Packets from a source normally arrive with a stable TTL (initial TTL
+    minus path length). The booster learns each source's expected arriving
+    TTL; in filtering mode (["hcf"]), packets whose TTL deviates by more
+    than [tolerance] are spoofed and dropped.
+
+    Learning is {e reinforcement-only}: once a source has a fingerprint,
+    only in-tolerance packets update it. This is NetHCF's defense against
+    poisoning — without it, a spoofed flood arriving before the filter
+    mode activates drags the estimate toward itself and the legitimate
+    owner of the address gets filtered. Slow legitimate path changes stay
+    within tolerance and still track. *)
+
+type t
+
+val install :
+  Ff_netsim.Net.t ->
+  sw:int ->
+  ?mode:string ->
+  ?tolerance:int ->
+  ?learning_weight:float ->
+  unit ->
+  t
+(** Defaults: tolerance 2 hops, EWMA learning weight 0.3. *)
+
+val expected_ttl : t -> src:int -> float option
+val filtered : t -> int
+val learned_sources : t -> int

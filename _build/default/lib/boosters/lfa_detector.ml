@@ -1,0 +1,207 @@
+module Net = Ff_netsim.Net
+module Engine = Ff_netsim.Engine
+module Packet = Ff_dataplane.Packet
+
+type flow_rec = {
+  mutable first_seen : float;
+  mutable last_seen : float;
+  mutable rate : float; (* bits/s over the last completed window *)
+  mutable window_start : float;
+  mutable window_bytes : float;
+  mutable src : int;
+  mutable dst : int;
+  mutable suspicious : bool;
+}
+
+type alarm = { switch : int; attack : Packet.attack_kind }
+
+type t = {
+  net : Net.t;
+  sw : int;
+  watched : (int * int) list;
+  high_threshold : float;
+  suspicious_rate : float;
+  min_age : float;
+  clear_fraction : float;
+  clear_hold : float;
+  dst_flows_min : int;
+  flows : (int, flow_rec) Hashtbl.t;
+  suspicious_srcs : (int, unit) Hashtbl.t;
+  dst_fanout : (int, int) Hashtbl.t; (* dst -> live flows toward it *)
+  mutable alarmed : bool;
+  mutable calm_since : float option;
+  mutable marks : int;
+  on_alarm : alarm -> unit;
+  on_clear : alarm -> unit;
+}
+
+(* Per-flow rate over fixed windows: bursty TCP arrivals make per-packet
+   instantaneous estimates useless (intra-burst gaps dominate), so the rate
+   is bytes over a half-second measurement window. *)
+let rate_window = 0.5
+
+let update_flow t now (pkt : Packet.t) =
+  let rec_ =
+    match Hashtbl.find_opt t.flows pkt.flow with
+    | Some r -> r
+    | None ->
+      let r =
+        { first_seen = now; last_seen = now; rate = 0.; window_start = now; window_bytes = 0.;
+          src = pkt.src; dst = pkt.dst; suspicious = false }
+      in
+      Hashtbl.replace t.flows pkt.flow r;
+      r
+  in
+  rec_.window_bytes <- rec_.window_bytes +. float_of_int pkt.size;
+  let elapsed = now -. rec_.window_start in
+  if elapsed >= rate_window then begin
+    rec_.rate <- rec_.window_bytes *. 8. /. elapsed;
+    rec_.window_start <- now;
+    rec_.window_bytes <- 0.
+  end;
+  rec_.last_seen <- now;
+  rec_
+
+let classify t now rec_ (pkt : Packet.t) =
+  (* The Crossfire signature (paper 4.1): persistent, individually low-rate
+     flows, many of them converging on the same destination — legitimate
+     flows congested down to a low rate do not share the fan-in. *)
+  let age = now -. rec_.first_seen in
+  let fanout = try Hashtbl.find t.dst_fanout rec_.dst with Not_found -> 0 in
+  if
+    age >= t.min_age && rec_.rate > 0. && rec_.rate < t.suspicious_rate
+    && fanout >= t.dst_flows_min
+  then begin
+    rec_.suspicious <- true;
+    Hashtbl.replace t.suspicious_srcs pkt.src ()
+  end;
+  if rec_.suspicious then begin
+    pkt.Packet.suspicious <- true;
+    t.marks <- t.marks + 1
+  end
+
+(* Classification runs when this detector has raised its own alarm OR when
+   the distributed "classify" mode reached this switch (an alarm elsewhere,
+   propagated by mode probes): upstream switches with path diversity must
+   mark flows even though their own links are calm. *)
+let classifying t ctx = t.alarmed || Common.mode_active ctx.Net.sw Common.mode_classify
+
+let stage t =
+  {
+    Net.stage_name = "lfa-detector";
+    process =
+      (fun ctx pkt ->
+        (match pkt.Packet.payload with
+        | Packet.Data ->
+          let rec_ = update_flow t ctx.Net.now pkt in
+          if classifying t ctx then classify t ctx.Net.now rec_ pkt
+        | Packet.Traceroute_probe _ ->
+          (* a suspicious source's reconnaissance probes are forwarded like
+             its data (Crossfire probes are TTL-limited data packets), so
+             mark them too — mitigation steers them with the flows *)
+          if classifying t ctx && Hashtbl.mem t.suspicious_srcs pkt.Packet.src then
+            pkt.Packet.suspicious <- true
+        | _ -> ());
+        Net.Continue);
+  }
+
+let watched_utilization t =
+  List.fold_left
+    (fun acc (from_, to_) -> Float.max acc (Net.utilization t.net ~from_ ~to_))
+    0. t.watched
+
+let watched_capacity t =
+  List.fold_left
+    (fun acc (from_, to_) ->
+      match Ff_topology.Topology.find_link (Net.topology t.net) from_ to_ with
+      | Some l -> acc +. l.Ff_topology.Topology.capacity
+      | None -> acc)
+    0. t.watched
+
+let suspicious_aggregate_rate t now =
+  Hashtbl.fold
+    (fun _ r acc ->
+      if r.suspicious && now -. r.last_seen < 1.0 then acc +. r.rate else acc)
+    t.flows 0.
+
+let refresh_fanout t now =
+  Hashtbl.reset t.dst_fanout;
+  Hashtbl.iter
+    (fun _ r ->
+      if now -. r.last_seen < 2.0 then
+        Hashtbl.replace t.dst_fanout r.dst
+          (1 + (try Hashtbl.find t.dst_fanout r.dst with Not_found -> 0)))
+    t.flows
+
+let check t () =
+  let now = Net.now t.net in
+  refresh_fanout t now;
+  let util = watched_utilization t in
+  if not t.alarmed then begin
+    if util >= t.high_threshold then begin
+      t.alarmed <- true;
+      t.calm_since <- None;
+      t.on_alarm { switch = t.sw; attack = Packet.Lfa }
+    end
+  end
+  else begin
+    (* the attack has subsided when the suspicious flows themselves stop,
+       not when mitigation hides the congestion *)
+    let susp = suspicious_aggregate_rate t now in
+    let calm = susp < t.clear_fraction *. watched_capacity t && util < t.high_threshold in
+    match (calm, t.calm_since) with
+    | false, _ -> t.calm_since <- None
+    | true, None -> t.calm_since <- Some now
+    | true, Some since ->
+      if now -. since >= t.clear_hold then begin
+        t.alarmed <- false;
+        t.calm_since <- None;
+        Hashtbl.iter (fun _ r -> r.suspicious <- false) t.flows;
+        Hashtbl.reset t.suspicious_srcs;
+        t.on_clear { switch = t.sw; attack = Packet.Lfa }
+      end
+  end
+
+let install net ~sw ~watched ?(check_period = 0.05) ?(high_threshold = 0.85)
+    ?(suspicious_rate = 1_500_000.) ?(min_age = 2.0) ?(clear_fraction = 0.1)
+    ?(clear_hold = 3.0) ?(dst_flows_min = 8) ~on_alarm ~on_clear () =
+  let t =
+    {
+      net;
+      sw;
+      watched;
+      high_threshold;
+      suspicious_rate;
+      min_age;
+      clear_fraction;
+      clear_hold;
+      dst_flows_min;
+      flows = Hashtbl.create 256;
+      suspicious_srcs = Hashtbl.create 32;
+      dst_fanout = Hashtbl.create 32;
+      alarmed = false;
+      calm_since = None;
+      marks = 0;
+      on_alarm;
+      on_clear;
+    }
+  in
+  Net.add_stage net ~sw (stage t);
+  Engine.every (Net.engine net) ~period:check_period (check t);
+  t
+
+let alarmed t = t.alarmed
+
+let suspicious_flows t =
+  Hashtbl.fold (fun f r acc -> if r.suspicious then f :: acc else acc) t.flows []
+  |> List.sort compare
+
+let is_suspicious_flow t f =
+  match Hashtbl.find_opt t.flows f with Some r -> r.suspicious | None -> false
+
+let is_suspicious_source t s = Hashtbl.mem t.suspicious_srcs s
+
+let tracked_flows t = Hashtbl.length t.flows
+let marks t = t.marks
+
+let flow_rate t f = match Hashtbl.find_opt t.flows f with Some r -> r.rate | None -> 0.

@@ -1,0 +1,56 @@
+(** LFA detection booster (paper section 4.1, "LFA detection").
+
+    Detects (a) high load on its watched links and (b) persistent, low-rate
+    flows — the Crossfire signature — by maintaining per-flow state on
+    every data packet (Dapper/Blink-style TCP monitoring, simplified).
+
+    When the watched utilization crosses [high_threshold] the detector
+    raises an alarm (wired to the mode protocol by the orchestrator). While
+    the alarm is up, the per-packet stage marks packets of flows older than
+    [min_age] whose rate is below [suspicious_rate] as suspicious; the mark
+    is what mitigation boosters (reroute, dropper) act on downstream.
+
+    The all-clear fires only when the aggregate rate of currently
+    suspicious flows falls below [clear_fraction] of the watched capacity
+    for [clear_hold] seconds — the attack subsiding, not merely the
+    mitigation masking it (otherwise alarm/mitigate/clear would oscillate,
+    the instability the paper warns about). *)
+
+type t
+
+type alarm = { switch : int; attack : Ff_dataplane.Packet.attack_kind }
+
+val install :
+  Ff_netsim.Net.t ->
+  sw:int ->
+  watched:(int * int) list ->
+  ?check_period:float ->
+  ?high_threshold:float ->
+  ?suspicious_rate:float ->
+  ?min_age:float ->
+  ?clear_fraction:float ->
+  ?clear_hold:float ->
+  ?dst_flows_min:int ->
+  on_alarm:(alarm -> unit) ->
+  on_clear:(alarm -> unit) ->
+  unit ->
+  t
+(** [watched] are directed links [(from, to)] whose utilization this
+    detector guards (its own egress links toward the critical core).
+    Defaults: check every 50 ms, alarm above 0.85 utilization, suspicious
+    below 1.5 Mb/s after 2 s of age {e and} at least [dst_flows_min] = 8
+    live flows converging on the same destination (the Crossfire fan-in —
+    this is what keeps congested-but-legitimate flows out of the suspicious
+    set), clear when suspicious traffic is under 0.1 of watched capacity
+    for 3 s. *)
+
+val alarmed : t -> bool
+val suspicious_flows : t -> int list
+val is_suspicious_flow : t -> int -> bool
+val is_suspicious_source : t -> int -> bool
+val tracked_flows : t -> int
+val marks : t -> int
+(** Packets marked suspicious so far. *)
+
+val flow_rate : t -> int -> float
+(** Estimated rate of a tracked flow, bits/s (0. if unknown). *)

@@ -1,0 +1,41 @@
+(** Network-wide heavy-hitter detection (paper section 3.3's distributed
+    detection example; after Harrison et al., SOSR '18).
+
+    Some attacks are invisible locally: a distributed flood sends moderate
+    traffic toward one destination from many ingresses, so no single
+    switch sees a heavy hitter. Each ingress counts per-destination bytes;
+    the [Ff_modes.Sync] service floods the views periodically; every
+    ingress then holds the {e network-wide} per-destination rate and can
+    raise a volumetric alarm that no local counter could justify. *)
+
+type t
+
+val install :
+  Ff_netsim.Net.t ->
+  ingresses:int list ->
+  ?check_period:float ->
+  ?sync_period:float ->
+  ?threshold_bps:float ->
+  ?sync_threshold_bps:float ->
+  ?probe_class:int ->
+  on_alarm:(Lfa_detector.alarm -> unit) ->
+  on_clear:(Lfa_detector.alarm -> unit) ->
+  unit ->
+  t
+(** Defaults: check every 0.5 s, sync every 0.25 s, alarm when a
+    destination's global rate exceeds 6 Mb/s; local entries under
+    [sync_threshold_bps] (default 100 kb/s) are not advertised (the
+    paper's "minimize synchronization" knob). Instances coexist: each gets
+    unique stage names and (unless [probe_class] pins one) a unique sync
+    probe class. *)
+
+val global_rate : t -> sw:int -> dst:int -> float
+(** The ingress's estimate of the destination's network-wide inbound rate. *)
+
+val local_rate : t -> sw:int -> dst:int -> float
+
+val offenders : t -> int list
+(** Destinations currently above threshold (globally). *)
+
+val alarmed : t -> bool
+val sync_probes : t -> int

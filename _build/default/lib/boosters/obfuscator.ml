@@ -1,0 +1,37 @@
+module Net = Ff_netsim.Net
+module Packet = Ff_dataplane.Packet
+
+type t = {
+  mode : string;
+  mutable virtual_path : src:int -> dst:int -> int list option;
+  mutable obfuscated : int;
+}
+
+let stage t =
+  {
+    Net.stage_name = "obfuscator";
+    process =
+      (fun ctx pkt ->
+        (match pkt.Packet.payload with
+        | Packet.Traceroute_probe { probe_ttl; _ }
+          when pkt.Packet.ttl = 1 && Common.mode_active ctx.Net.sw t.mode -> (
+          (* the probe dies here: pre-compute the virtual responder the TTL
+             stage will put in the time-exceeded reply *)
+          match t.virtual_path ~src:pkt.Packet.src ~dst:pkt.Packet.dst with
+          | Some path when List.length path > probe_ttl ->
+            let responder = List.nth path probe_ttl in
+            Packet.tag pkt "obfuscated_responder" (float_of_int responder);
+            t.obfuscated <- t.obfuscated + 1
+          | _ -> ())
+        | _ -> ());
+        Net.Continue);
+  }
+
+let install net ?(mode = Common.mode_obfuscate) ~virtual_path () =
+  let t = { mode; virtual_path; obfuscated = 0 } in
+  List.iter (fun sw -> Net.add_stage ~front:true net ~sw (stage t)) (Net.switch_ids net);
+  t
+
+let obfuscated_replies t = t.obfuscated
+
+let set_virtual_path t f = t.virtual_path <- f

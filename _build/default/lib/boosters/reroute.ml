@@ -1,0 +1,153 @@
+module Net = Ff_netsim.Net
+module Engine = Ff_netsim.Engine
+module Packet = Ff_dataplane.Packet
+
+type entry = {
+  mutable round : int;
+  mutable metric : float;
+  mutable next_hop : int;
+  mutable updated : float;
+}
+
+type t = {
+  net : Net.t;
+  roots : int list;
+  probe_interval : float;
+  probe_ttl : int;
+  entry_timeout : float;
+  mode : string;
+  reroute_all : bool;
+  tables : (int, (int, entry) Hashtbl.t) Hashtbl.t; (* sw -> dst -> entry *)
+  mutable round : int;
+  mutable probes_sent : int;
+  mutable reroutes : int;
+}
+
+let table t sw =
+  match Hashtbl.find_opt t.tables sw with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 8 in
+    Hashtbl.replace t.tables sw tbl;
+    tbl
+
+let make_probe t ~dst ~round ~max_util ~hops =
+  t.probes_sent <- t.probes_sent + 1;
+  Packet.make ~src:dst ~dst ~flow:0 ~birth:(Net.now t.net)
+    ~payload:(Packet.Util_probe { dst; round; max_util; hops })
+    ()
+
+(* Probe handling at a switch: fold in the utilization of the reverse link
+   the probe just crossed, update the table, and re-flood improvements. *)
+let handle_probe t ctx ~dst ~round ~max_util ~hops =
+  let sw = ctx.Net.sw.Net.sw_id in
+  let from_neighbor = ctx.Net.in_port in
+  if from_neighbor < 0 then Net.Absorb
+  else begin
+    let here_util = Net.utilization t.net ~from_:sw ~to_:from_neighbor in
+    let metric = Float.max max_util here_util in
+    let tbl = table t sw in
+    let now = ctx.Net.now in
+    let improved =
+      match Hashtbl.find_opt tbl dst with
+      | None ->
+        Hashtbl.replace tbl dst { round; metric; next_hop = from_neighbor; updated = now };
+        true
+      | Some e ->
+        if round > e.round then begin
+          e.round <- round;
+          e.metric <- metric;
+          e.next_hop <- from_neighbor;
+          e.updated <- now;
+          true
+        end
+        else if round = e.round && metric < e.metric -. 1e-9 then begin
+          e.metric <- metric;
+          e.next_hop <- from_neighbor;
+          e.updated <- now;
+          true
+        end
+        else false
+    in
+    if improved && hops < t.probe_ttl then
+      Net.flood_from_switch t.net ~sw ~except:[ from_neighbor ] (fun () ->
+          make_probe t ~dst ~round ~max_util:metric ~hops:(hops + 1));
+    Net.Absorb
+  end
+
+let fresh_entry t ~sw ~dst =
+  match Hashtbl.find_opt (table t sw) dst with
+  | Some e when Net.now t.net -. e.updated <= t.entry_timeout -> Some e
+  | _ -> None
+
+let stage t =
+  {
+    Net.stage_name = "reroute";
+    process =
+      (fun ctx pkt ->
+        match pkt.Packet.payload with
+        | Packet.Util_probe { dst; round; max_util; hops } ->
+          handle_probe t ctx ~dst ~round ~max_util ~hops
+        | Packet.Data | Packet.Traceroute_probe _ ->
+          let sw = ctx.Net.sw in
+          if
+            Common.mode_active sw t.mode
+            && (t.reroute_all || pkt.Packet.suspicious)
+          then begin
+            match fresh_entry t ~sw:sw.Net.sw_id ~dst:pkt.Packet.dst with
+            | Some e when e.next_hop <> ctx.Net.in_port ->
+              (* deviate from the pinned table only if the probe metric is
+                 actually better than nothing; always prefer probe path for
+                 marked traffic *)
+              t.reroutes <- t.reroutes + 1;
+              Net.Forward e.next_hop
+            | _ -> Net.Continue
+          end
+          else Net.Continue
+        | _ -> Net.Continue);
+  }
+
+(* Probe origination at each root's access switch, gated on the mode. *)
+let start_probing t =
+  List.iter
+    (fun root ->
+      let access = Net.access_switch t.net ~host:root in
+      Engine.every (Net.engine t.net) ~period:t.probe_interval (fun () ->
+          if Common.mode_active (Net.switch t.net access) t.mode then begin
+            t.round <- t.round + 1;
+            (* seed the access switch's own entry so hosts behind it work *)
+            Hashtbl.replace (table t access) root
+              { round = t.round; metric = 0.; next_hop = root; updated = Net.now t.net };
+            Net.flood_from_switch t.net ~sw:access ~except:[] (fun () ->
+                make_probe t ~dst:root ~round:t.round ~max_util:0. ~hops:1)
+          end))
+    t.roots
+
+let install net ~roots ?(probe_interval = 0.05) ?(probe_ttl = 8) ?(entry_timeout = 0.5)
+    ?(mode = Common.mode_reroute) ?(reroute_all = false) () =
+  let t =
+    {
+      net;
+      roots;
+      probe_interval;
+      probe_ttl;
+      entry_timeout;
+      mode;
+      reroute_all;
+      tables = Hashtbl.create 16;
+      round = 0;
+      probes_sent = 0;
+      reroutes = 0;
+    }
+  in
+  List.iter (fun sw -> Net.add_stage net ~sw (stage t)) (Net.switch_ids net);
+  start_probing t;
+  t
+
+let best_next_hop t ~sw ~dst =
+  Option.map (fun e -> e.next_hop) (fresh_entry t ~sw ~dst)
+
+let best_metric t ~sw ~dst = Option.map (fun e -> e.metric) (fresh_entry t ~sw ~dst)
+
+let probes_sent t = t.probes_sent
+let reroutes t = t.reroutes

@@ -1,0 +1,114 @@
+module Net = Ff_netsim.Net
+module Engine = Ff_netsim.Engine
+module Packet = Ff_dataplane.Packet
+module Meter = Ff_dataplane.Register.Meter
+
+type verdict = Allow | Deny | Install of (unit -> unit)
+
+type t = {
+  net : Net.t;
+  latency : float;
+  budget : Meter.t; (* punts metered in "bytes" of 1 per punt *)
+  overflow : verdict;
+  handler : Packet.t -> verdict;
+  mutable punts : int;
+  mutable overflows : int;
+}
+
+let create net ~sw ?(latency = 0.001) ?(rate_limit = 1000.) ?(overflow = Deny) ~handler () =
+  ignore sw;
+  {
+    net;
+    latency;
+    budget = Meter.create ~rate:rate_limit ~burst:(Float.max 1. (rate_limit /. 10.));
+    overflow;
+    handler;
+    punts = 0;
+    overflows = 0;
+  }
+
+let punt t pkt ~on_verdict =
+  if Meter.allow t.budget ~now:(Net.now t.net) ~bytes:1. then begin
+    t.punts <- t.punts + 1;
+    Engine.after (Net.engine t.net) ~delay:t.latency (fun () ->
+        let v = t.handler pkt in
+        (match v with Install f -> f () | Allow | Deny -> ());
+        on_verdict v)
+  end
+  else begin
+    t.overflows <- t.overflows + 1;
+    on_verdict t.overflow
+  end
+
+let punts t = t.punts
+let overflows t = t.overflows
+
+module Reactive_acl = struct
+  type acl = {
+    mode : string;
+    cache : (int * int, bool) Hashtbl.t;
+    pending : (int * int, unit) Hashtbl.t;
+    sp : t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let install net ~sw ?(mode = Common.mode_acl) ?latency ?rate_limit ~oracle () =
+    let rec acl =
+      lazy
+        (let sp =
+           create net ~sw ?latency ?rate_limit
+             ~handler:(fun pkt ->
+               let key = (pkt.Packet.src, pkt.Packet.dst) in
+               let allowed = oracle ~src:pkt.Packet.src ~dst:pkt.Packet.dst in
+               Install
+                 (fun () ->
+                   let a = Lazy.force acl in
+                   Hashtbl.remove a.pending key;
+                   Hashtbl.replace a.cache key allowed))
+             ()
+         in
+         { mode; cache = Hashtbl.create 64; pending = Hashtbl.create 16; sp; hits = 0;
+           misses = 0 })
+    in
+    let a = Lazy.force acl in
+    Net.add_stage net ~sw
+      {
+        Net.stage_name = "reactive-acl";
+        process =
+          (fun ctx pkt ->
+            match pkt.Packet.payload with
+            | Packet.Data when Common.mode_active ctx.Net.sw a.mode -> (
+              let key = (pkt.Packet.src, pkt.Packet.dst) in
+              match Hashtbl.find_opt a.cache key with
+              | Some true ->
+                a.hits <- a.hits + 1;
+                Net.Continue
+              | Some false ->
+                a.hits <- a.hits + 1;
+                Net.Drop "acl-deny-cached"
+              | None ->
+                a.misses <- a.misses + 1;
+                (* table miss: consult the slowpath once per pair; the
+                   packet itself is sacrificed (transport retransmits),
+                   like an OpenFlow table-miss punt *)
+                if not (Hashtbl.mem a.pending key) then begin
+                  Hashtbl.replace a.pending key ();
+                  punt a.sp pkt ~on_verdict:(fun v ->
+                      match v with
+                      | Install _ -> () (* handled inside the verdict *)
+                      | Allow -> Hashtbl.replace a.cache key true
+                      | Deny ->
+                        Hashtbl.remove a.pending key;
+                        Hashtbl.replace a.cache key false)
+                end;
+                Net.Drop "acl-miss-punted")
+            | _ -> Net.Continue);
+      };
+    a
+
+  let cache_hits a = a.hits
+  let cache_misses a = a.misses
+  let cached_pairs a = Hashtbl.length a.cache
+  let slowpath a = a.sp
+end

@@ -1,0 +1,64 @@
+(** Fastpath/slowpath co-design (paper section 2.2, after NetWarden):
+    "we can split a defense algorithm into a fastpath component, which runs
+    in the data plane hardware ..., and a slowpath component, which runs in
+    control plane software ... As long as the slowpath is only occasionally
+    involved, the defense algorithm can still run efficiently."
+
+    A switch-local slowpath channel: a booster stage punts a packet (or a
+    question about it) over a PCIe-like channel with [latency] and a
+    bounded punt rate; the handler runs in "software" and its verdict
+    arrives back asynchronously. Punts beyond the rate budget overflow and
+    receive the [overflow] verdict immediately — the back-pressure that
+    keeps the slowpath occasional. *)
+
+type verdict = Allow | Deny | Install of (unit -> unit)
+    (** [Install f] allows the packet and runs [f] to update fastpath
+        state (e.g. cache a table rule) when the verdict lands. *)
+
+type t
+
+val create :
+  Ff_netsim.Net.t ->
+  sw:int ->
+  ?latency:float ->
+  ?rate_limit:float ->
+  ?overflow:verdict ->
+  handler:(Ff_dataplane.Packet.t -> verdict) ->
+  unit ->
+  t
+(** Defaults: 1 ms round trip, 1000 punts/s budget, overflow verdict
+    [Deny] (fail closed). *)
+
+val punt : t -> Ff_dataplane.Packet.t -> on_verdict:(verdict -> unit) -> unit
+(** Queue a punt; [on_verdict] fires after [latency] (or immediately with
+    the overflow verdict when the budget is exhausted). *)
+
+val punts : t -> int
+val overflows : t -> int
+
+(** A ready-made integration: reactive access control. The fastpath checks
+    an exact-match rule cache; a miss punts to a policy oracle, whose
+    verdict is cached so later packets of the pair stay on the fastpath
+    (the classic reactive flow-setup pattern). *)
+module Reactive_acl : sig
+  type acl
+
+  val install :
+    Ff_netsim.Net.t ->
+    sw:int ->
+    ?mode:string ->
+    ?latency:float ->
+    ?rate_limit:float ->
+    oracle:(src:int -> dst:int -> bool) ->
+    unit ->
+    acl
+  (** While the mode (default ["acl"]) is active: cached pairs forward at
+      line rate; a first packet of an unknown pair is held for the
+      slowpath decision (modelled as drop-and-retransmit, like an
+      OpenFlow table-miss), and the oracle's answer is cached. *)
+
+  val cache_hits : acl -> int
+  val cache_misses : acl -> int
+  val cached_pairs : acl -> int
+  val slowpath : acl -> t
+end

@@ -1,0 +1,1 @@
+lib/core/compile.ml: Ff_boosters Ff_dataflow Ff_dataplane Ff_placement List

@@ -1,0 +1,1 @@
+lib/core/compile.mli: Ff_dataflow Ff_dataplane Ff_placement

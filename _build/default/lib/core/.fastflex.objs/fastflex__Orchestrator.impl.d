@@ -1,0 +1,1 @@
+lib/core/orchestrator.ml: Ff_boosters Ff_dataplane Ff_modes Ff_netsim Ff_te Ff_topology Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Ff_attacks Ff_boosters Ff_dataplane Ff_modes Ff_netsim Ff_te Ff_topology Ff_util Float Format List Option Orchestrator

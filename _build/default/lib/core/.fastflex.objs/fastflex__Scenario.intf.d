@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Ff_dataplane Ff_netsim Ff_topology Ff_util Format Orchestrator

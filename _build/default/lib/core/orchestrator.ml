@@ -1,0 +1,246 @@
+module Net = Ff_netsim.Net
+module Packet = Ff_dataplane.Packet
+module Topology = Ff_topology.Topology
+module B = Ff_boosters
+
+type config = {
+  high_threshold : float;
+  suspicious_rate : float;
+  min_age : float;
+  dst_flows_min : int;
+  check_period : float;
+  clear_hold : float;
+  probe_interval : float;
+  region_ttl : int;
+  min_dwell : float;
+  drop_rate_limit : float;
+  drop_prob : float;
+}
+
+let default_config =
+  {
+    high_threshold = 0.85;
+    suspicious_rate = 1_500_000.;
+    min_age = 1.0;
+    dst_flows_min = 8;
+    check_period = 0.05;
+    clear_hold = 3.0;
+    probe_interval = 0.05;
+    region_ttl = 8;
+    min_dwell = 1.0;
+    drop_rate_limit = 400_000.;
+    drop_prob = 0.1;
+  }
+
+type t = {
+  protocol : Ff_modes.Protocol.t;
+  detector : B.Lfa_detector.t;
+  reroute : B.Reroute.t;
+  obfuscator : B.Obfuscator.t;
+  droppers : B.Dropper.t list;
+}
+
+let modes_for = function
+  | Packet.Lfa ->
+    [ B.Common.mode_classify; B.Common.mode_reroute; B.Common.mode_obfuscate;
+      B.Common.mode_drop ]
+  | Packet.Volumetric -> [ B.Common.mode_drop; B.Common.mode_hcf ]
+  | Packet.Pulsing -> [ B.Common.mode_reroute; B.Common.mode_drop ]
+  | Packet.Recon -> [ B.Common.mode_obfuscate ]
+
+let deploy net ~landmarks ~default_plan ?(config = default_config) () =
+  let lm : Topology.Fig2.landmarks = landmarks in
+  let protocol =
+    Ff_modes.Protocol.create net ~region_ttl:config.region_ttl ~min_dwell:config.min_dwell
+      ~modes_for ()
+  in
+  let watched =
+    List.map
+      (fun (l : Topology.link) ->
+        if l.Topology.a = lm.Topology.Fig2.agg then (l.Topology.a, l.Topology.b)
+        else (l.Topology.b, l.Topology.a))
+      lm.Topology.Fig2.critical
+  in
+  let detector =
+    B.Lfa_detector.install net ~sw:lm.Topology.Fig2.agg ~watched
+      ~check_period:config.check_period ~high_threshold:config.high_threshold
+      ~suspicious_rate:config.suspicious_rate ~min_age:config.min_age
+      ~clear_hold:config.clear_hold ~dst_flows_min:config.dst_flows_min
+      ~on_alarm:(fun a ->
+        Ff_modes.Protocol.raise_alarm protocol ~sw:a.B.Lfa_detector.switch a.B.Lfa_detector.attack)
+      ~on_clear:(fun a ->
+        Ff_modes.Protocol.clear_alarm protocol ~sw:a.B.Lfa_detector.switch a.B.Lfa_detector.attack)
+      ()
+  in
+  (* dropping happens where classification happens, before rerouting can
+     steer the packet away *)
+  let droppers =
+    [ B.Dropper.install net ~sw:lm.Topology.Fig2.agg ~rate_limit:config.drop_rate_limit
+        ~drop_prob:config.drop_prob () ]
+  in
+  let reroute =
+    B.Reroute.install net
+      ~roots:(lm.Topology.Fig2.victim :: lm.Topology.Fig2.decoys)
+      ~probe_interval:config.probe_interval ()
+  in
+  (* The virtual topology is the default-mode forwarding as it stands at
+     deploy time. FastFlex's rerouting never rewrites the tables (it
+     overrides forwarding per packet), so walking the tables always
+     reconstructs the pre-attack path. *)
+  let vcache : (int * int, int list option) Hashtbl.t = Hashtbl.create 64 in
+  let virtual_path ~src ~dst =
+    match Hashtbl.find_opt vcache (src, dst) with
+    | Some p -> p
+    | None ->
+      let p =
+        match Net.current_path net ~src ~dst with
+        | Some _ as p -> p
+        | None -> Ff_te.Solver.plan_path default_plan ~src ~dst
+      in
+      Hashtbl.replace vcache (src, dst) p;
+      p
+  in
+  let obfuscator = B.Obfuscator.install net ~virtual_path () in
+  { protocol; detector; reroute; obfuscator; droppers }
+
+let dropped_packets t =
+  List.fold_left (fun acc d -> acc + B.Dropper.dropped d) 0 t.droppers
+
+let mode_log t = Ff_modes.Protocol.log t.protocol
+
+type volumetric = {
+  v_protocol : Ff_modes.Protocol.t;
+  v_hh : B.Heavy_hitter.t;
+  v_dropper : B.Dropper.t;
+  v_hcf : B.Hop_count_filter.t;
+}
+
+let deploy_volumetric net ~sw ?(config = default_config) ?(threshold_bps = 4_000_000.) () =
+  let protocol =
+    Ff_modes.Protocol.create net ~region_ttl:config.region_ttl ~min_dwell:config.min_dwell
+      ~modes_for ()
+  in
+  let hh =
+    B.Heavy_hitter.install net ~sw ~threshold_bps
+      ~on_alarm:(fun a ->
+        Ff_modes.Protocol.raise_alarm protocol ~sw:a.B.Lfa_detector.switch
+          a.B.Lfa_detector.attack)
+      ~on_clear:(fun a ->
+        Ff_modes.Protocol.clear_alarm protocol ~sw:a.B.Lfa_detector.switch
+          a.B.Lfa_detector.attack)
+      ()
+  in
+  (* marking must precede policing in the stage pipeline *)
+  Net.add_stage net ~sw (B.Heavy_hitter.mark_offenders_stage hh);
+  let dropper =
+    B.Dropper.install net ~sw ~rate_limit:config.drop_rate_limit ~drop_prob:config.drop_prob ()
+  in
+  let hcf = B.Hop_count_filter.install net ~sw () in
+  { v_protocol = protocol; v_hh = hh; v_dropper = dropper; v_hcf = hcf }
+
+type wide = {
+  w_protocol : Ff_modes.Protocol.t;
+  w_detectors : (int * B.Lfa_detector.t) list;
+  w_reroute : B.Reroute.t;
+  w_obfuscator : B.Obfuscator.t;
+  w_droppers : (int * B.Dropper.t) list;
+}
+
+let deploy_wide net ~protect ?(config = default_config) () =
+  let topo = Net.topology net in
+  let protocol =
+    Ff_modes.Protocol.create net ~region_ttl:config.region_ttl ~min_dwell:config.min_dwell
+      ~modes_for ()
+  in
+  let core_egress sw =
+    List.map (fun peer -> (sw, peer)) (Net.neighbors_of net sw)
+  in
+  let detectors =
+    List.filter_map
+      (fun sw ->
+        match core_egress sw with
+        | [] -> None
+        | watched ->
+          let det =
+            B.Lfa_detector.install net ~sw ~watched ~check_period:config.check_period
+              ~high_threshold:config.high_threshold ~suspicious_rate:config.suspicious_rate
+              ~min_age:config.min_age ~clear_hold:config.clear_hold
+              ~dst_flows_min:config.dst_flows_min
+              ~on_alarm:(fun a ->
+                Ff_modes.Protocol.raise_alarm protocol ~sw:a.B.Lfa_detector.switch
+                  a.B.Lfa_detector.attack)
+              ~on_clear:(fun a ->
+                Ff_modes.Protocol.clear_alarm protocol ~sw:a.B.Lfa_detector.switch
+                  a.B.Lfa_detector.attack)
+              ()
+          in
+          Some (sw, det))
+      (Net.switch_ids net)
+  in
+  (* Detectors exchange their suspicious-source sets through sync probes
+     (paper 3.3: detectors "exchange information with each other"), so a
+     switch upstream of the congestion — where the path diversity is — can
+     mark and police flows its own local evidence could never convict. *)
+  let detector_switches = List.map fst detectors in
+  let source_sync =
+    Ff_modes.Sync.create net ~participants:detector_switches ~period:(4. *. config.check_period)
+      ~local_view:(fun ~sw ->
+        match List.assoc_opt sw detectors with
+        | None -> []
+        | Some det ->
+          List.filter_map
+            (fun host ->
+              if B.Lfa_detector.is_suspicious_source det host then Some (host, 1.) else None)
+            (Net.host_ids net))
+      ~probe_class:9 ()
+  in
+  let marker_stage sw =
+    {
+      Net.stage_name = "suspicious-source-marker";
+      process =
+        (fun ctx pkt ->
+          (match pkt.Packet.payload with
+          | Packet.Data | Packet.Traceroute_probe _ ->
+            if
+              (not pkt.Packet.suspicious)
+              && B.Common.mode_active ctx.Net.sw B.Common.mode_classify
+              && Ff_modes.Sync.global_value source_sync ~sw ~key:pkt.Packet.src > 0.
+            then pkt.Packet.suspicious <- true
+          | _ -> ());
+          Net.Continue);
+    }
+  in
+  List.iter (fun sw -> Net.add_stage net ~sw (marker_stage sw)) detector_switches;
+  let droppers =
+    List.map
+      (fun sw ->
+        ( sw,
+          B.Dropper.install net ~sw ~rate_limit:config.drop_rate_limit
+            ~drop_prob:config.drop_prob () ))
+      detector_switches
+  in
+  let reroute = B.Reroute.install net ~roots:protect ~probe_interval:config.probe_interval () in
+  let vcache : (int * int, int list option) Hashtbl.t = Hashtbl.create 64 in
+  let virtual_path ~src ~dst =
+    match Hashtbl.find_opt vcache (src, dst) with
+    | Some p -> p
+    | None ->
+      let p =
+        match Net.current_path net ~src ~dst with
+        | Some _ as p -> p
+        | None -> Topology.shortest_path topo ~src ~dst
+      in
+      Hashtbl.replace vcache (src, dst) p;
+      p
+  in
+  let obfuscator = B.Obfuscator.install net ~virtual_path () in
+  { w_protocol = protocol; w_detectors = detectors; w_reroute = reroute;
+    w_obfuscator = obfuscator; w_droppers = droppers }
+
+let wide_mode_log w = Ff_modes.Protocol.log w.w_protocol
+
+let wide_marked w =
+  List.fold_left (fun acc (_, d) -> acc + B.Lfa_detector.marks d) 0 w.w_detectors
+
+let wide_dropped w =
+  List.fold_left (fun acc (_, d) -> acc + B.Dropper.dropped d) 0 w.w_droppers

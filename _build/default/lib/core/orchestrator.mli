@@ -1,0 +1,93 @@
+(** Runtime orchestration of the LFA defense on the paper's case-study
+    topology: wires the detector's alarms into the distributed mode-change
+    protocol, which activates classification, congestion-aware rerouting of
+    suspicious flows, topology obfuscation, and illusion-of-success
+    dropping (paper Figure 2 and section 4.2, steps (1)-(6)). *)
+
+type config = {
+  high_threshold : float;  (** link utilization that raises the LFA alarm *)
+  suspicious_rate : float;  (** bits/s under which a persistent flow is suspect *)
+  min_age : float;  (** seconds before a flow can be classified *)
+  dst_flows_min : int;  (** fan-in on one destination marking Crossfire decoys *)
+  check_period : float;  (** detector sampling period *)
+  clear_hold : float;  (** calm seconds before the all-clear *)
+  probe_interval : float;  (** rerouting probe period *)
+  region_ttl : int;  (** mode-probe flooding scope *)
+  min_dwell : float;  (** minimum mode residence (anti-flap) *)
+  drop_rate_limit : float;  (** bits/s allowed per suspicious flow *)
+  drop_prob : float;  (** extra illusion-of-success drop probability *)
+}
+
+val default_config : config
+
+type t = {
+  protocol : Ff_modes.Protocol.t;
+  detector : Ff_boosters.Lfa_detector.t;
+  reroute : Ff_boosters.Reroute.t;
+  obfuscator : Ff_boosters.Obfuscator.t;
+  droppers : Ff_boosters.Dropper.t list;
+}
+
+val deploy :
+  Ff_netsim.Net.t ->
+  landmarks:Ff_topology.Topology.Fig2.landmarks ->
+  default_plan:Ff_te.Solver.plan ->
+  ?config:config ->
+  unit ->
+  t
+(** Installs (in stage order at the aggregation switch): obfuscation (ahead
+    of TTL processing), mode protocol, LFA detection, dropping, rerouting.
+    The default TE plan doubles as the obfuscator's virtual topology. *)
+
+val modes_for : Ff_dataplane.Packet.attack_kind -> string list
+(** The attack -> booster-mode mapping the protocol distributes. *)
+
+type volumetric = {
+  v_protocol : Ff_modes.Protocol.t;
+  v_hh : Ff_boosters.Heavy_hitter.t;
+  v_dropper : Ff_boosters.Dropper.t;
+  v_hcf : Ff_boosters.Hop_count_filter.t;
+}
+
+val deploy_volumetric :
+  Ff_netsim.Net.t ->
+  sw:int ->
+  ?config:config ->
+  ?threshold_bps:float ->
+  unit ->
+  volumetric
+(** Volumetric-DDoS protection at one chokepoint switch: HashPipe
+    heavy-hitter detection raises [Volumetric] alarms into the mode
+    protocol, which activates dropping (offender flows are marked by the
+    heavy hitter's marker stage and policed) and hop-count filtering
+    (spoofed sources dropped at line rate). Default flow threshold
+    4 Mb/s. *)
+
+type wide = {
+  w_protocol : Ff_modes.Protocol.t;
+  w_detectors : (int * Ff_boosters.Lfa_detector.t) list;  (** per switch *)
+  w_reroute : Ff_boosters.Reroute.t;
+  w_obfuscator : Ff_boosters.Obfuscator.t;
+  w_droppers : (int * Ff_boosters.Dropper.t) list;
+}
+
+val deploy_wide :
+  Ff_netsim.Net.t ->
+  protect:int list ->
+  ?config:config ->
+  unit ->
+  wide
+(** Pervasive deployment on an {e arbitrary} topology (paper section 3.2:
+    "distribute detection modules as widely as possible, ideally on all
+    paths"): every switch with switch-to-switch egress links gets an LFA
+    detector watching them plus a dropper; rerouting probes advertise
+    paths toward the [protect]ed hosts (the victim-side prefix);
+    obfuscation snapshots the current tables as the virtual topology.
+    Alarms from any detector drive one shared mode protocol. *)
+
+val wide_mode_log : wide -> (float * int * Ff_dataplane.Packet.attack_kind * bool) list
+val wide_marked : wide -> int
+val wide_dropped : wide -> int
+
+val dropped_packets : t -> int
+val mode_log : t -> (float * int * Ff_dataplane.Packet.attack_kind * bool) list

@@ -1,0 +1,287 @@
+module Topology = Ff_topology.Topology
+module Net = Ff_netsim.Net
+module Engine = Ff_netsim.Engine
+module Flow = Ff_netsim.Flow
+module Monitor = Ff_netsim.Monitor
+module Series = Ff_util.Series
+
+type defense =
+  | No_defense
+  | Baseline_sdn of { period : float; delay : float }
+  | Fastflex of Orchestrator.config
+
+type attack_plan = {
+  start : float;
+  roll_schedule : float list;
+  roll_on_path_change : bool;
+  flows_per_bot : int;
+  bot_max_cwnd : float;
+}
+
+let default_attack =
+  {
+    start = 10.;
+    roll_schedule = [ 45.; 80. ];
+    roll_on_path_change = true;
+    flows_per_bot = 3;
+    bot_max_cwnd = 4.;
+  }
+
+type result = {
+  normalized : Series.t;
+  raw_goodput : Series.t;
+  attack_goodput : Series.t;
+  baseline_goodput : float;
+  rolls : float list;
+  reconfigs : float list;
+  mode_log : (float * int * Ff_dataplane.Packet.attack_kind * bool) list;
+  mean_during_attack : float;
+  min_during_attack : float;
+  recovery_times : (float * float) list;
+  drops : (string * int) list;
+  suspicious_marked : int;
+  probes_sent : int;
+}
+
+(* Default connectivity: per-destination shortest-path routes for every
+   host, with the two victim-side decoys deliberately spread over the two
+   critical links (decoy1 via m1, decoy2 via m2) — the path diversity a
+   Crossfire attacker exploits to choose its target link. *)
+let install_default_routes net (lm : Topology.Fig2.landmarks) =
+  let topo = Net.topology net in
+  let hosts = Topology.hosts topo in
+  List.iter
+    (fun (dst : Topology.node) ->
+      List.iter
+        (fun (src : Topology.node) ->
+          if src.Topology.id <> dst.Topology.id then
+            match Topology.shortest_path topo ~src:src.Topology.id ~dst:dst.Topology.id with
+            | Some p -> Net.install_path net ~dst:dst.Topology.id p
+            | None -> ())
+        hosts)
+    hosts;
+  (* pin each decoy behind a distinct critical link *)
+  match (lm.Topology.Fig2.decoys, lm.Topology.Fig2.critical) with
+  | [ d1; d2 ], [ c1; c2 ] ->
+    let mid_of (l : Topology.link) =
+      if l.Topology.a = lm.Topology.Fig2.agg then l.Topology.b else l.Topology.a
+    in
+    let m1 = mid_of c1 and m2 = mid_of c2 in
+    Net.set_route net ~sw:lm.Topology.Fig2.agg ~dst:d1 ~next_hop:m1;
+    Net.set_route net ~sw:m1 ~dst:d1 ~next_hop:lm.Topology.Fig2.victim_agg;
+    Net.set_route net ~sw:lm.Topology.Fig2.agg ~dst:d2 ~next_hop:m2;
+    Net.set_route net ~sw:m2 ~dst:d2 ~next_hop:lm.Topology.Fig2.victim_agg
+  | _ -> ()
+
+let normal_matrix (lm : Topology.Fig2.landmarks) ~per_flow_bps =
+  let m = Ff_te.Traffic_matrix.empty () in
+  List.iter
+    (fun n -> Ff_te.Traffic_matrix.set m ~src:n ~dst:lm.Topology.Fig2.victim per_flow_bps)
+    lm.Topology.Fig2.normal_sources;
+  m
+
+let run_lfa ~defense ?(attack = Some default_attack) ?(duration = 120.)
+    ?(sample_period = 0.5) ?(normals = 4) ?(bots = 8) ?on_ready () =
+  let lm = Topology.Fig2.build ~bots ~normals () in
+  let topo = lm.Topology.Fig2.topo in
+  let engine = Engine.create () in
+  let net = Net.create engine topo in
+  install_default_routes net lm;
+  (* default mode: optimal configuration from centralized TE. k = 2 keeps
+     the default plan on the two shortest (critical-link) paths; the longer
+     detour is capacity the defenses tap into under attack. *)
+  let matrix = normal_matrix lm ~per_flow_bps:2_300_000. in
+  let default_plan = Ff_te.Solver.solve ~k:2 topo matrix in
+  Ff_te.Solver.install net default_plan;
+  (* normal traffic: one long-lived TCP flow per normal host *)
+  let normal_flows =
+    List.map
+      (fun n ->
+        Flow.Tcp.start net ~src:n ~dst:lm.Topology.Fig2.victim ~at:0.5 ~max_cwnd:4. ())
+      lm.Topology.Fig2.normal_sources
+  in
+  (* attacker *)
+  let attacker =
+    Option.map
+      (fun plan ->
+        let group_of decoy = [ decoy ] in
+        Ff_attacks.Lfa.launch net ~bots:lm.Topology.Fig2.bot_sources
+          ~decoy_groups:(List.map group_of lm.Topology.Fig2.decoys)
+          ~start:plan.start ~flows_per_bot:plan.flows_per_bot
+          ~bot_max_cwnd:plan.bot_max_cwnd ~roll_on_path_change:plan.roll_on_path_change
+          ~roll_schedule:plan.roll_schedule ())
+      attack
+  in
+  (* defense *)
+  let controller = ref None in
+  let orchestration = ref None in
+  (match defense with
+  | No_defense -> ()
+  | Baseline_sdn { period; delay } ->
+    (* measurement half of the controller loop: telemetry at every switch
+       counts each pair at its ingress; attack flows are measured like any
+       other traffic — indistinguishability is the baseline's handicap *)
+    let telemetry = Ff_te.Estimator.install net ~switches:(Net.switch_ids net) () in
+    controller :=
+      Some
+        (Ff_te.Controller.start net ~period ~delay
+           ~estimate:(fun () -> Ff_te.Estimator.matrix telemetry)
+           ())
+  | Fastflex config ->
+    orchestration := Some (Orchestrator.deploy net ~landmarks:lm ~default_plan ~config ()));
+  (* measurement *)
+  let raw_goodput =
+    Monitor.aggregate_goodput net ~flows:normal_flows ~period:sample_period ~name:"goodput" ()
+  in
+  let attack_goodput =
+    Monitor.sample engine ~period:sample_period ~name:"attack-goodput" (fun now ->
+        match attacker with
+        | Some atk -> Ff_attacks.Lfa.attack_rate atk ~now
+        | None -> 0.)
+  in
+  (match on_ready with
+  | Some f -> f net lm normal_flows
+  | None -> ());
+  Engine.run engine ~until:duration;
+  (* normalizer: steady state before the attack (or over the whole run) *)
+  let attack_start = match attack with Some a -> a.start | None -> duration in
+  let calib_lo = Float.max 2. (attack_start -. 6.) and calib_hi = Float.max 4. (attack_start -. 1.) in
+  let calib =
+    List.filter_map
+      (fun (t, v) -> if t >= calib_lo && t <= calib_hi then Some v else None)
+      (Series.points raw_goodput)
+  in
+  let baseline_goodput =
+    match calib with [] -> 1. | vs -> Float.max 1. (Ff_util.Stats.mean vs)
+  in
+  let normalized = Series.create ~name:"normalized" in
+  List.iter
+    (fun (t, v) -> Series.add normalized ~time:t (v /. baseline_goodput))
+    (Series.points raw_goodput);
+  let during_attack =
+    List.filter_map
+      (fun (t, v) -> if t >= attack_start +. sample_period then Some v else None)
+      (Series.points normalized)
+  in
+  let rolls = match attacker with Some atk -> Ff_attacks.Lfa.rolls atk | None -> [] in
+  (* time from each attack event (attack start and each roll) back to 80% *)
+  let events = if attack = None then [] else attack_start :: rolls in
+  let recovery_times =
+    List.map
+      (fun ev ->
+        let rec find = function
+          | [] -> (ev, infinity)
+          | (t, v) :: rest ->
+            if t > ev +. (2. *. sample_period) && v >= 0.8 then (ev, t -. ev) else find rest
+        in
+        find (Series.points normalized))
+      events
+  in
+  {
+    normalized;
+    raw_goodput;
+    attack_goodput;
+    baseline_goodput;
+    rolls;
+    reconfigs =
+      (match !controller with Some c -> Ff_te.Controller.reconfig_times c | None -> []);
+    mode_log = (match !orchestration with Some o -> Orchestrator.mode_log o | None -> []);
+    mean_during_attack =
+      (match during_attack with [] -> 1. | vs -> Ff_util.Stats.mean vs);
+    min_during_attack =
+      (match during_attack with [] -> 1. | vs -> List.fold_left Float.min infinity vs);
+    recovery_times;
+    drops = Net.drops_by_reason net;
+    suspicious_marked =
+      (match !orchestration with
+      | Some o -> Ff_boosters.Lfa_detector.marks o.Orchestrator.detector
+      | None -> 0);
+    probes_sent =
+      (match !orchestration with
+      | Some o -> Ff_boosters.Reroute.probes_sent o.Orchestrator.reroute
+      | None -> 0);
+  }
+
+let pp_summary fmt r =
+  Format.fprintf fmt
+    "baseline=%.0f B/s mean=%.2f min=%.2f rolls=%d reconfigs=%d mode-changes=%d@."
+    r.baseline_goodput r.mean_during_attack r.min_during_attack (List.length r.rolls)
+    (List.length r.reconfigs) (List.length r.mode_log);
+  List.iter
+    (fun (ev, rt) ->
+      if rt = infinity then Format.fprintf fmt "  event at %.1fs: never recovered to 80%%@." ev
+      else Format.fprintf fmt "  event at %.1fs: recovered to 80%% in %.1fs@." ev rt)
+    r.recovery_times
+
+(* ------------------------------------------------------------------ *)
+(* Volumetric scenario                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type volumetric_result = {
+  vr_normalized_mean : float;
+  vr_spoofed_filtered : int;
+  vr_offender_drops : int;
+  vr_mode_changes : int;
+  vr_alarmed : bool;
+}
+
+let run_volumetric ~defended ?(duration = 60.) ?(attack_rate_pps = 600.) ?(spoof = true) () =
+  let lm = Topology.Fig2.build ~bots:8 ~normals:4 () in
+  let topo = lm.Topology.Fig2.topo in
+  let engine = Engine.create () in
+  let net = Net.create engine topo in
+  install_default_routes net lm;
+  let matrix = normal_matrix lm ~per_flow_bps:2_300_000. in
+  let default_plan = Ff_te.Solver.solve ~k:2 topo matrix in
+  Ff_te.Solver.install net default_plan;
+  let normal_flows =
+    List.map
+      (fun n -> Flow.Tcp.start net ~src:n ~dst:lm.Topology.Fig2.victim ~at:0.5 ~max_cwnd:4. ())
+      lm.Topology.Fig2.normal_sources
+  in
+  let vol =
+    if defended then
+      Some (Orchestrator.deploy_volumetric net ~sw:lm.Topology.Fig2.agg ())
+    else None
+  in
+  (* spoofed identities: the normal hosts' addresses (whose TTL fingerprints
+     the filter learns from their legitimate traffic) *)
+  let attack_start = 10. in
+  let _atk =
+    Ff_attacks.Volumetric.launch net ~bots:lm.Topology.Fig2.bot_sources
+      ~victim:lm.Topology.Fig2.victim ~rate_pps_per_bot:attack_rate_pps ~start:attack_start
+      ?spoof_as:(if spoof then Some lm.Topology.Fig2.normal_sources else None)
+      ()
+  in
+  let goodput =
+    Monitor.aggregate_goodput net ~flows:normal_flows ~period:0.5 ~name:"goodput" ()
+  in
+  Engine.run engine ~until:duration;
+  let vals t0 t1 =
+    List.filter_map
+      (fun (t, v) -> if t >= t0 && t <= t1 then Some v else None)
+      (Series.points goodput)
+  in
+  let baseline =
+    Float.max 1. (Ff_util.Stats.mean (vals (attack_start -. 6.) (attack_start -. 1.)))
+  in
+  {
+    vr_normalized_mean =
+      Ff_util.Stats.mean (vals (attack_start +. 2.) duration) /. baseline;
+    vr_spoofed_filtered =
+      (match vol with
+      | Some v -> Ff_boosters.Hop_count_filter.filtered v.Orchestrator.v_hcf
+      | None -> 0);
+    vr_offender_drops =
+      (match vol with
+      | Some v -> Ff_boosters.Dropper.dropped v.Orchestrator.v_dropper
+      | None -> 0);
+    vr_mode_changes =
+      (match vol with
+      | Some v -> List.length (Ff_modes.Protocol.log v.Orchestrator.v_protocol)
+      | None -> 0);
+    vr_alarmed =
+      (match vol with
+      | Some v -> Ff_boosters.Heavy_hitter.alarmed v.Orchestrator.v_hh
+      | None -> false);
+  }

@@ -1,0 +1,93 @@
+(** The paper's case-study experiment (section 4.3, Figure 3): normal flows
+    toward a victim, a rolling Crossfire LFA on the two critical links of
+    the Figure 2 topology, and one of three defenses:
+
+    - [No_defense]: static default TE only;
+    - [Baseline_sdn]: the state-of-the-art SDN defense, centralized TE
+      re-solving every period (Spiffy-like);
+    - [Fastflex]: the multimode data plane — detection, distributed mode
+      change, suspicious-only rerouting, obfuscation, and dropping.
+
+    Throughput is reported normalized to the no-attack steady state
+    measured in the same run before the attack begins, matching the
+    figure's y-axis. *)
+
+type defense =
+  | No_defense
+  | Baseline_sdn of { period : float; delay : float }
+  | Fastflex of Orchestrator.config
+
+type attack_plan = {
+  start : float;
+  roll_schedule : float list;  (** forced re-targets (the figure's rounds) *)
+  roll_on_path_change : bool;
+  flows_per_bot : int;
+  bot_max_cwnd : float;
+}
+
+val default_attack : attack_plan
+(** Starts at 10 s; forced rolls at 45 s and 80 s (three rounds over
+    120 s); rolls on observed path changes. *)
+
+type result = {
+  normalized : Ff_util.Series.t;  (** normal-flow goodput / no-attack baseline *)
+  raw_goodput : Ff_util.Series.t;  (** bytes/s *)
+  attack_goodput : Ff_util.Series.t;  (** the attacker's flows, bytes/s *)
+  baseline_goodput : float;  (** the normalizer, bytes/s *)
+  rolls : float list;
+  reconfigs : float list;  (** baseline controller installations *)
+  mode_log : (float * int * Ff_dataplane.Packet.attack_kind * bool) list;
+  mean_during_attack : float;  (** mean normalized goodput while under attack *)
+  min_during_attack : float;
+  recovery_times : (float * float) list;
+      (** (attack event time, seconds until normalized goodput >= 0.8) *)
+  drops : (string * int) list;
+  suspicious_marked : int;
+  probes_sent : int;
+}
+
+val run_lfa :
+  defense:defense ->
+  ?attack:attack_plan option ->
+  ?duration:float ->
+  ?sample_period:float ->
+  ?normals:int ->
+  ?bots:int ->
+  ?on_ready:
+    (Ff_netsim.Net.t -> Ff_topology.Topology.Fig2.landmarks -> Ff_netsim.Flow.Tcp.t list ->
+     unit) ->
+  unit ->
+  result
+(** [~attack:None] runs the calibration-only scenario (no attack).
+    Defaults: the default attack, 120 s, 0.5 s samples, 4 normal hosts,
+    8 bots. [on_ready] runs after setup and before the simulation, with the
+    network, the topology landmarks, and the normal flows — the hook tests
+    and examples use to attach extra monitors. *)
+
+val pp_summary : Format.formatter -> result -> unit
+
+(** {1 Volumetric scenario}
+
+    A second end-to-end driver: bots blast spoofed-source CBR traffic at
+    the victim through the aggregation chokepoint; the defense is
+    heavy-hitter detection wired into the mode protocol (dropping +
+    hop-count filtering). *)
+
+type volumetric_result = {
+  vr_normalized_mean : float;  (** normal goodput under attack / baseline *)
+  vr_spoofed_filtered : int;  (** packets the hop-count filter removed *)
+  vr_offender_drops : int;  (** packets policed off the offender flows *)
+  vr_mode_changes : int;
+  vr_alarmed : bool;  (** heavy hitter state at the end of the run *)
+}
+
+val run_volumetric :
+  defended:bool ->
+  ?duration:float ->
+  ?attack_rate_pps:float ->
+  ?spoof:bool ->
+  unit ->
+  volumetric_result
+(** Defaults: 60 s, 600 pps per bot — each bot flow is individually a
+    4.8 Mb/s heavy hitter, 38 Mb/s aggregate against a 20 Mb/s cut —
+    spoofing on. *)

@@ -1,0 +1,1 @@
+lib/dataflow/check.ml: Decompose Ff_dataplane Format List Ppm Resource

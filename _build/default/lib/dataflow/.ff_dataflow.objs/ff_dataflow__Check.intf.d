@@ -1,0 +1,1 @@
+lib/dataflow/check.mli: Ff_dataplane Format

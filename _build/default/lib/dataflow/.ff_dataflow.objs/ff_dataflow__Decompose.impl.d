@@ -1,0 +1,1 @@
+lib/dataflow/decompose.ml: Ff_dataplane Float List Ppm Printf Resource

@@ -1,0 +1,1 @@
+lib/dataflow/decompose.mli: Ff_dataplane

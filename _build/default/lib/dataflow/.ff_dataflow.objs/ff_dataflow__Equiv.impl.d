@@ -1,0 +1,1 @@
+lib/dataflow/equiv.ml: Ff_dataplane Hashtbl List Ppm Printf String

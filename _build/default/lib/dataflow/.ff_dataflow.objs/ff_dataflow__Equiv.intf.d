@@ -1,0 +1,1 @@
+lib/dataflow/equiv.mli: Ff_dataplane

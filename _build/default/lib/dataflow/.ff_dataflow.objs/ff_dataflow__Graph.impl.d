@@ -1,0 +1,1 @@
+lib/dataflow/graph.ml: Array Buffer Equiv Ff_dataplane Float Format Fun Hashtbl List Obj Ppm Printf Resource String

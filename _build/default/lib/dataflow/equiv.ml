@@ -1,0 +1,103 @@
+open Ff_dataplane
+
+type renaming = {
+  regs : (string, string) Hashtbl.t;
+  metas : (string, string) Hashtbl.t;
+  mutable next_reg : int;
+  mutable next_meta : int;
+}
+
+let fresh_renaming () =
+  { regs = Hashtbl.create 8; metas = Hashtbl.create 8; next_reg = 0; next_meta = 0 }
+
+let rename_reg rn r =
+  match Hashtbl.find_opt rn.regs r with
+  | Some c -> c
+  | None ->
+    let c = Printf.sprintf "r%d" rn.next_reg in
+    rn.next_reg <- rn.next_reg + 1;
+    Hashtbl.replace rn.regs r c;
+    c
+
+let rename_meta rn m =
+  match Hashtbl.find_opt rn.metas m with
+  | Some c -> c
+  | None ->
+    let c = Printf.sprintf "m%d" rn.next_meta in
+    rn.next_meta <- rn.next_meta + 1;
+    Hashtbl.replace rn.metas m c;
+    c
+
+let binop_str = function
+  | Ppm.Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Min -> "min"
+  | Max -> "max"
+  | Xor -> "xor"
+
+let commutative = function Ppm.Add | Mul | Min | Max | Xor -> true | Sub -> false
+
+let cmp_str = function
+  | Ppm.Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+(* Comparison normalisation: express Gt/Ge through Lt/Le with swapped
+   operands so that e.g. [a > b] and [b < a] canonicalize identically. *)
+let rec expr rn = function
+  | Ppm.Const f -> Printf.sprintf "(c %g)" f
+  | Field f -> Printf.sprintf "(f %s)" f
+  | Meta m -> Printf.sprintf "(m %s)" (rename_meta rn m)
+  | Reg_read (r, idx) -> Printf.sprintf "(rd %s %s)" (rename_reg rn r) (expr rn idx)
+  | Hash fields -> Printf.sprintf "(h %s)" (String.concat " " (List.sort compare fields))
+  | Binop (op, a, b) ->
+    let sa = expr rn a and sb = expr rn b in
+    let sa, sb = if commutative op && sb < sa then (sb, sa) else (sa, sb) in
+    Printf.sprintf "(%s %s %s)" (binop_str op) sa sb
+
+let rec cond rn = function
+  | Ppm.True -> "(true)"
+  | Cmp (c, a, b) ->
+    let c, a, b =
+      match c with
+      | Gt -> (Ppm.Lt, b, a)
+      | Ge -> (Ppm.Le, b, a)
+      | (Eq | Ne | Lt | Le) as c -> (c, a, b)
+    in
+    let sa = expr rn a and sb = expr rn b in
+    let sa, sb = if (c = Eq || c = Ne) && sb < sa then (sb, sa) else (sa, sb) in
+    Printf.sprintf "(%s %s %s)" (cmp_str c) sa sb
+  | And (a, b) ->
+    let sa = cond rn a and sb = cond rn b in
+    let sa, sb = if sb < sa then (sb, sa) else (sa, sb) in
+    Printf.sprintf "(and %s %s)" sa sb
+  | Or (a, b) ->
+    let sa = cond rn a and sb = cond rn b in
+    let sa, sb = if sb < sa then (sb, sa) else (sa, sb) in
+    Printf.sprintf "(or %s %s)" sa sb
+  | Not c -> Printf.sprintf "(not %s)" (cond rn c)
+
+let rec stmt rn = function
+  | Ppm.Set_meta (m, e) -> Printf.sprintf "(set %s %s)" (rename_meta rn m) (expr rn e)
+  | Reg_write (r, idx, v) ->
+    Printf.sprintf "(wr %s %s %s)" (rename_reg rn r) (expr rn idx) (expr rn v)
+  | Mark_suspicious c -> Printf.sprintf "(mark %s)" (cond rn c)
+  | Drop_when c -> Printf.sprintf "(drop %s)" (cond rn c)
+  | Emit_probe p -> Printf.sprintf "(probe %s)" p
+  | Apply_table t -> Printf.sprintf "(table %s)" t
+  | If (c, yes, no) ->
+    Printf.sprintf "(if %s (%s) (%s))" (cond rn c) (stmts rn yes) (stmts rn no)
+
+and stmts rn body = String.concat " " (List.map (stmt rn) body)
+
+let canonical (spec : Ppm.spec) =
+  let rn = fresh_renaming () in
+  stmts rn spec.body
+
+let equivalent a b = a.Ppm.role = b.Ppm.role && canonical a = canonical b
+
+let signature spec = Hashtbl.hash (spec.Ppm.role, canonical spec)

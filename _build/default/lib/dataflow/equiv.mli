@@ -1,0 +1,19 @@
+(** Functional equivalence of PPMs despite implementation differences.
+
+    The paper leans on the dataplane-equivalence result (Dumitrescu et al.,
+    NSDI '19): switch programs are simple enough that equivalence is
+    decidable in practice. Our PPM IR is small, so we implement the check
+    as canonicalization: metadata variables and register names are
+    alpha-renamed in order of first occurrence, commutative operator
+    operands are sorted, and the canonical form is printed to a string.
+    Two PPMs are shareable iff their canonical forms and roles coincide. *)
+
+val canonical : Ff_dataplane.Ppm.spec -> string
+(** Rename-invariant canonical form of the body. *)
+
+val equivalent : Ff_dataplane.Ppm.spec -> Ff_dataplane.Ppm.spec -> bool
+(** Same role and same canonical form. Reflexive, symmetric, transitive,
+    and invariant under consistent renaming of registers and metadata. *)
+
+val signature : Ff_dataplane.Ppm.spec -> int
+(** Hash of the canonical form (fast pre-filter). *)

@@ -1,0 +1,1 @@
+lib/dataplane/bloom.ml: Bytes Char Hashtbl

@@ -1,0 +1,1 @@
+lib/dataplane/hashpipe.ml: Array Hashtbl List

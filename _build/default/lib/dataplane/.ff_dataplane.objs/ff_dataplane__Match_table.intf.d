@@ -1,0 +1,1 @@
+lib/dataplane/match_table.mli:

@@ -1,0 +1,1 @@
+lib/dataplane/ppm.ml: Format List Resource

@@ -1,0 +1,1 @@
+lib/dataplane/ppm.mli: Format Resource

@@ -1,0 +1,1 @@
+lib/dataplane/resource.ml: Format List Printf

@@ -1,0 +1,22 @@
+(** HashPipe (Sivaraman et al., SOSR '17): heavy-hitter detection entirely
+    in the data plane with a pipeline of d hash-indexed key/count tables and
+    rolling eviction of the minimum. Used by the volumetric-DDoS booster. *)
+
+type t
+
+val create : ?seed:int -> stages:int -> slots_per_stage:int -> unit -> t
+
+val update : t -> key:int -> weight:float -> unit
+(** Insert/update one packet's key following the HashPipe algorithm:
+    always-insert in the first stage, carry the evicted (key,count) through
+    later stages replacing smaller counts. *)
+
+val count : t -> key:int -> float
+(** Tracked count for [key] (0 if not resident). May under-estimate the
+    true frequency (eviction), never over-estimates. *)
+
+val heavy_hitters : t -> threshold:float -> (int * float) list
+(** Resident keys with count above threshold, sorted by decreasing count. *)
+
+val reset : t -> unit
+val resident_keys : t -> int list

@@ -1,0 +1,70 @@
+module Exact = struct
+  type 'a t = { table : (int, 'a) Hashtbl.t; capacity : int option }
+
+  let create ?capacity () = { table = Hashtbl.create 64; capacity }
+
+  let insert t ~key v =
+    (match t.capacity with
+    | Some cap when (not (Hashtbl.mem t.table key)) && Hashtbl.length t.table >= cap ->
+      failwith "table full"
+    | _ -> ());
+    Hashtbl.replace t.table key v
+
+  let remove t ~key = Hashtbl.remove t.table key
+  let lookup t ~key = Hashtbl.find_opt t.table key
+  let size t = Hashtbl.length t.table
+  let clear t = Hashtbl.reset t.table
+  let entries t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table []
+end
+
+module Lpm = struct
+  type 'a entry = { prefix : int; len : int; action : 'a }
+  type 'a t = { mutable entries : 'a entry list }
+
+  let create () = { entries = [] }
+
+  let mask_of len = if len <= 0 then 0 else lnot 0 lsl (32 - len) land 0xFFFFFFFF
+
+  let insert t ~prefix ~len action =
+    assert (len >= 0 && len <= 32);
+    let prefix = prefix land mask_of len in
+    let others = List.filter (fun e -> not (e.prefix = prefix && e.len = len)) t.entries in
+    (* keep sorted by decreasing length so lookup returns the first match *)
+    t.entries <-
+      List.sort (fun e1 e2 -> compare e2.len e1.len) ({ prefix; len; action } :: others)
+
+  let lookup t ~key =
+    List.find_map
+      (fun e -> if key land mask_of e.len = e.prefix then Some e.action else None)
+      t.entries
+
+  let remove t ~prefix ~len =
+    let prefix = prefix land mask_of len in
+    t.entries <- List.filter (fun e -> not (e.prefix = prefix && e.len = len)) t.entries
+
+  let size t = List.length t.entries
+end
+
+module Ternary = struct
+  type 'a entry = { value : int; mask : int; priority : int; action : 'a }
+  type 'a t = { mutable entries : 'a entry list; capacity : int option }
+
+  let create ?capacity () = { entries = []; capacity }
+
+  let insert t ~value ~mask ~priority action =
+    (match t.capacity with
+    | Some cap when List.length t.entries >= cap -> failwith "table full"
+    | _ -> ());
+    t.entries <-
+      List.sort
+        (fun e1 e2 -> compare e2.priority e1.priority)
+        ({ value = value land mask; mask; priority; action } :: t.entries)
+
+  let lookup t ~key =
+    List.find_map
+      (fun e -> if key land e.mask = e.value then Some e.action else None)
+      t.entries
+
+  let size t = List.length t.entries
+  let clear t = t.entries <- []
+end

@@ -1,0 +1,48 @@
+(** Match-action tables: exact (SRAM hash), longest-prefix match, and
+    ternary (TCAM). Actions are caller-defined. *)
+
+(** Exact-match table keyed by integers. *)
+module Exact : sig
+  type 'a t
+
+  val create : ?capacity:int -> unit -> 'a t
+  (** [capacity] bounds the number of entries (default unbounded);
+      insertion beyond capacity raises [Failure "table full"]. *)
+
+  val insert : 'a t -> key:int -> 'a -> unit
+  val remove : 'a t -> key:int -> unit
+  val lookup : 'a t -> key:int -> 'a option
+  val size : 'a t -> int
+  val clear : 'a t -> unit
+  val entries : 'a t -> (int * 'a) list
+end
+
+(** Longest-prefix-match table over 32-bit-style integer addresses. *)
+module Lpm : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val insert : 'a t -> prefix:int -> len:int -> 'a -> unit
+  (** [len] in [\[0,32\]]; the high [len] bits of [prefix] are significant. *)
+
+  val lookup : 'a t -> key:int -> 'a option
+  (** Entry with the longest matching prefix. *)
+
+  val remove : 'a t -> prefix:int -> len:int -> unit
+  val size : 'a t -> int
+end
+
+(** Ternary (value/mask, priority) table — a TCAM. *)
+module Ternary : sig
+  type 'a t
+
+  val create : ?capacity:int -> unit -> 'a t
+
+  val insert : 'a t -> value:int -> mask:int -> priority:int -> 'a -> unit
+  (** Higher [priority] wins. *)
+
+  val lookup : 'a t -> key:int -> 'a option
+  val size : 'a t -> int
+  val clear : 'a t -> unit
+end

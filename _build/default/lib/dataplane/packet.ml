@@ -1,0 +1,73 @@
+type attack_kind = Lfa | Volumetric | Pulsing | Recon
+
+let attack_kind_to_string = function
+  | Lfa -> "lfa"
+  | Volumetric -> "volumetric"
+  | Pulsing -> "pulsing"
+  | Recon -> "recon"
+
+let all_attack_kinds = [ Lfa; Volumetric; Pulsing; Recon ]
+
+type payload =
+  | Data
+  | Ack of { acked : int }
+  | Traceroute_probe of { probe_id : int; probe_ttl : int }
+  | Traceroute_reply of { probe_id : int; hop : int; responder : int }
+  | Util_probe of { dst : int; round : int; max_util : float; hops : int }
+  | Mode_probe of { attack : attack_kind; epoch : int; origin : int; activate : bool;
+                    region_ttl : int }
+  | Sync_probe of { origin : int; round : int; entries : (int * float) list }
+  | State_chunk of { xfer_id : int; group : int; index : int; of_group : int; parity : bool;
+                     entries : (string * float) list }
+  | State_ack of { xfer_id : int; group : int }
+
+type t = {
+  uid : int;
+  src : int;
+  dst : int;
+  flow : int;
+  size : int;
+  seq : int;
+  payload : payload;
+  birth : float;
+  mutable ttl : int;
+  mutable suspicious : bool;
+  mutable tags : (string * float) list;
+}
+
+let next_uid = ref 0
+
+let control_size = 64
+
+let make ?size ?(seq = 0) ?(ttl = 64) ?(payload = Data) ~src ~dst ~flow ~birth () =
+  let size =
+    match size with
+    | Some s -> s
+    | None -> (match payload with Data -> 1000 | _ -> control_size)
+  in
+  incr next_uid;
+  { uid = !next_uid; src; dst; flow; size; seq; payload; birth; ttl; suspicious = false;
+    tags = [] }
+
+let is_control p = match p.payload with Data | Ack _ -> false | _ -> true
+
+let tag p key v = p.tags <- (key, v) :: List.remove_assoc key p.tags
+
+let tag_value p key = List.assoc_opt key p.tags
+
+let pp fmt p =
+  let kind =
+    match p.payload with
+    | Data -> "data"
+    | Ack _ -> "ack"
+    | Traceroute_probe _ -> "tr-probe"
+    | Traceroute_reply _ -> "tr-reply"
+    | Util_probe _ -> "util-probe"
+    | Mode_probe _ -> "mode-probe"
+    | Sync_probe _ -> "sync-probe"
+    | State_chunk _ -> "state-chunk"
+    | State_ack _ -> "state-ack"
+  in
+  Format.fprintf fmt "[pkt#%d %s %d->%d flow=%d seq=%d %dB%s]" p.uid kind p.src p.dst p.flow
+    p.seq p.size
+    (if p.suspicious then " suspicious" else "")

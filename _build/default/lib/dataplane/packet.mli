@@ -1,0 +1,65 @@
+(** Packets, including the user-defined header types FastFlex relies on:
+    utilization probes (congestion-aware rerouting), mode-change probes
+    (distributed control), detector synchronization probes, traceroute
+    packets (the attacker's reconnaissance and the obfuscator's target),
+    and state-transfer chunks (dynamic scaling). *)
+
+(** Attack classes a detector can report in a mode-change probe. *)
+type attack_kind = Lfa | Volumetric | Pulsing | Recon
+
+val attack_kind_to_string : attack_kind -> string
+val all_attack_kinds : attack_kind list
+
+type payload =
+  | Data  (** ordinary application bytes *)
+  | Ack of { acked : int }  (** transport acknowledgement of sequence [acked] *)
+  | Traceroute_probe of { probe_id : int; probe_ttl : int }
+  | Traceroute_reply of { probe_id : int; hop : int; responder : int }
+      (** [responder] is the (possibly obfuscated) switch that answered *)
+  | Util_probe of { dst : int; round : int; max_util : float; hops : int }
+      (** Hula/Contra-style probe advertising the best known path toward
+          [dst]: the maximum link utilization along it and its hop count;
+          [round] orders probe generations so stale metrics are replaced *)
+  | Mode_probe of { attack : attack_kind; epoch : int; origin : int; activate : bool;
+                    region_ttl : int }
+      (** distributed mode-change announcement flooded through a region *)
+  | Sync_probe of { origin : int; round : int; entries : (int * float) list }
+      (** periodic detector-view synchronization (network-wide detection) *)
+  | State_chunk of { xfer_id : int; group : int; index : int; of_group : int; parity : bool;
+                     entries : (string * float) list }
+      (** one unit of piggybacked state transfer; [parity] chunks carry the
+          XOR of their FEC group *)
+  | State_ack of { xfer_id : int; group : int }
+
+type t = {
+  uid : int;  (** globally unique packet id *)
+  src : int;  (** source host node id *)
+  dst : int;  (** destination host node id *)
+  flow : int;  (** flow identifier (5-tuple surrogate) *)
+  size : int;  (** bytes on the wire *)
+  seq : int;  (** per-flow sequence number *)
+  payload : payload;
+  birth : float;  (** creation time, seconds *)
+  mutable ttl : int;
+  mutable suspicious : bool;  (** set by detection PPMs, read by mitigation PPMs *)
+  mutable tags : (string * float) list;  (** metadata carried between PPMs *)
+}
+
+val make :
+  ?size:int -> ?seq:int -> ?ttl:int -> ?payload:payload -> src:int -> dst:int -> flow:int ->
+  birth:float -> unit -> t
+(** Fresh packet with a unique [uid]. Default size 1000 B (64 B for
+    non-[Data] payloads), ttl 64, payload [Data]. *)
+
+val control_size : int
+(** Wire size of probe/control packets, bytes. *)
+
+val is_control : t -> bool
+(** True for every payload other than [Data] and [Ack]. *)
+
+val tag : t -> string -> float -> unit
+(** Set (or overwrite) a metadata tag. *)
+
+val tag_value : t -> string -> float option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+type t = {
+  stages : float;
+  sram_kb : float;
+  tcam : float;
+  alus : float;
+  hash_units : float;
+}
+
+let zero = { stages = 0.; sram_kb = 0.; tcam = 0.; alus = 0.; hash_units = 0. }
+
+let make ?(stages = 0.) ?(sram_kb = 0.) ?(tcam = 0.) ?(alus = 0.) ?(hash_units = 0.) () =
+  { stages; sram_kb; tcam; alus; hash_units }
+
+let add x y =
+  {
+    stages = x.stages +. y.stages;
+    sram_kb = x.sram_kb +. y.sram_kb;
+    tcam = x.tcam +. y.tcam;
+    alus = x.alus +. y.alus;
+    hash_units = x.hash_units +. y.hash_units;
+  }
+
+let sum = List.fold_left add zero
+
+let sub x y =
+  {
+    stages = x.stages -. y.stages;
+    sram_kb = x.sram_kb -. y.sram_kb;
+    tcam = x.tcam -. y.tcam;
+    alus = x.alus -. y.alus;
+    hash_units = x.hash_units -. y.hash_units;
+  }
+
+let scale k x =
+  {
+    stages = k *. x.stages;
+    sram_kb = k *. x.sram_kb;
+    tcam = k *. x.tcam;
+    alus = k *. x.alus;
+    hash_units = k *. x.hash_units;
+  }
+
+let fits ~need ~within =
+  need.stages <= within.stages && need.sram_kb <= within.sram_kb && need.tcam <= within.tcam
+  && need.alus <= within.alus && need.hash_units <= within.hash_units
+
+let ratio need cap = if need <= 0. then 0. else if cap <= 0. then infinity else need /. cap
+
+let dominant_share ~need ~within =
+  List.fold_left max 0.
+    [
+      ratio need.stages within.stages;
+      ratio need.sram_kb within.sram_kb;
+      ratio need.tcam within.tcam;
+      ratio need.alus within.alus;
+      ratio need.hash_units within.hash_units;
+    ]
+
+let tofino_like = { stages = 12.; sram_kb = 6144.; tcam = 2048.; alus = 48.; hash_units = 6. }
+
+let pp fmt t =
+  Format.fprintf fmt "<stages=%.1f sram=%.1fKB tcam=%.0f alus=%.0f hash=%.0f>" t.stages
+    t.sram_kb t.tcam t.alus t.hash_units
+
+let to_row t =
+  [ Printf.sprintf "%.1f" t.stages; Printf.sprintf "%.1f" t.sram_kb;
+    Printf.sprintf "%.0f" t.tcam; Printf.sprintf "%.0f" t.alus;
+    Printf.sprintf "%.0f" t.hash_units ]

@@ -1,0 +1,39 @@
+(** Switch resource model (paper section 3.1).
+
+    A switch is a vector of resource constraints <Θ1..Θk>; a program (PPM)
+    is a vector of requirements <θ1..θk>. A set of programs fits a switch
+    iff the component-wise sum of their requirements stays within the
+    switch's constraints. *)
+
+type t = {
+  stages : float;  (** hardware pipeline stages *)
+  sram_kb : float;  (** SRAM for registers/tables, kilobytes *)
+  tcam : float;  (** TCAM entries *)
+  alus : float;  (** stateful ALUs *)
+  hash_units : float;
+}
+
+val zero : t
+
+val make : ?stages:float -> ?sram_kb:float -> ?tcam:float -> ?alus:float -> ?hash_units:float ->
+  unit -> t
+
+val add : t -> t -> t
+val sum : t list -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+
+val fits : need:t -> within:t -> bool
+(** Component-wise [need <= within]. *)
+
+val dominant_share : need:t -> within:t -> float
+(** max over components of need/within (treating 0-capacity components with
+    zero need as 0); the packing heuristic's size measure. *)
+
+val tofino_like : t
+(** A typical programmable switch: 12 stages, 6 MB SRAM, 2k TCAM entries,
+    48 ALUs, 6 hash units (order-of-magnitude, after Bosshart et al.). *)
+
+val pp : Format.formatter -> t -> unit
+val to_row : t -> string list
+(** Cells [stages; sram_kb; tcam; alus; hash_units] for table printing. *)

@@ -1,0 +1,59 @@
+type t = {
+  seed : int;
+  rows_n : int;
+  cols_n : int;
+  cells : float array; (* rows * cols, row-major *)
+  mutable total : float;
+}
+
+let create ?(seed = 0x5bd1e995) ~rows ~cols () =
+  assert (rows > 0 && cols > 0);
+  { seed; rows_n = rows; cols_n = cols; cells = Array.make (rows * cols) 0.; total = 0. }
+
+let index t row key = (row * t.cols_n) + (Hashtbl.hash (key, row, t.seed) mod t.cols_n)
+
+let add t key w =
+  for r = 0 to t.rows_n - 1 do
+    let i = index t r key in
+    t.cells.(i) <- t.cells.(i) +. w
+  done;
+  t.total <- t.total +. w
+
+let estimate t key =
+  let est = ref infinity in
+  for r = 0 to t.rows_n - 1 do
+    est := min !est t.cells.(index t r key)
+  done;
+  if !est = infinity then 0. else !est
+
+let total t = t.total
+
+let reset t =
+  Array.fill t.cells 0 (Array.length t.cells) 0.;
+  t.total <- 0.
+
+let merge_into ~dst ~src =
+  if dst.rows_n <> src.rows_n || dst.cols_n <> src.cols_n || dst.seed <> src.seed then
+    invalid_arg "Sketch.merge_into: incompatible sketches";
+  Array.iteri (fun i v -> dst.cells.(i) <- dst.cells.(i) +. v) src.cells;
+  dst.total <- dst.total +. src.total
+
+let heavy_keys t ~candidates ~threshold =
+  List.filter (fun k -> estimate t k >= threshold) candidates
+
+let rows t = t.rows_n
+let cols t = t.cols_n
+
+let serialize t =
+  let out = ref [] in
+  Array.iteri (fun i v -> if v <> 0. then out := (i, v) :: !out) t.cells;
+  List.rev !out
+
+let absorb t cells =
+  List.iter
+    (fun (i, v) ->
+      if i >= 0 && i < Array.length t.cells then begin
+        t.cells.(i) <- t.cells.(i) +. v;
+        t.total <- t.total +. v
+      end)
+    cells

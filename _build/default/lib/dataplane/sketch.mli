@@ -1,0 +1,39 @@
+(** Count-min sketch — the canonical shareable probabilistic data structure
+    of data plane defenses (heavy-hitter detection, DDoS detection). *)
+
+type t
+
+val create : ?seed:int -> rows:int -> cols:int -> unit -> t
+(** [rows] independent hash rows of [cols] counters each. Error bound:
+    estimates overshoot true counts by at most [e*N/cols] with probability
+    [1 - e^-rows] where [N] is the total added weight. *)
+
+val add : t -> int -> float -> unit
+(** [add t key w] adds weight [w] to [key]. *)
+
+val estimate : t -> int -> float
+(** Point estimate; never below the true count (no under-estimation). *)
+
+val total : t -> float
+(** Total weight added since the last reset. *)
+
+val reset : t -> unit
+
+val merge_into : dst:t -> src:t -> unit
+(** Component-wise sum; both sketches must share dimensions and seed
+    ([Invalid_argument] otherwise). This is the operation detector
+    synchronization probes perform for network-wide detection. *)
+
+val heavy_keys : t -> candidates:int list -> threshold:float -> int list
+(** Candidate keys whose estimate passes the threshold. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val serialize : t -> (int * float) list
+(** Flat (cell index, value) pairs for non-zero cells — the wire format of
+    sync probes. *)
+
+val absorb : t -> (int * float) list -> unit
+(** Add serialized cells into this sketch (dimensions must admit the
+    indices). *)

@@ -1,0 +1,1 @@
+lib/modes/protocol.ml: Ff_dataplane Ff_netsim Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/modes/protocol.mli: Ff_dataplane Ff_netsim

@@ -1,0 +1,1 @@
+lib/modes/stability.ml: Ff_dataplane Format Hashtbl List Queue String

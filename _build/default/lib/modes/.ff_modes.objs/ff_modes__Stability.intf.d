@@ -1,0 +1,1 @@
+lib/modes/stability.mli: Ff_dataplane Format

@@ -1,0 +1,1 @@
+lib/modes/sync.ml: Ff_dataplane Ff_netsim Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/modes/sync.mli: Ff_netsim

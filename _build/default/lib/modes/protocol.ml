@@ -1,0 +1,216 @@
+module Net = Ff_netsim.Net
+module Engine = Ff_netsim.Engine
+module Packet = Ff_dataplane.Packet
+
+type attack = Packet.attack_kind
+
+type sw_state = {
+  (* per attack kind *)
+  seen_epoch : (attack, int) Hashtbl.t;
+  active_attacks : (attack, float) Hashtbl.t; (* activation time *)
+  pending_clear : (attack, int) Hashtbl.t; (* epoch of a clear waiting for dwell *)
+}
+
+type t = {
+  net : Net.t;
+  region_ttl : int;
+  min_dwell : float;
+  flap_window : float;
+  max_holddown : float;
+  modes_for : attack -> string list;
+  epochs : (attack, int) Hashtbl.t;
+  states : (int, sw_state) Hashtbl.t;
+  mutable history : (float * int * attack * bool) list;
+  mutable transitions : int;
+  flap_times : (attack, float list) Hashtbl.t; (* recent activation times *)
+}
+
+let mode_var name = "mode:" ^ name
+
+let state t sw =
+  match Hashtbl.find_opt t.states sw with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        seen_epoch = Hashtbl.create 4;
+        active_attacks = Hashtbl.create 4;
+        pending_clear = Hashtbl.create 4;
+      }
+    in
+    Hashtbl.replace t.states sw s;
+    s
+
+let refresh_vars t sw =
+  let st = state t sw in
+  let vars = (Net.switch t.net sw).Net.vars in
+  (* recompute every mode var from the set of active attacks *)
+  List.iter
+    (fun attack ->
+      List.iter (fun m -> Hashtbl.replace vars (mode_var m) 0.) (t.modes_for attack))
+    Packet.all_attack_kinds;
+  Hashtbl.iter
+    (fun attack _ ->
+      List.iter (fun m -> Hashtbl.replace vars (mode_var m) 1.) (t.modes_for attack))
+    st.active_attacks
+
+let record t sw attack activated =
+  t.history <- (Net.now t.net, sw, attack, activated) :: t.history;
+  t.transitions <- t.transitions + 1
+
+let current_dwell t attack =
+  let now = Net.now t.net in
+  let recent =
+    List.filter
+      (fun at -> now -. at <= t.flap_window)
+      (try Hashtbl.find t.flap_times attack with Not_found -> [])
+  in
+  let flaps = List.length recent in
+  if flaps <= 1 then t.min_dwell
+  else Float.min t.max_holddown (t.min_dwell *. (2. ** float_of_int (flaps - 1)))
+
+let note_activation t attack =
+  let now = Net.now t.net in
+  let previous = try Hashtbl.find t.flap_times attack with Not_found -> [] in
+  let recent = List.filter (fun at -> now -. at <= t.flap_window) previous in
+  Hashtbl.replace t.flap_times attack (now :: recent)
+
+let activate_at t ~sw ~attack ~epoch =
+  let st = state t sw in
+  let fresh =
+    match Hashtbl.find_opt st.seen_epoch attack with Some e -> epoch > e | None -> true
+  in
+  if fresh then begin
+    Hashtbl.replace st.seen_epoch attack epoch;
+    Hashtbl.remove st.pending_clear attack;
+    if not (Hashtbl.mem st.active_attacks attack) then begin
+      Hashtbl.replace st.active_attacks attack (Net.now t.net);
+      refresh_vars t sw;
+      record t sw attack true
+    end;
+    true
+  end
+  else false
+
+(* Outcome of processing a probe at one switch: [`Stale] probes stop here;
+   fresh ones keep flooding whether applied now or deferred by the dwell. *)
+let rec deactivate_at t ~sw ~attack ~epoch =
+  let st = state t sw in
+  let fresh =
+    match Hashtbl.find_opt st.seen_epoch attack with Some e -> epoch > e | None -> true
+  in
+  if not fresh then `Stale
+  else
+    match Hashtbl.find_opt st.active_attacks attack with
+    | None ->
+      Hashtbl.replace st.seen_epoch attack epoch;
+      `Applied
+    | Some activated_at ->
+      let now = Net.now t.net in
+      let dwell = current_dwell t attack in
+      (* epsilon slack: the expiry timer fires at exactly activated+dwell
+         and must count as expired despite floating-point rounding *)
+      if now -. activated_at >= dwell -. 1e-9 then begin
+        Hashtbl.replace st.seen_epoch attack epoch;
+        Hashtbl.remove st.active_attacks attack;
+        refresh_vars t sw;
+        record t sw attack false;
+        `Applied
+      end
+      else if Hashtbl.mem st.pending_clear attack then `Stale
+      else begin
+        (* honor the dwell: apply the clear when it expires, unless a newer
+           activation supersedes it in the meantime *)
+        Hashtbl.replace st.pending_clear attack epoch;
+        Engine.after (Net.engine t.net)
+          ~delay:(Float.max 0. (activated_at +. dwell -. now))
+          (fun () ->
+            match Hashtbl.find_opt st.pending_clear attack with
+            | Some e when e = epoch ->
+              Hashtbl.remove st.pending_clear attack;
+              ignore (deactivate_at t ~sw ~attack ~epoch)
+            | _ -> ());
+        `Deferred
+      end
+
+let flood t ~from_sw ~except ~attack ~epoch ~activate ~ttl =
+  if ttl > 0 then
+    Net.flood_from_switch t.net ~sw:from_sw ~except (fun () ->
+        Packet.make ~src:from_sw ~dst:from_sw ~flow:0 ~birth:(Net.now t.net)
+          ~payload:(Packet.Mode_probe { attack; epoch; origin = from_sw; activate; region_ttl = ttl })
+          ())
+
+let stage t =
+  {
+    Net.stage_name = "mode-protocol";
+    process =
+      (fun ctx pkt ->
+        match pkt.Packet.payload with
+        | Packet.Mode_probe { attack; epoch; activate; region_ttl; _ } ->
+          let fresh =
+            if activate then activate_at t ~sw:ctx.Net.sw.Net.sw_id ~attack ~epoch
+            else deactivate_at t ~sw:ctx.Net.sw.Net.sw_id ~attack ~epoch <> `Stale
+          in
+          (* re-flood fresh information through the region *)
+          if fresh then
+            flood t ~from_sw:ctx.Net.sw.Net.sw_id ~except:[ ctx.Net.in_port ] ~attack ~epoch
+              ~activate ~ttl:(region_ttl - 1);
+          Net.Absorb
+        | _ -> Net.Continue);
+  }
+
+let create net ?(region_ttl = 8) ?(min_dwell = 1.0) ?(flap_window = 10.) ?(max_holddown = 16.)
+    ~modes_for () =
+  let t =
+    {
+      net;
+      region_ttl;
+      min_dwell;
+      flap_window;
+      max_holddown;
+      modes_for;
+      epochs = Hashtbl.create 4;
+      states = Hashtbl.create 16;
+      history = [];
+      transitions = 0;
+      flap_times = Hashtbl.create 4;
+    }
+  in
+  List.iter (fun sw -> Net.add_stage net ~sw (stage t)) (Net.switch_ids net);
+  t
+
+let next_epoch t attack =
+  let e = 1 + (try Hashtbl.find t.epochs attack with Not_found -> 0) in
+  Hashtbl.replace t.epochs attack e;
+  e
+
+let raise_alarm t ~sw attack =
+  let st = state t sw in
+  if not (Hashtbl.mem st.active_attacks attack) then begin
+    note_activation t attack;
+    let epoch = next_epoch t attack in
+    if activate_at t ~sw ~attack ~epoch then
+      flood t ~from_sw:sw ~except:[] ~attack ~epoch ~activate:true ~ttl:t.region_ttl
+  end
+
+let clear_alarm t ~sw attack =
+  let epoch = next_epoch t attack in
+  (match deactivate_at t ~sw ~attack ~epoch with `Stale | `Applied | `Deferred -> ());
+  flood t ~from_sw:sw ~except:[] ~attack ~epoch ~activate:false ~ttl:t.region_ttl
+
+let active t ~sw mode =
+  match Hashtbl.find_opt (Net.switch t.net sw).Net.vars (mode_var mode) with
+  | Some v -> v > 0.
+  | None -> false
+
+let attack_active t ~sw attack = Hashtbl.mem (state t sw).active_attacks attack
+
+let active_anywhere t mode = List.exists (fun sw -> active t ~sw mode) (Net.switch_ids t.net)
+
+let switches_with_mode t mode = List.filter (fun sw -> active t ~sw mode) (Net.switch_ids t.net)
+
+let epoch t attack = try Hashtbl.find t.epochs attack with Not_found -> 0
+
+let log t = List.rev t.history
+
+let transitions t = t.transitions

@@ -1,0 +1,65 @@
+(** The multimode data plane (paper sections 2.2 and 3.3).
+
+    Each switch holds a set of active {e modes} — named booster activations
+    such as ["reroute"], ["obfuscate"], ["drop"]. Mode changes are
+    performed entirely in the data plane: a detector raises an alarm at its
+    switch, which floods a [Mode_probe] through the region (bounded by
+    [region_ttl]); every switch that receives a fresher epoch activates the
+    modes mapped to the attack kind and re-floods. All-clear probes
+    deactivate, subject to a minimum dwell time and an anti-flapping
+    hold-down that doubles under repeated oscillation (the paper's
+    stability concern for attackers that intentionally trigger mode
+    changes).
+
+    Activation state is mirrored into each switch's [vars] table under the
+    key ["mode:<name>"] so booster stages can gate themselves without a
+    dependency on this module. *)
+
+type t
+
+type attack = Ff_dataplane.Packet.attack_kind
+
+val mode_var : string -> string
+(** ["mode:" ^ name] — the switch-vars key mirroring a mode's activation. *)
+
+val create :
+  Ff_netsim.Net.t ->
+  ?region_ttl:int ->
+  ?min_dwell:float ->
+  ?flap_window:float ->
+  ?max_holddown:float ->
+  modes_for:(attack -> string list) ->
+  unit ->
+  t
+(** Installs a ["mode-protocol"] stage on every switch. Defaults:
+    [region_ttl] 8 hops, [min_dwell] 1 s, [flap_window] 10 s,
+    [max_holddown] 16 s. *)
+
+val raise_alarm : t -> sw:int -> attack -> unit
+(** Called by a detector at its own switch: activates locally and floods
+    activation probes. Idempotent while already active. *)
+
+val clear_alarm : t -> sw:int -> attack -> unit
+(** Floods deactivation with a fresh epoch; switches apply it only after
+    their dwell expires. *)
+
+val active : t -> sw:int -> string -> bool
+(** Is a mode active at a switch? *)
+
+val attack_active : t -> sw:int -> attack -> bool
+
+val active_anywhere : t -> string -> bool
+
+val switches_with_mode : t -> string -> int list
+
+val epoch : t -> attack -> int
+(** Latest epoch issued for this attack kind. *)
+
+val current_dwell : t -> attack -> float
+(** The dwell currently enforced for the attack (grows under flapping). *)
+
+val log : t -> (float * int * attack * bool) list
+(** Mode-change history: (time, switch, attack, activated), oldest first. *)
+
+val transitions : t -> int
+(** Total number of state changes applied across all switches. *)

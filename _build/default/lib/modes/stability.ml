@@ -1,0 +1,150 @@
+type state = string list
+
+type transition = {
+  from_modes : state;
+  trigger : string;
+  to_modes : state;
+  dwell : float;
+}
+
+type automaton = { initial : state; transitions : transition list }
+
+type issue =
+  | Unreachable_default of state
+  | Zero_dwell_cycle of state list
+  | Nondeterministic of state * string
+
+type report = { reachable : state list; issues : issue list }
+
+let normalize modes = List.sort_uniq compare modes
+
+let successors automaton st =
+  List.filter_map
+    (fun tr -> if normalize tr.from_modes = st then Some tr else None)
+    automaton.transitions
+
+let reachable_states automaton =
+  let seen = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  let start = normalize automaton.initial in
+  Hashtbl.replace seen start ();
+  Queue.add start queue;
+  let order = ref [ start ] in
+  while not (Queue.is_empty queue) do
+    let st = Queue.pop queue in
+    List.iter
+      (fun tr ->
+        let nxt = normalize tr.to_modes in
+        if not (Hashtbl.mem seen nxt) then begin
+          Hashtbl.replace seen nxt ();
+          order := nxt :: !order;
+          Queue.add nxt queue
+        end)
+      (successors automaton st)
+  done;
+  List.rev !order
+
+(* Can [st] reach [target] following transitions? *)
+let can_reach automaton st target =
+  let seen = Hashtbl.create 16 in
+  let rec go st =
+    if st = target then true
+    else if Hashtbl.mem seen st then false
+    else begin
+      Hashtbl.replace seen st ();
+      List.exists (fun tr -> go (normalize tr.to_modes)) (successors automaton st)
+    end
+  in
+  go st
+
+(* Find a cycle through zero-dwell transitions only. *)
+let zero_dwell_cycle automaton reachable =
+  let zero_succ st =
+    List.filter_map
+      (fun tr -> if tr.dwell <= 0. then Some (normalize tr.to_modes) else None)
+      (successors automaton st)
+  in
+  let rec dfs path st =
+    if List.mem st path then Some (List.rev (st :: path))
+    else
+      List.fold_left
+        (fun acc nxt -> match acc with Some _ -> acc | None -> dfs (st :: path) nxt)
+        None (zero_succ st)
+  in
+  List.fold_left
+    (fun acc st -> match acc with Some _ -> acc | None -> dfs [] st)
+    None reachable
+
+let analyze automaton =
+  let initial = normalize automaton.initial in
+  let reachable = reachable_states automaton in
+  let issues = ref [] in
+  (* default reachability *)
+  List.iter
+    (fun st ->
+      if st <> initial && not (can_reach automaton st initial) then
+        issues := Unreachable_default st :: !issues)
+    reachable;
+  (* zero-dwell cycles *)
+  (match zero_dwell_cycle automaton reachable with
+  | Some cycle -> issues := Zero_dwell_cycle cycle :: !issues
+  | None -> ());
+  (* determinism *)
+  List.iter
+    (fun st ->
+      let triggers = List.map (fun tr -> tr.trigger) (successors automaton st) in
+      let dup =
+        List.find_opt
+          (fun tr -> List.length (List.filter (( = ) tr) triggers) > 1)
+          triggers
+      in
+      match dup with
+      | Some trg -> issues := Nondeterministic (st, trg) :: !issues
+      | None -> ())
+    reachable;
+  { reachable; issues = List.rev !issues }
+
+let stable automaton = (analyze automaton).issues = []
+
+let of_protocol ~modes_for ~dwell =
+  ignore modes_for;
+  (* The protocol's per-switch state is the set of ACTIVE ATTACKS; the mode
+     set is a derived label (several attack sets may light the same modes,
+     which must not be conflated into one automaton state). Alarms are
+     immediate; clears carry the dwell. *)
+  let attacks = Ff_dataplane.Packet.all_attack_kinds in
+  let name a = Ff_dataplane.Packet.attack_kind_to_string a in
+  let state_of set = normalize (List.map name set) in
+  let rec subsets = function
+    | [] -> [ [] ]
+    | x :: rest ->
+      let s = subsets rest in
+      s @ List.map (fun sub -> x :: sub) s
+  in
+  let transitions =
+    List.concat_map
+      (fun set ->
+        List.map
+          (fun attack ->
+            if List.mem attack set then
+              { from_modes = state_of set; trigger = "clear-" ^ name attack;
+                to_modes = state_of (List.filter (( <> ) attack) set); dwell }
+            else
+              { from_modes = state_of set; trigger = "alarm-" ^ name attack;
+                to_modes = state_of (attack :: set); dwell = 0. })
+          attacks)
+      (subsets attacks)
+  in
+  { initial = []; transitions }
+
+let pp_state fmt st =
+  Format.fprintf fmt "{%s}" (String.concat "," st)
+
+let pp_issue fmt = function
+  | Unreachable_default st ->
+    Format.fprintf fmt "state %a cannot return to default" pp_state st
+  | Zero_dwell_cycle cycle ->
+    Format.fprintf fmt "zero-dwell cycle: %s"
+      (String.concat " -> " (List.map (fun st -> "{" ^ String.concat "," st ^ "}") cycle))
+  | Nondeterministic (st, trigger) ->
+    Format.fprintf fmt "state %a has duplicate transitions on %s" pp_state st trigger

@@ -1,0 +1,122 @@
+module Net = Ff_netsim.Net
+module Engine = Ff_netsim.Engine
+module Packet = Ff_dataplane.Packet
+
+type sw_state = {
+  remote : (int * int, float * float) Hashtbl.t; (* (origin, key) -> value, at *)
+  seen : (int * int, unit) Hashtbl.t; (* (origin, round) flood dedup *)
+}
+
+type t = {
+  net : Net.t;
+  participants : int list;
+  period : float;
+  local_view : sw:int -> (int * float) list;
+  threshold : float;
+  staleness : float;
+  probe_class : int;
+  states : (int, sw_state) Hashtbl.t;
+  mutable round : int;
+  mutable probes_sent : int;
+}
+
+let state t sw =
+  match Hashtbl.find_opt t.states sw with
+  | Some s -> s
+  | None ->
+    let s = { remote = Hashtbl.create 32; seen = Hashtbl.create 64 } in
+    Hashtbl.replace t.states sw s;
+    s
+
+let stage t =
+  {
+    Net.stage_name = Printf.sprintf "view-sync-%d" t.probe_class;
+    process =
+      (fun ctx pkt ->
+        match pkt.Packet.payload with
+        | Packet.Sync_probe { origin; round; entries } when pkt.Packet.flow = t.probe_class ->
+          let sw = ctx.Net.sw.Net.sw_id in
+          let st = state t sw in
+          if Hashtbl.mem st.seen (origin, round) then Net.Absorb
+          else begin
+            Hashtbl.replace st.seen (origin, round) ();
+            List.iter
+              (fun (key, v) -> Hashtbl.replace st.remote (origin, key) (v, ctx.Net.now))
+              entries;
+            Net.flood_from_switch t.net ~sw ~except:[ ctx.Net.in_port ] (fun () ->
+                Packet.make ~src:origin ~dst:origin ~flow:t.probe_class ~birth:ctx.Net.now
+                  ~payload:(Packet.Sync_probe { origin; round; entries })
+                  ());
+            Net.Absorb
+          end
+        | _ -> Net.Continue);
+  }
+
+let advertise t () =
+  t.round <- t.round + 1;
+  List.iter
+    (fun sw ->
+      let entries = List.filter (fun (_, v) -> v >= t.threshold) (t.local_view ~sw) in
+      if entries <> [] then begin
+        t.probes_sent <- t.probes_sent + 1;
+        Hashtbl.replace (state t sw).seen (sw, t.round) ();
+        Net.flood_from_switch t.net ~sw ~except:[] (fun () ->
+            Packet.make ~src:sw ~dst:sw ~flow:t.probe_class ~birth:(Net.now t.net)
+              ~payload:(Packet.Sync_probe { origin = sw; round = t.round; entries })
+              ())
+      end)
+    t.participants
+
+let create net ~participants ~period ~local_view ?(threshold = 0.) ?staleness
+    ?(probe_class = 1) () =
+  let t =
+    {
+      net;
+      participants;
+      period;
+      local_view;
+      threshold;
+      staleness = (match staleness with Some s -> s | None -> 3. *. period);
+      probe_class;
+      states = Hashtbl.create 16;
+      round = 0;
+      probes_sent = 0;
+    }
+  in
+  List.iter (fun sw -> Net.add_stage net ~sw (stage t)) (Net.switch_ids net);
+  Engine.every (Net.engine net) ~period (advertise t);
+  t
+
+let remote_contribution t ~sw ~key =
+  let st = state t sw in
+  let now = Net.now t.net in
+  Hashtbl.fold
+    (fun (origin, k) (v, at) acc ->
+      if k = key && origin <> sw && now -. at <= t.staleness then acc +. v else acc)
+    st.remote 0.
+
+let local_value t ~sw ~key =
+  if List.mem sw t.participants then
+    try List.assoc key (t.local_view ~sw) with Not_found -> 0.
+  else 0.
+
+let global_value t ~sw ~key = local_value t ~sw ~key +. remote_contribution t ~sw ~key
+
+let global_view t ~sw =
+  let keys = Hashtbl.create 32 in
+  let st = state t sw in
+  let now = Net.now t.net in
+  Hashtbl.iter
+    (fun (origin, k) (_, at) ->
+      if origin <> sw && now -. at <= t.staleness then Hashtbl.replace keys k ())
+    st.remote;
+  if List.mem sw t.participants then
+    List.iter (fun (k, _) -> Hashtbl.replace keys k ()) (t.local_view ~sw);
+  Hashtbl.fold (fun k () acc -> k :: acc) keys []
+  |> List.sort compare
+  |> List.filter_map (fun k ->
+         let v = global_value t ~sw ~key:k in
+         if v <> 0. then Some (k, v) else None)
+
+let rounds t = t.round
+let probes_sent t = t.probes_sent

@@ -1,0 +1,1 @@
+lib/netsim/flow.ml: Engine Ff_dataplane Ff_util Float Hashtbl List Net

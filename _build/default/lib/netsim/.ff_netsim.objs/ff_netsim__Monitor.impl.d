@@ -1,0 +1,1 @@
+lib/netsim/monitor.ml: Engine Ff_util Flow List Net Printf

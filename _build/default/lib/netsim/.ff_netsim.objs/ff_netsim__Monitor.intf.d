@@ -1,0 +1,1 @@
+lib/netsim/monitor.mli: Engine Ff_util Flow Net

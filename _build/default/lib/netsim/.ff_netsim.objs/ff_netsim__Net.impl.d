@@ -1,0 +1,1 @@
+lib/netsim/net.ml: Array Engine Ff_dataplane Ff_topology Ff_util Float Hashtbl List Printf

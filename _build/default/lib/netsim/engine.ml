@@ -1,0 +1,50 @@
+type t = { heap : (unit -> unit) Ff_util.Heap.t; mutable clock : float }
+
+let create () = { heap = Ff_util.Heap.create (); clock = 0. }
+
+let now t = t.clock
+
+let schedule t ~at f =
+  if at < t.clock -. 1e-12 then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: at=%.9f is before now=%.9f" at t.clock);
+  Ff_util.Heap.push t.heap ~prio:(max at t.clock) f
+
+let after t ~delay f =
+  assert (delay >= 0.);
+  schedule t ~at:(t.clock +. delay) f
+
+let every t ?start ?until ~period f =
+  assert (period > 0.);
+  let start = match start with Some s -> s | None -> t.clock +. period in
+  let rec tick at () =
+    match until with
+    | Some u when at > u +. 1e-12 -> ()
+    | _ ->
+      f ();
+      schedule t ~at:(at +. period) (tick (at +. period))
+  in
+  schedule t ~at:start (tick start)
+
+let step t =
+  match Ff_util.Heap.pop t.heap with
+  | None -> false
+  | Some (at, f) ->
+    t.clock <- max t.clock at;
+    f ();
+    true
+
+let run t ~until =
+  let rec loop () =
+    match Ff_util.Heap.peek t.heap with
+    | Some (at, _) when at <= until ->
+      ignore (step t);
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  t.clock <- max t.clock until
+
+let pending t = Ff_util.Heap.size t.heap
+
+let clear t = Ff_util.Heap.clear t.heap

@@ -1,0 +1,30 @@
+(** Discrete-event simulation engine: a monotonic clock and an event heap.
+    Events scheduled for the same instant fire in scheduling order, so runs
+    are deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulation time in seconds (0. initially). *)
+
+val schedule : t -> at:float -> (unit -> unit) -> unit
+(** Raises [Invalid_argument] when [at] is in the past. *)
+
+val after : t -> delay:float -> (unit -> unit) -> unit
+
+val every : t -> ?start:float -> ?until:float -> period:float -> (unit -> unit) -> unit
+(** Recurring event starting at [start] (default one period from now) until
+    [until] (default forever) or [cancel_recurring]. *)
+
+val run : t -> until:float -> unit
+(** Pop and execute events until the heap drains or the clock passes
+    [until]; afterwards [now t = until]. *)
+
+val step : t -> bool
+(** Execute one event; [false] when the heap is empty. *)
+
+val pending : t -> int
+
+val clear : t -> unit

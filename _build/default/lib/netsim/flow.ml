@@ -1,0 +1,298 @@
+module Packet = Ff_dataplane.Packet
+
+let flow_counter = ref 0
+
+let fresh_flow_id () =
+  incr flow_counter;
+  !flow_counter
+
+module Tcp = struct
+  type t = {
+    net : Net.t;
+    flow : int;
+    src : int;
+    dst : int;
+    packet_size : int;
+    max_cwnd : float;
+    stop : float option;
+    mutable cwnd : float;
+    mutable ssthresh : float;
+    mutable next_seq : int;
+    outstanding : (int, float) Hashtbl.t; (* seq -> send time *)
+    deadlines : (int, float) Hashtbl.t; (* seq -> current retransmit deadline *)
+    mutable retx_queue : int list;
+    mutable srtt : float;
+    mutable rttvar : float;
+    mutable sent_packets : int;
+    mutable retransmissions : int;
+    mutable running : bool;
+    mutable last_cut : float; (* last multiplicative decrease, for once-per-RTT *)
+    (* receiver side *)
+    received : (int, unit) Hashtbl.t;
+    mutable delivered_bytes : float;
+    rx_window : Ff_util.Stats.Window_counter.t;
+  }
+
+  let flow_id t = t.flow
+  let src t = t.src
+  let dst t = t.dst
+  let delivered_bytes t = t.delivered_bytes
+  let sent_packets t = t.sent_packets
+  let retransmissions t = t.retransmissions
+  let cwnd t = t.cwnd
+  let srtt t = t.srtt
+
+  let goodput t ~now = Ff_util.Stats.Window_counter.rate t.rx_window ~now
+
+  let rto t =
+    if t.srtt = 0. then 0.2
+    else Float.min 1.0 (Float.max 0.05 (t.srtt +. (4. *. t.rttvar)))
+
+  let update_rtt t sample =
+    if t.srtt = 0. then begin
+      t.srtt <- sample;
+      t.rttvar <- sample /. 2.
+    end
+    else begin
+      t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs (t.srtt -. sample));
+      t.srtt <- (0.875 *. t.srtt) +. (0.125 *. sample)
+    end
+
+  let stopped t now = match t.stop with Some s -> now >= s | None -> false
+
+  let rec try_send t =
+    let now = Net.now t.net in
+    if t.running && not (stopped t now) then begin
+      let in_flight = Hashtbl.length t.outstanding in
+      if float_of_int in_flight < t.cwnd then begin
+        let seq, is_retx =
+          match t.retx_queue with
+          | s :: rest ->
+            t.retx_queue <- rest;
+            (s, true)
+          | [] ->
+            let s = t.next_seq in
+            t.next_seq <- s + 1;
+            (s, false)
+        in
+        let pkt =
+          Packet.make ~size:t.packet_size ~seq ~src:t.src ~dst:t.dst ~flow:t.flow ~birth:now ()
+        in
+        Hashtbl.replace t.outstanding seq now;
+        t.sent_packets <- t.sent_packets + 1;
+        if is_retx then t.retransmissions <- t.retransmissions + 1;
+        Net.send_from_host t.net pkt;
+        let deadline = now +. rto t in
+        Hashtbl.replace t.deadlines seq deadline;
+        Engine.schedule (Net.engine t.net) ~at:deadline (fun () -> on_timeout t seq);
+        try_send t
+      end
+    end
+
+  and on_timeout t seq =
+    match Hashtbl.find_opt t.outstanding seq with
+    | None -> ()
+    | Some _ ->
+      let deadline = try Hashtbl.find t.deadlines seq with Not_found -> 0. in
+      let now = Net.now t.net in
+      if now >= deadline -. 1e-9 then begin
+        (* unacked past its deadline: treat as loss *)
+        Hashtbl.remove t.outstanding seq;
+        t.retx_queue <- t.retx_queue @ [ seq ];
+        if now -. t.last_cut > Float.max t.srtt 0.05 then begin
+          t.ssthresh <- Float.max 2. (t.cwnd /. 2.);
+          t.cwnd <- Float.max 1. (t.cwnd /. 2.);
+          t.last_cut <- now
+        end;
+        try_send t
+      end
+      else
+        (* the deadline moved (retransmission with a fresher RTO): re-arm *)
+        Engine.schedule (Net.engine t.net) ~at:deadline (fun () -> on_timeout t seq)
+
+  let on_ack t seq =
+    match Hashtbl.find_opt t.outstanding seq with
+    | None -> () (* duplicate or late ack *)
+    | Some sent_at ->
+      Hashtbl.remove t.outstanding seq;
+      Hashtbl.remove t.deadlines seq;
+      let now = Net.now t.net in
+      update_rtt t (now -. sent_at);
+      if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. 1. (* slow start *)
+      else t.cwnd <- t.cwnd +. (1. /. t.cwnd);
+      t.cwnd <- Float.min t.max_cwnd t.cwnd;
+      try_send t
+
+  let on_data t (pkt : Packet.t) =
+    let now = Net.now t.net in
+    if not (Hashtbl.mem t.received pkt.seq) then begin
+      Hashtbl.replace t.received pkt.seq ();
+      t.delivered_bytes <- t.delivered_bytes +. float_of_int pkt.size;
+      Ff_util.Stats.Window_counter.add t.rx_window ~now (float_of_int pkt.size)
+    end;
+    let ack =
+      Packet.make ~src:t.dst ~dst:t.src ~flow:t.flow ~birth:now ~size:Packet.control_size
+        ~payload:(Packet.Ack { acked = pkt.seq }) ()
+    in
+    Net.send_from_host t.net ack
+
+  let start net ~src ~dst ?at ?stop ?(packet_size = 1000) ?(max_cwnd = 64.)
+      ?(initial_cwnd = 2.) () =
+    let at = match at with Some a -> a | None -> Net.now net in
+    let t =
+      {
+        net;
+        flow = fresh_flow_id ();
+        src;
+        dst;
+        packet_size;
+        max_cwnd;
+        stop;
+        cwnd = initial_cwnd;
+        ssthresh = 32.;
+        next_seq = 0;
+        outstanding = Hashtbl.create 64;
+        deadlines = Hashtbl.create 64;
+        retx_queue = [];
+        srtt = 0.;
+        rttvar = 0.;
+        sent_packets = 0;
+        retransmissions = 0;
+        running = true;
+        last_cut = -1.;
+        received = Hashtbl.create 256;
+        delivered_bytes = 0.;
+        rx_window = Ff_util.Stats.Window_counter.create ~width:1.0;
+      }
+    in
+    (* receiver at dst handles data; sender at src handles acks *)
+    Hashtbl.replace (Net.host net dst).Net.receivers t.flow (fun pkt -> on_data t pkt);
+    Hashtbl.replace (Net.host net src).Net.receivers t.flow (fun pkt ->
+        match pkt.Packet.payload with
+        | Packet.Ack { acked } -> on_ack t acked
+        | _ -> ());
+    Engine.schedule (Net.engine net) ~at (fun () -> try_send t);
+    t
+
+  let pause t = t.running <- false
+
+  let resume t ~now =
+    ignore now;
+    if not t.running then begin
+      t.running <- true;
+      try_send t
+    end
+end
+
+module Cbr = struct
+  type t = {
+    net : Net.t;
+    flow : int;
+    src : int;
+    dst : int;
+    packet_size : int;
+    rate_pps : float;
+    stop : float option;
+    pulse_period : float option;
+    pulse_duty : float;
+    ttl : int;
+    via : int;
+    mutable sent_packets : int;
+    mutable delivered_bytes : float;
+    mutable running : bool;
+    mutable seq : int;
+  }
+
+  let flow_id t = t.flow
+  let delivered_bytes t = t.delivered_bytes
+  let sent_packets t = t.sent_packets
+  let stop_now t = t.running <- false
+
+  let in_duty t now =
+    match t.pulse_period with
+    | None -> true
+    | Some p -> Float.rem now p < t.pulse_duty *. p
+
+  let rec send_next t =
+    let now = Net.now t.net in
+    let stopped = match t.stop with Some s -> now >= s | None -> false in
+    if t.running && not stopped then begin
+      if in_duty t now then begin
+        let pkt =
+          Packet.make ~size:t.packet_size ~seq:t.seq ~ttl:t.ttl ~src:t.src ~dst:t.dst
+            ~flow:t.flow ~birth:now ()
+        in
+        t.seq <- t.seq + 1;
+        t.sent_packets <- t.sent_packets + 1;
+        Net.send_from_host_via t.net ~via:t.via pkt
+      end;
+      Engine.after (Net.engine t.net) ~delay:(1. /. t.rate_pps) (fun () -> send_next t)
+    end
+
+  let start net ~src ~dst ~rate_pps ?at ?stop ?(packet_size = 1000) ?pulse_period
+      ?(pulse_duty = 0.5) ?(ttl = 64) ?via () =
+    assert (rate_pps > 0.);
+    let at = match at with Some a -> a | None -> Net.now net in
+    let t =
+      {
+        net;
+        flow = fresh_flow_id ();
+        src;
+        dst;
+        packet_size;
+        rate_pps;
+        stop;
+        pulse_period;
+        pulse_duty;
+        ttl;
+        via = (match via with Some v -> v | None -> src);
+        sent_packets = 0;
+        delivered_bytes = 0.;
+        running = true;
+        seq = 0;
+      }
+    in
+    Hashtbl.replace (Net.host net dst).Net.receivers t.flow (fun pkt ->
+        t.delivered_bytes <- t.delivered_bytes +. float_of_int pkt.Packet.size);
+    Engine.schedule (Net.engine net) ~at (fun () -> send_next t);
+    t
+end
+
+module Traceroute = struct
+  let run net ~src ~dst ?(max_ttl = 16) ?(timeout = 1.0) ?(probes_per_hop = 3) ~on_done () =
+    let flow = fresh_flow_id () in
+    let replies : (int * int) list ref = ref [] in
+    let host = Net.host net src in
+    Hashtbl.replace host.Net.receivers flow (fun pkt ->
+        match pkt.Packet.payload with
+        | Packet.Traceroute_reply { hop; responder; _ } ->
+          if not (List.mem_assoc hop !replies) then replies := (hop, responder) :: !replies
+        | _ -> ());
+    let now = Net.now net in
+    (* several probes per hop, paced apart: congested queues tail-drop
+       individual probes, exactly what real traceroute retries cope with *)
+    for ttl = 1 to max_ttl do
+      for attempt = 0 to probes_per_hop - 1 do
+        let pkt =
+          Packet.make ~src ~dst ~flow ~birth:now ~ttl ~size:Packet.control_size
+            ~payload:(Packet.Traceroute_probe { probe_id = ttl; probe_ttl = ttl })
+            ()
+        in
+        let delay =
+          (0.002 *. float_of_int ttl)
+          +. (float_of_int attempt *. timeout /. float_of_int (probes_per_hop + 1))
+        in
+        Engine.after (Net.engine net) ~delay (fun () -> Net.send_from_host net pkt)
+      done
+    done;
+    Engine.after (Net.engine net) ~delay:timeout (fun () ->
+        Hashtbl.remove host.Net.receivers flow;
+        (* truncate at the first reply from the destination itself *)
+        let sorted = List.sort compare !replies in
+        let rec cut acc = function
+          | [] -> List.rev acc
+          | (hop, responder) :: rest ->
+            if responder = dst then List.rev ((hop, responder) :: acc) else cut ((hop, responder) :: acc) rest
+        in
+        on_done (cut [] sorted))
+end

@@ -1,0 +1,96 @@
+(** End-host transport agents.
+
+    [Tcp] is a loss-responsive AIMD transport (slow start, additive
+    increase, multiplicative decrease on retransmission timeout) — enough
+    congestion-control realism for throughput dynamics under attack, which
+    is what paper Figure 3 measures. [Cbr] is an open-loop constant-bit-rate
+    sender with optional on/off pulsing. [Traceroute] is the reconnaissance
+    agent attackers use to map paths (and the obfuscation booster deceives). *)
+
+val fresh_flow_id : unit -> int
+
+module Tcp : sig
+  type t
+
+  val start :
+    Net.t ->
+    src:int ->
+    dst:int ->
+    ?at:float ->
+    ?stop:float ->
+    ?packet_size:int ->
+    ?max_cwnd:float ->
+    ?initial_cwnd:float ->
+    unit ->
+    t
+  (** Begin an infinite (or [stop]-bounded) transfer at time [at]
+      (default: now). [max_cwnd] caps the
+      congestion window — the attacker uses a small cap to produce
+      persistent, low-rate, legitimate-looking flows (Crossfire). *)
+
+  val flow_id : t -> int
+  val src : t -> int
+  val dst : t -> int
+
+  val goodput : t -> now:float -> float
+  (** Receiver-side goodput over the last measurement window, bytes/s. *)
+
+  val delivered_bytes : t -> float
+  val sent_packets : t -> int
+  val retransmissions : t -> int
+  val cwnd : t -> float
+  val srtt : t -> float
+  (** Smoothed RTT estimate, seconds (0. before the first sample). *)
+
+  val pause : t -> unit
+  (** Stop sending (outstanding timers become no-ops). *)
+
+  val resume : t -> now:float -> unit
+end
+
+module Cbr : sig
+  type t
+
+  val start :
+    Net.t ->
+    src:int ->
+    dst:int ->
+    rate_pps:float ->
+    ?at:float ->
+    ?stop:float ->
+    ?packet_size:int ->
+    ?pulse_period:float ->
+    ?pulse_duty:float ->
+    ?ttl:int ->
+    ?via:int ->
+    unit ->
+    t
+  (** [pulse_period]/[pulse_duty] make the sender burst for
+      [duty * period] out of every [period] seconds (pulsing attacks).
+      [ttl] overrides the initial TTL and [via] the emitting host — the
+      combination a spoofing attacker uses (claimed [src], real [via]). *)
+
+  val flow_id : t -> int
+  val delivered_bytes : t -> float
+  val sent_packets : t -> int
+  val stop_now : t -> unit
+end
+
+module Traceroute : sig
+  val run :
+    Net.t ->
+    src:int ->
+    dst:int ->
+    ?max_ttl:int ->
+    ?timeout:float ->
+    ?probes_per_hop:int ->
+    on_done:((int * int) list -> unit) ->
+    unit ->
+    unit
+  (** Probe with TTL 1..[max_ttl], [probes_per_hop] attempts per hop
+      (default 3 — congested queues drop probes, so single-shot probing
+      goes blind beyond a flooded link); after [timeout] seconds (default
+      1.) call [on_done] with the [(hop, responder)] pairs collected,
+      sorted by hop. The responder ids are whatever the network answered —
+      obfuscated if NetHide-style defense is active on the path. *)
+end

@@ -1,0 +1,19 @@
+let sample engine ~period ?(start = 0.) ?until ~name probe =
+  let series = Ff_util.Series.create ~name in
+  Engine.every engine ~start ?until ~period (fun () ->
+      let now = Engine.now engine in
+      Ff_util.Series.add series ~time:now (probe now));
+  series
+
+let link_utilization net ~from_ ~to_ ~period ?until () =
+  let name = Printf.sprintf "util-%d->%d" from_ to_ in
+  sample (Net.engine net) ~period ?until ~name (fun _ -> Net.utilization net ~from_ ~to_)
+
+let aggregate_goodput net ~flows ~period ?until ~name () =
+  sample (Net.engine net) ~period ?until ~name (fun now ->
+      List.fold_left (fun acc f -> acc +. Flow.Tcp.goodput f ~now) 0. flows)
+
+let normalized_goodput net ~flows ~baseline ~period ?until ~name () =
+  assert (baseline > 0.);
+  sample (Net.engine net) ~period ?until ~name (fun now ->
+      List.fold_left (fun acc f -> acc +. Flow.Tcp.goodput f ~now) 0. flows /. baseline)

@@ -1,0 +1,22 @@
+(** Periodic measurement taps that turn simulator state into time series
+    (the data behind each figure). *)
+
+val sample :
+  Engine.t -> period:float -> ?start:float -> ?until:float -> name:string ->
+  (float -> float) -> Ff_util.Series.t
+(** Every [period] seconds evaluate the probe function on the current time
+    and append the result to a fresh series (returned immediately). *)
+
+val link_utilization :
+  Net.t -> from_:int -> to_:int -> period:float -> ?until:float -> unit -> Ff_util.Series.t
+
+val aggregate_goodput :
+  Net.t -> flows:Flow.Tcp.t list -> period:float -> ?until:float -> name:string -> unit ->
+  Ff_util.Series.t
+(** Sum of receiver goodputs of the given flows, bytes/s. *)
+
+val normalized_goodput :
+  Net.t -> flows:Flow.Tcp.t list -> baseline:float -> period:float -> ?until:float ->
+  name:string -> unit -> Ff_util.Series.t
+(** Aggregate goodput divided by [baseline] (the no-attack stable
+    throughput), i.e. exactly the y-axis of paper Figure 3. *)

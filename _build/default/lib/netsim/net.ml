@@ -1,0 +1,431 @@
+module Topology = Ff_topology.Topology
+module Packet = Ff_dataplane.Packet
+
+type decision =
+  | Continue
+  | Forward of int
+  | Drop of string
+  | Absorb
+
+type switch = {
+  sw_id : int;
+  mutable stages : stage list;
+  routes : (int, int) Hashtbl.t;
+  pair_routes : (int * int, int) Hashtbl.t;
+  backup_routes : (int, int) Hashtbl.t;
+  mutable up : bool;
+  vars : (string, float) Hashtbl.t;
+}
+
+and ctx = { net : t; sw : switch; in_port : int; now : float }
+
+and stage = { stage_name : string; process : ctx -> Packet.t -> decision }
+
+and host = {
+  host_id : int;
+  receivers : (int, Packet.t -> unit) Hashtbl.t;
+  mutable fallback_rx : (Packet.t -> unit) option;
+}
+
+and dirlink = {
+  link : Topology.link;
+  from_node : int;
+  to_node : int;
+  mutable link_up : bool;
+  mutable busy_until : float;
+  queue_limit : float; (* bytes *)
+  tx_window : Ff_util.Stats.Window_counter.t;
+  mutable drops : int;
+  mutable tx_packets : int;
+}
+
+and node_entry = Sw of switch | Ho of host
+
+and t = {
+  engine : Engine.t;
+  topo : Topology.t;
+  nodes : node_entry array;
+  dirlinks : (int * int, dirlink) Hashtbl.t;
+  drop_reasons : (string, int) Hashtbl.t;
+  mutable tracer : (trace_event -> unit) option;
+}
+
+and trace_event = {
+  time : float;
+  node : int;
+  uid : int;
+  flow : int;
+  kind : trace_kind;
+}
+
+and trace_kind =
+  | Switch_arrival
+  | Host_delivery
+  | Packet_drop of string
+
+let engine t = t.engine
+let topology t = t.topo
+let now t = Engine.now t.engine
+
+let switch t id =
+  match t.nodes.(id) with
+  | Sw s -> s
+  | Ho _ -> invalid_arg (Printf.sprintf "Net.switch: node %d is a host" id)
+
+let host t id =
+  match t.nodes.(id) with
+  | Ho h -> h
+  | Sw _ -> invalid_arg (Printf.sprintf "Net.host: node %d is a switch" id)
+
+let switch_ids t =
+  Array.to_list t.nodes
+  |> List.filter_map (function Sw s -> Some s.sw_id | Ho _ -> None)
+
+let host_ids t =
+  Array.to_list t.nodes
+  |> List.filter_map (function Ho h -> Some h.host_id | Sw _ -> None)
+
+let count_drop t reason =
+  Hashtbl.replace t.drop_reasons reason
+    (1 + (try Hashtbl.find t.drop_reasons reason with Not_found -> 0))
+
+let emit_trace t ~node ~(pkt : Packet.t) kind =
+  match t.tracer with
+  | None -> ()
+  | Some f ->
+    f { time = Engine.now t.engine; node; uid = pkt.Packet.uid; flow = pkt.Packet.flow; kind }
+
+let drop_packet t ~node (pkt : Packet.t) reason =
+  count_drop t reason;
+  emit_trace t ~node ~pkt (Packet_drop reason)
+
+let drops_by_reason t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.drop_reasons [] |> List.sort compare
+
+let dirlink_opt t ~from_ ~to_ = Hashtbl.find_opt t.dirlinks (from_, to_)
+
+let utilization t ~from_ ~to_ =
+  match dirlink_opt t ~from_ ~to_ with
+  | None -> 0.
+  | Some dl ->
+    let rate = Ff_util.Stats.Window_counter.rate dl.tx_window ~now:(now t) in
+    Float.min 1. (rate *. 8. /. dl.link.Topology.capacity)
+
+let link_drops t ~from_ ~to_ =
+  match dirlink_opt t ~from_ ~to_ with None -> 0 | Some dl -> dl.drops
+
+let link_tx_packets t ~from_ ~to_ =
+  match dirlink_opt t ~from_ ~to_ with None -> 0 | Some dl -> dl.tx_packets
+
+let neighbors_of t sw_id =
+  Topology.neighbors t.topo sw_id
+  |> List.filter_map (fun (peer, _) ->
+         match t.nodes.(peer) with Sw _ -> Some peer | Ho _ -> None)
+
+let attached_hosts t ~sw =
+  Topology.neighbors t.topo sw
+  |> List.filter_map (fun (peer, _) ->
+         match t.nodes.(peer) with Ho _ -> Some peer | Sw _ -> None)
+
+let access_switch t ~host:h =
+  match Topology.neighbors t.topo h with
+  | [ (peer, _) ] -> peer
+  | (peer, _) :: _ -> peer
+  | [] -> invalid_arg "Net.access_switch: isolated host"
+
+(* ---------------- transmission ---------------- *)
+
+let rec transmit t dl (pkt : Packet.t) =
+  let tnow = now t in
+  let cap = dl.link.Topology.capacity in
+  let backlog_bytes = Float.max 0. (dl.busy_until -. tnow) *. cap /. 8. in
+  let size = float_of_int pkt.size in
+  if not dl.link_up then drop_packet t ~node:dl.from_node pkt "link-down"
+  else if backlog_bytes +. size > dl.queue_limit then begin
+    dl.drops <- dl.drops + 1;
+    drop_packet t ~node:dl.from_node pkt "queue-overflow"
+  end
+  else begin
+    let start = Float.max tnow dl.busy_until in
+    let tx_time = size *. 8. /. cap in
+    dl.busy_until <- start +. tx_time;
+    dl.tx_packets <- dl.tx_packets + 1;
+    Ff_util.Stats.Window_counter.add dl.tx_window ~now:tnow size;
+    let arrival = dl.busy_until +. dl.link.Topology.delay in
+    Engine.schedule t.engine ~at:arrival (fun () -> receive t ~at:dl.to_node ~from_:dl.from_node pkt)
+  end
+
+and receive t ~at ~from_ pkt =
+  match t.nodes.(at) with
+  | Ho h ->
+    (* A host answers traceroute probes that reach it (the "destination
+       reached" reply); everything else goes to the registered receiver. *)
+    (match pkt.Packet.payload with
+    | Packet.Traceroute_probe { probe_id; probe_ttl } ->
+      let reply =
+        Packet.make ~src:h.host_id ~dst:pkt.Packet.src ~flow:pkt.Packet.flow ~birth:(now t)
+          ~payload:(Packet.Traceroute_reply { probe_id; hop = probe_ttl; responder = h.host_id })
+          ()
+      in
+      send_from_host t reply
+    | _ ->
+      emit_trace t ~node:at ~pkt Host_delivery;
+      deliver_host h pkt)
+  | Sw sw ->
+    if sw.up then begin
+      emit_trace t ~node:at ~pkt Switch_arrival;
+      handle_at_switch t sw ~in_port:from_ pkt
+    end
+    else drop_packet t ~node:at pkt "switch-down"
+
+and deliver_host h (pkt : Packet.t) =
+  match Hashtbl.find_opt h.receivers pkt.flow with
+  | Some f -> f pkt
+  | None -> (match h.fallback_rx with Some f -> f pkt | None -> ())
+
+and send_from_host t (pkt : Packet.t) =
+  match Topology.neighbors t.topo pkt.Packet.src with
+  | (sw, _) :: _ -> (
+    match dirlink_opt t ~from_:pkt.Packet.src ~to_:sw with
+    | Some dl -> transmit t dl pkt
+    | None -> count_drop t "no-access-link")
+  | [] -> count_drop t "no-access-link"
+
+and send_toward t sw next pkt =
+  match dirlink_opt t ~from_:sw.sw_id ~to_:next with
+  | Some dl -> transmit t dl pkt
+  | None -> count_drop t "no-link"
+
+and default_forward t sw (pkt : Packet.t) =
+  let try_next next =
+    (* fast reroute: skip a next hop that is a downed switch *)
+    let next_ok =
+      match t.nodes.(next) with Sw s -> s.up | Ho _ -> true
+    in
+    if next_ok then begin
+      send_toward t sw next pkt;
+      true
+    end
+    else false
+  in
+  let pair = Hashtbl.find_opt sw.pair_routes (pkt.src, pkt.dst) in
+  let primary = Hashtbl.find_opt sw.routes pkt.dst in
+  let backup = Hashtbl.find_opt sw.backup_routes pkt.dst in
+  let rec first_ok = function
+    | [] -> false
+    | None :: rest -> first_ok rest
+    | Some next :: rest -> try_next next || first_ok rest
+  in
+  if not (first_ok [ pair; primary; backup ]) then
+    count_drop t
+      (if pair = None && primary = None && backup = None then "no-route" else "next-hop-down")
+
+and handle_at_switch t sw ~in_port pkt =
+  let ctx = { net = t; sw; in_port; now = now t } in
+  let rec run = function
+    | [] -> default_forward t sw pkt
+    | st :: rest -> (
+      match st.process ctx pkt with
+      | Continue -> run rest
+      | Forward next -> send_toward t sw next pkt
+      | Drop reason -> drop_packet t ~node:sw.sw_id pkt reason
+      | Absorb -> ())
+  in
+  run sw.stages
+
+(* The default first stage: TTL decrement and traceroute expiry. *)
+let ttl_stage =
+  {
+    stage_name = "ttl";
+    process =
+      (fun ctx pkt ->
+        pkt.Packet.ttl <- pkt.Packet.ttl - 1;
+        if pkt.Packet.ttl > 0 then Continue
+        else begin
+          (match pkt.Packet.payload with
+          | Packet.Traceroute_probe { probe_id; probe_ttl } ->
+            (* ICMP time-exceeded back to the prober; the responder field is
+               what topology obfuscation rewrites. *)
+            let responder =
+              match Packet.tag_value pkt "obfuscated_responder" with
+              | Some v -> int_of_float v
+              | None -> ctx.sw.sw_id
+            in
+            let reply =
+              Packet.make ~src:pkt.Packet.dst ~dst:pkt.Packet.src ~flow:pkt.Packet.flow
+                ~birth:ctx.now
+                ~payload:(Packet.Traceroute_reply { probe_id; hop = probe_ttl; responder })
+                ()
+            in
+            handle_at_switch ctx.net ctx.sw ~in_port:(-1) reply
+          | _ -> ());
+          Drop "ttl-expired"
+        end);
+  }
+
+let create ?(queue_limit_bytes = 37_500.) engine topo =
+  let nodes =
+    Array.init (Topology.num_nodes topo) (fun id ->
+        match (Topology.node topo id).Topology.kind with
+        | Topology.Switch ->
+          Sw
+            {
+              sw_id = id;
+              stages = [ ttl_stage ];
+              routes = Hashtbl.create 32;
+              pair_routes = Hashtbl.create 32;
+              backup_routes = Hashtbl.create 8;
+              up = true;
+              vars = Hashtbl.create 8;
+            }
+        | Topology.Host ->
+          Ho { host_id = id; receivers = Hashtbl.create 16; fallback_rx = None })
+  in
+  let dirlinks = Hashtbl.create 64 in
+  List.iter
+    (fun (l : Topology.link) ->
+      let mk from_node to_node =
+        Hashtbl.replace dirlinks (from_node, to_node)
+          {
+            link = l;
+            from_node;
+            to_node;
+            link_up = true;
+            busy_until = 0.;
+            queue_limit = queue_limit_bytes;
+            tx_window = Ff_util.Stats.Window_counter.create ~width:0.2;
+            drops = 0;
+            tx_packets = 0;
+          }
+      in
+      mk l.Topology.a l.Topology.b;
+      mk l.Topology.b l.Topology.a)
+    (Topology.links topo);
+  let t =
+    { engine; topo; nodes; dirlinks; drop_reasons = Hashtbl.create 16; tracer = None }
+  in
+  (* hosts are directly reachable from their access switch *)
+  Array.iter
+    (function
+      | Ho h ->
+        let sw_id = access_switch t ~host:h.host_id in
+        (match t.nodes.(sw_id) with
+        | Sw sw -> Hashtbl.replace sw.routes h.host_id h.host_id
+        | Ho _ -> ())
+      | Sw _ -> ())
+    nodes;
+  t
+
+(* ---------------- stage management ---------------- *)
+
+let add_stage ?(front = false) t ~sw stage =
+  let s = switch t sw in
+  let others = List.filter (fun st -> st.stage_name <> stage.stage_name) s.stages in
+  s.stages <- (if front then stage :: others else others @ [ stage ])
+
+let remove_stage t ~sw ~name =
+  let s = switch t sw in
+  s.stages <- List.filter (fun st -> st.stage_name <> name) s.stages
+
+let has_stage t ~sw ~name =
+  List.exists (fun st -> st.stage_name = name) (switch t sw).stages
+
+(* ---------------- routing ---------------- *)
+
+let set_route t ~sw ~dst ~next_hop = Hashtbl.replace (switch t sw).routes dst next_hop
+
+let set_pair_route t ~sw ~src ~dst ~next_hop =
+  Hashtbl.replace (switch t sw).pair_routes (src, dst) next_hop
+
+let set_backup_route t ~sw ~dst ~next_hop = Hashtbl.replace (switch t sw).backup_routes dst next_hop
+let route_lookup t ~sw ~dst = Hashtbl.find_opt (switch t sw).routes dst
+let pair_route_lookup t ~sw ~src ~dst = Hashtbl.find_opt (switch t sw).pair_routes (src, dst)
+
+let clear_routes t ~sw =
+  let s = switch t sw in
+  Hashtbl.reset s.routes;
+  Hashtbl.reset s.pair_routes;
+  (* restore direct host attachment entries *)
+  List.iter (fun h -> Hashtbl.replace s.routes h h) (attached_hosts t ~sw)
+
+let iter_path_switches t path ~f =
+  let rec go = function
+    | [] | [ _ ] -> ()
+    | a :: (b :: _ as rest) ->
+      (match t.nodes.(a) with Sw _ -> f a b | Ho _ -> ());
+      go rest
+  in
+  go path
+
+let install_path t ~dst path =
+  iter_path_switches t path ~f:(fun a b -> set_route t ~sw:a ~dst ~next_hop:b)
+
+let install_pair_path t ~src ~dst path =
+  iter_path_switches t path ~f:(fun a b -> set_pair_route t ~sw:a ~src ~dst ~next_hop:b)
+
+let current_path t ~src ~dst =
+  let max_hops = Topology.num_nodes t.topo + 1 in
+  let rec walk acc node hops =
+    if hops > max_hops then None
+    else if node = dst then Some (List.rev (node :: acc))
+    else
+      match t.nodes.(node) with
+      | Ho _ when node <> src -> None
+      | Ho _ -> (
+        match Topology.neighbors t.topo node with
+        | (sw, _) :: _ -> walk (node :: acc) sw (hops + 1)
+        | [] -> None)
+      | Sw sw -> (
+        let next =
+          match Hashtbl.find_opt sw.pair_routes (src, dst) with
+          | Some n -> Some n
+          | None -> Hashtbl.find_opt sw.routes dst
+        in
+        match next with
+        | Some n when not (List.mem n acc) -> walk (node :: acc) n (hops + 1)
+        | _ -> None)
+  in
+  walk [] src 0
+
+(* ---------------- traffic entry points ---------------- *)
+
+let send_from_host = send_from_host
+
+let send_from_host_via t ~via pkt =
+  match Topology.neighbors t.topo via with
+  | (sw, _) :: _ -> (
+    match dirlink_opt t ~from_:via ~to_:sw with
+    | Some dl -> transmit t dl pkt
+    | None -> count_drop t "no-access-link")
+  | [] -> count_drop t "no-access-link"
+
+let emit_from_switch t ~sw ~next pkt = send_toward t (switch t sw) next pkt
+
+let inject_at_switch t ~sw pkt = handle_at_switch t (switch t sw) ~in_port:(-1) pkt
+
+let flood_from_switch t ~sw ~except fresh =
+  List.iter
+    (fun peer -> if not (List.mem peer except) then emit_from_switch t ~sw ~next:peer (fresh ()))
+    (neighbors_of t sw)
+
+let set_switch_up t ~sw up = (switch t sw).up <- up
+
+let set_link_up t ~a ~b up =
+  match (dirlink_opt t ~from_:a ~to_:b, dirlink_opt t ~from_:b ~to_:a) with
+  | Some d1, Some d2 ->
+    d1.link_up <- up;
+    d2.link_up <- up
+  | _ -> invalid_arg "Net.set_link_up: nodes not adjacent"
+
+let link_is_up t ~a ~b =
+  match dirlink_opt t ~from_:a ~to_:b with
+  | Some d -> d.link_up
+  | None -> invalid_arg "Net.link_is_up: nodes not adjacent"
+
+let set_tracer t f = t.tracer <- f
+
+let trace_flow t ~flow =
+  let events = ref [] in
+  set_tracer t
+    (Some (fun ev -> if ev.flow = flow then events := ev :: !events));
+  events

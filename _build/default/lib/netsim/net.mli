@@ -1,0 +1,171 @@
+(** An instantiated network: the topology's switches and hosts wired to the
+    event engine through capacitated, delayed, drop-tail links.
+
+    Switch behaviour is a pipeline of {!type:stage}s (the runtime face of
+    PPMs). A stage inspects/mutates the packet and either lets it continue,
+    forwards it explicitly, absorbs it (probes), or drops it. When every
+    stage says [Continue], the default forwarding stage routes by the
+    switch's table (with a backup table for fast reroute, paper section 3.4). *)
+
+type t
+
+type decision =
+  | Continue  (** pass to the next stage *)
+  | Forward of int  (** send toward this neighbor node id *)
+  | Drop of string  (** drop with a reason (counted) *)
+  | Absorb  (** consumed by the stage (e.g. a probe that terminates here) *)
+
+type switch = {
+  sw_id : int;
+  mutable stages : stage list;
+  routes : (int, int) Hashtbl.t;  (** destination host -> next-hop node *)
+  pair_routes : (int * int, int) Hashtbl.t;
+      (** (src, dst) -> next hop; consulted before [routes], which lets
+          traffic engineering pick per-pair paths *)
+  backup_routes : (int, int) Hashtbl.t;  (** fast-reroute fallbacks *)
+  mutable up : bool;  (** false while being repurposed/failed *)
+  vars : (string, float) Hashtbl.t;  (** scalar switch state (modes, config) *)
+}
+
+and ctx = {
+  net : t;
+  sw : switch;
+  in_port : int;  (** neighbor node the packet came from; -1 if locally injected *)
+  now : float;
+}
+
+and stage = { stage_name : string; process : ctx -> Ff_dataplane.Packet.t -> decision }
+
+type host = {
+  host_id : int;
+  receivers : (int, Ff_dataplane.Packet.t -> unit) Hashtbl.t;  (** by flow id *)
+  mutable fallback_rx : (Ff_dataplane.Packet.t -> unit) option;
+}
+
+(** {1 Construction} *)
+
+val create : ?queue_limit_bytes:float -> Engine.t -> Ff_topology.Topology.t -> t
+(** Every link direction gets a drop-tail queue of [queue_limit_bytes]
+    (default 37500 B = 30 ms at 10 Mb/s). Switches start with the default
+    stage set: a TTL/traceroute stage followed by table routing. *)
+
+val engine : t -> Engine.t
+val topology : t -> Ff_topology.Topology.t
+val now : t -> float
+
+val switch : t -> int -> switch
+(** Raises [Invalid_argument] if the node is not a switch. *)
+
+val host : t -> int -> host
+val switch_ids : t -> int list
+val host_ids : t -> int list
+
+(** {1 Stages} *)
+
+val add_stage : ?front:bool -> t -> sw:int -> stage -> unit
+(** Append (or prepend with [~front:true]) a stage; replaces any existing
+    stage with the same name. *)
+
+val remove_stage : t -> sw:int -> name:string -> unit
+val has_stage : t -> sw:int -> name:string -> bool
+
+(** {1 Routing} *)
+
+val set_route : t -> sw:int -> dst:int -> next_hop:int -> unit
+val set_pair_route : t -> sw:int -> src:int -> dst:int -> next_hop:int -> unit
+val set_backup_route : t -> sw:int -> dst:int -> next_hop:int -> unit
+val route_lookup : t -> sw:int -> dst:int -> int option
+val pair_route_lookup : t -> sw:int -> src:int -> dst:int -> int option
+val clear_routes : t -> sw:int -> unit
+(** Drops destination and pair routes, then restores direct host
+    attachment entries. *)
+
+val install_path : t -> dst:int -> Ff_topology.Topology.path -> unit
+(** Set the route toward [dst] on every switch along the path. *)
+
+val install_pair_path : t -> src:int -> dst:int -> Ff_topology.Topology.path -> unit
+(** Pin the (src,dst) pair to this path (per-pair entries on every switch
+    along it). *)
+
+val current_path : t -> src:int -> dst:int -> int list option
+(** The path a (src,dst) packet would take through the current tables
+    (pair routes first, then destination routes), hosts included. [None]
+    on a routing loop or missing entry. Used to snapshot the "virtual
+    topology" the obfuscator answers traceroutes with. *)
+
+(** {1 Traffic} *)
+
+val send_from_host : t -> Ff_dataplane.Packet.t -> unit
+(** Transmit from [pkt.src]'s access link. *)
+
+val send_from_host_via : t -> via:int -> Ff_dataplane.Packet.t -> unit
+(** Transmit from the access link of host [via], regardless of the
+    packet's source field — how a compromised host emits spoofed-source
+    traffic. *)
+
+val emit_from_switch : t -> sw:int -> next:int -> Ff_dataplane.Packet.t -> unit
+(** Switch-originated packet (probes, replies) sent toward a neighbor. *)
+
+val inject_at_switch : t -> sw:int -> Ff_dataplane.Packet.t -> unit
+(** Run a locally created packet through the switch's own pipeline
+    (in_port = -1), letting normal forwarding route it. *)
+
+val flood_from_switch : t -> sw:int -> except:int list ->
+  (unit -> Ff_dataplane.Packet.t) -> unit
+(** Send one fresh packet (from the thunk) to every switch neighbor not in
+    [except]. *)
+
+(** {1 Observation} *)
+
+val utilization : t -> from_:int -> to_:int -> float
+(** Recent utilization of the directed link, in [0,1]. *)
+
+val link_drops : t -> from_:int -> to_:int -> int
+val link_tx_packets : t -> from_:int -> to_:int -> int
+val drops_by_reason : t -> (string * int) list
+val count_drop : t -> string -> unit
+(** Account a drop decided outside a stage (e.g. transport-level). *)
+
+val neighbors_of : t -> int -> int list
+(** Switch neighbors of a switch (hosts excluded). *)
+
+val attached_hosts : t -> sw:int -> int list
+
+val access_switch : t -> host:int -> int
+(** The switch a host hangs off. *)
+
+(** {1 Failure model} *)
+
+val set_switch_up : t -> sw:int -> bool -> unit
+(** A down switch drops everything it receives (its neighbors' fast-reroute
+    backup routes keep traffic flowing, if installed). *)
+
+val set_link_up : t -> a:int -> b:int -> bool -> unit
+(** Fail/restore both directions of a link: transmissions onto a down link
+    are dropped (reason ["link-down"]). Raises [Invalid_argument] if the
+    nodes are not adjacent. *)
+
+val link_is_up : t -> a:int -> b:int -> bool
+
+(** {1 Tracing} *)
+
+type trace_event = {
+  time : float;
+  node : int;  (** where it happened *)
+  uid : int;  (** packet uid *)
+  flow : int;
+  kind : trace_kind;
+}
+
+and trace_kind =
+  | Switch_arrival
+  | Host_delivery
+  | Packet_drop of string
+
+val set_tracer : t -> (trace_event -> unit) option -> unit
+(** Install (or clear) a callback invoked on every switch arrival, host
+    delivery, and drop. One tracer at a time; keep the callback cheap. *)
+
+val trace_flow : t -> flow:int -> trace_event list ref
+(** Convenience: install a tracer that accumulates this flow's events
+    (newest first) into the returned ref. Replaces any existing tracer. *)

@@ -1,0 +1,1 @@
+lib/placement/pack.ml: Ff_dataflow Ff_dataplane Hashtbl List Printf

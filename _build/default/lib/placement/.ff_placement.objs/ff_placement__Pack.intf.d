@@ -1,0 +1,1 @@
+lib/placement/pack.mli: Ff_dataflow Ff_dataplane

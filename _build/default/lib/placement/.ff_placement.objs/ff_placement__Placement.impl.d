@@ -1,0 +1,1 @@
+lib/placement/placement.ml: Ff_dataflow Ff_dataplane Ff_te Ff_topology Ff_util Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/placement/placement.mli: Ff_dataflow Ff_dataplane Ff_te Ff_topology

@@ -1,0 +1,88 @@
+module Resource = Ff_dataplane.Resource
+module Graph = Ff_dataflow.Graph
+
+type bin = {
+  sw : int;
+  capacity : Resource.t;
+  mutable used : Resource.t;
+  mutable items : int list;
+}
+
+let fits bin need =
+  Resource.fits ~need:(Resource.add bin.used need) ~within:bin.capacity
+
+let place bin vid need =
+  bin.used <- Resource.add bin.used need;
+  bin.items <- vid :: bin.items
+
+let first_fit_decreasing ~capacities graph =
+  let bins =
+    List.map (fun (sw, capacity) -> { sw; capacity; used = Resource.zero; items = [] }) capacities
+  in
+  (* prefer co-locating with dataflow neighbors: after sorting by dominant
+     share, try bins already holding a neighbor first *)
+  let vertices = Graph.vertices graph in
+  let share v =
+    match capacities with
+    | (_, cap) :: _ -> Resource.dominant_share ~need:v.Graph.spec.Ff_dataplane.Ppm.resources ~within:cap
+    | [] -> 0.
+  in
+  let sorted =
+    List.sort (fun v1 v2 -> compare (share v2, v2.Graph.vid) (share v1, v1.Graph.vid)) vertices
+  in
+  let neighbor_weight = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace neighbor_weight (e.Graph.u, e.Graph.v) e.Graph.weight;
+      Hashtbl.replace neighbor_weight (e.Graph.v, e.Graph.u) e.Graph.weight)
+    (Graph.edges graph);
+  let affinity bin vid =
+    List.fold_left
+      (fun acc other ->
+        acc +. (try Hashtbl.find neighbor_weight (vid, other) with Not_found -> 0.))
+      0. bin.items
+  in
+  let failure = ref None in
+  List.iter
+    (fun v ->
+      if !failure = None then begin
+        let need = v.Graph.spec.Ff_dataplane.Ppm.resources in
+        let candidates = List.filter (fun b -> fits b need) bins in
+        let best =
+          List.fold_left
+            (fun acc b ->
+              match acc with
+              | None -> Some b
+              | Some cur -> if affinity b v.Graph.vid > affinity cur v.Graph.vid then Some b else acc)
+            None candidates
+        in
+        match best with
+        | Some b -> place b v.Graph.vid need
+        | None -> failure := Some v.Graph.spec.Ff_dataplane.Ppm.name
+      end)
+    sorted;
+  match !failure with
+  | Some name -> Error (Printf.sprintf "PPM %s fits no switch" name)
+  | None -> Ok bins
+
+let bins_used bins = List.length (List.filter (fun b -> b.items <> []) bins)
+
+let colocation_score graph bins =
+  let home = Hashtbl.create 64 in
+  List.iter (fun b -> List.iter (fun vid -> Hashtbl.replace home vid b.sw) b.items) bins;
+  let total, kept =
+    List.fold_left
+      (fun (total, kept) e ->
+        let w = e.Graph.weight in
+        let same =
+          match (Hashtbl.find_opt home e.Graph.u, Hashtbl.find_opt home e.Graph.v) with
+          | Some a, Some b -> a = b
+          | _ -> false
+        in
+        (total +. w, if same then kept +. w else kept))
+      (0., 0.) (Graph.edges graph)
+  in
+  if total <= 0. then 1. else kept /. total
+
+let respects_capacity bins =
+  List.for_all (fun b -> Resource.fits ~need:b.used ~within:b.capacity) bins

@@ -1,0 +1,30 @@
+(** Vector bin packing of PPMs onto switches (paper section 3.1).
+
+    Each switch is a vector of resource constraints; each PPM a vector of
+    requirements; programs co-resident on a switch must sum within the
+    constraints. First-fit decreasing on the dominant share, followed by a
+    rebalancing local search that tries to empty the least-loaded bin. *)
+
+type bin = {
+  sw : int;
+  capacity : Ff_dataplane.Resource.t;
+  mutable used : Ff_dataplane.Resource.t;
+  mutable items : int list;  (** vertex ids of the packed PPMs *)
+}
+
+val first_fit_decreasing :
+  capacities:(int * Ff_dataplane.Resource.t) list ->
+  Ff_dataflow.Graph.t ->
+  (bin list, string) result
+(** [Error] names the first PPM that fits no switch. Bins are returned for
+    every switch, possibly empty. *)
+
+val bins_used : bin list -> int
+(** Switches with at least one PPM. *)
+
+val colocation_score : Ff_dataflow.Graph.t -> bin list -> float
+(** Fraction of dataflow edge weight kept within a single switch — higher
+    means fewer values carried across the network in headers. *)
+
+val respects_capacity : bin list -> bool
+(** Invariant check: every bin's usage fits its capacity. *)

@@ -1,0 +1,172 @@
+module Topology = Ff_topology.Topology
+module Resource = Ff_dataplane.Resource
+module Ppm = Ff_dataplane.Ppm
+module Graph = Ff_dataflow.Graph
+
+type plan = {
+  detectors : (int * string list) list;
+  mitigators : (int * string list) list;
+  path_coverage : float;
+  avg_mitigation_distance : float;
+}
+
+let popular_switches topo ~paths =
+  let counts = Hashtbl.create 32 in
+  List.iter
+    (fun path ->
+      List.iter
+        (fun n ->
+          if (Topology.node topo n).Topology.kind = Topology.Switch then
+            Hashtbl.replace counts n (1 + (try Hashtbl.find counts n with Not_found -> 0)))
+        path)
+    paths;
+  Hashtbl.fold (fun sw c acc -> (sw, c) :: acc) counts []
+  |> List.sort (fun (s1, c1) (s2, c2) ->
+         match compare c2 c1 with 0 -> compare s1 s2 | c -> c)
+
+let place topo ~paths ~capacities graph =
+  let detection_ppms =
+    List.filter (fun v -> v.Graph.spec.Ppm.role = Ppm.Detection) (Graph.vertices graph)
+  in
+  let mitigation_ppms =
+    List.filter (fun v -> v.Graph.spec.Ppm.role = Ppm.Mitigation) (Graph.vertices graph)
+  in
+  let remaining = Hashtbl.create 16 in
+  List.iter (fun (sw, cap) -> Hashtbl.replace remaining sw cap) capacities;
+  let try_install sw specs =
+    match Hashtbl.find_opt remaining sw with
+    | None -> []
+    | Some cap ->
+      let installed, cap' =
+        List.fold_left
+          (fun (acc, cap) v ->
+            let need = v.Graph.spec.Ppm.resources in
+            if Resource.fits ~need ~within:cap then
+              (v.Graph.spec.Ppm.name :: acc, Resource.sub cap need)
+            else (acc, cap))
+          ([], cap) specs
+      in
+      Hashtbl.replace remaining sw cap';
+      List.rev installed
+  in
+  (* detection as pervasively as resources allow, most popular switches first *)
+  let popular = popular_switches topo ~paths in
+  let detectors =
+    List.filter_map
+      (fun (sw, _) ->
+        match try_install sw detection_ppms with
+        | [] -> None
+        | installed -> Some (sw, installed))
+      popular
+  in
+  let detector_switches = List.map fst detectors in
+  (* mitigation at the detector switch when it fits, else the next switch
+     downstream on some path *)
+  let downstream_of sw =
+    List.find_map
+      (fun path ->
+        let rec scan = function
+          | a :: (b :: _ as rest) ->
+            if a = sw && (Topology.node topo b).Topology.kind = Topology.Switch then Some b
+            else scan rest
+          | _ -> None
+        in
+        scan path)
+      paths
+  in
+  let mitigators =
+    List.filter_map
+      (fun sw ->
+        match try_install sw mitigation_ppms with
+        | [] -> (
+          match downstream_of sw with
+          | Some next -> (
+            match try_install next mitigation_ppms with
+            | [] -> None
+            | installed -> Some (next, installed))
+          | None -> None)
+        | installed -> Some (sw, installed))
+      detector_switches
+  in
+  let covered path = List.exists (fun n -> List.mem n detector_switches) path in
+  let path_coverage =
+    if paths = [] then 1.
+    else
+      float_of_int (List.length (List.filter covered paths)) /. float_of_int (List.length paths)
+  in
+  let mitigation_switches = List.map fst mitigators in
+  let distance sw =
+    (* hops from detector to nearest mitigator, over the topology *)
+    List.fold_left
+      (fun acc m ->
+        match Topology.shortest_path topo ~src:sw ~dst:m with
+        | Some p -> Float.min acc (float_of_int (List.length p - 1))
+        | None -> acc)
+      infinity mitigation_switches
+  in
+  let avg_mitigation_distance =
+    match detector_switches with
+    | [] -> 0.
+    | sws ->
+      let ds = List.map distance sws in
+      let finite = List.filter (fun d -> d < infinity) ds in
+      if finite = [] then infinity else Ff_util.Stats.mean finite
+  in
+  { detectors; mitigators; path_coverage; avg_mitigation_distance }
+
+type detour_eval = {
+  max_util_direct : float;
+  max_util_detour : float;
+  avg_stretch : float;
+}
+
+let middlebox_detour topo matrix ~sites =
+  let demands = Ff_te.Traffic_matrix.pairs matrix in
+  let load_direct = Hashtbl.create 64 and load_detour = Hashtbl.create 64 in
+  let apply load path v =
+    List.iter
+      (fun (l : Topology.link) ->
+        Hashtbl.replace load l.Topology.link_id
+          (v +. (try Hashtbl.find load l.Topology.link_id with Not_found -> 0.)))
+      (Topology.path_links topo path)
+  in
+  let stretches = ref [] in
+  List.iter
+    (fun (s, d, v) ->
+      match Topology.shortest_path topo ~src:s ~dst:d with
+      | None -> ()
+      | Some direct ->
+        apply load_direct direct v;
+        (* route via the nearest middlebox site *)
+        let via =
+          List.filter_map
+            (fun site ->
+              match
+                ( Topology.shortest_path topo ~src:s ~dst:site,
+                  Topology.shortest_path topo ~src:site ~dst:d )
+              with
+              | Some p1, Some p2 -> Some (p1 @ List.tl p2)
+              | _ -> None)
+            sites
+          |> List.sort (fun p1 p2 -> compare (List.length p1) (List.length p2))
+        in
+        (match via with
+        | best :: _ ->
+          apply load_detour best v;
+          let direct_hops = float_of_int (List.length direct - 1) in
+          let detour_hops = float_of_int (List.length best - 1) in
+          if direct_hops > 0. then stretches := (detour_hops /. direct_hops) :: !stretches
+        | [] -> apply load_detour direct v))
+    demands;
+  let max_util load =
+    Hashtbl.fold
+      (fun link_id l acc ->
+        let cap = (Topology.link topo link_id).Topology.capacity in
+        Float.max acc (l /. cap))
+      load 0.
+  in
+  {
+    max_util_direct = max_util load_direct;
+    max_util_detour = max_util load_detour;
+    avg_stretch = (if !stretches = [] then 1. else Ff_util.Stats.mean !stretches);
+  }

@@ -1,0 +1,42 @@
+(** On-path defense placement (paper section 3.2).
+
+    FastFlex's opportunity over fixed middleboxes: distribute detection
+    PPMs pervasively — ideally on every path — and put mitigation PPMs at
+    or immediately downstream of their detectors, so traffic passes the
+    defenses while following its optimal routes, with no detour.
+
+    [place] realizes the paper's best-effort heuristic; [middlebox_detour]
+    evaluates the classic alternative (k fixed middlebox sites all traffic
+    must detour through) on the same inputs, for comparison. *)
+
+type plan = {
+  detectors : (int * string list) list;  (** switch -> detection PPM names *)
+  mitigators : (int * string list) list;
+  path_coverage : float;  (** fraction of demand paths crossing >= 1 detector *)
+  avg_mitigation_distance : float;
+      (** mean hops from a detector to its nearest mitigator (0 = same switch) *)
+}
+
+val place :
+  Ff_topology.Topology.t ->
+  paths:Ff_topology.Topology.path list ->
+  capacities:(int * Ff_dataplane.Resource.t) list ->
+  Ff_dataflow.Graph.t ->
+  plan
+(** Greedy: walk switches in decreasing path popularity; install detection
+    PPMs wherever they fit, then mitigation PPMs at detector switches
+    (falling back to the downstream neighbor on each path). *)
+
+type detour_eval = {
+  max_util_direct : float;  (** routing demands on shortest paths *)
+  max_util_detour : float;  (** forcing each demand through its nearest middlebox *)
+  avg_stretch : float;  (** mean (detour hops / direct hops) *)
+}
+
+val middlebox_detour :
+  Ff_topology.Topology.t -> Ff_te.Traffic_matrix.t -> sites:int list -> detour_eval
+(** Evaluate a fixed-middlebox deployment at the given switch sites. *)
+
+val popular_switches :
+  Ff_topology.Topology.t -> paths:Ff_topology.Topology.path list -> (int * int) list
+(** Switches sorted by how many of the given paths cross them. *)

@@ -1,0 +1,1 @@
+lib/scaling/fec.ml: Char Fun Int64 List Option String

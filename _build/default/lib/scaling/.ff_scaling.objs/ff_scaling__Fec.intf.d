@@ -1,0 +1,1 @@
+lib/scaling/fec.mli:

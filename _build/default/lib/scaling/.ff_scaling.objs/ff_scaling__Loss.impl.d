@@ -1,0 +1,1 @@
+lib/scaling/loss.ml: Ff_dataplane Ff_netsim Ff_util

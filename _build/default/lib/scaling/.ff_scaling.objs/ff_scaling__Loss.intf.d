@@ -1,0 +1,1 @@
+lib/scaling/loss.mli: Ff_netsim

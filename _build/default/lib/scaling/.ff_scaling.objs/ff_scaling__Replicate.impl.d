@@ -1,0 +1,1 @@
+lib/scaling/replicate.ml: Ff_netsim Transfer

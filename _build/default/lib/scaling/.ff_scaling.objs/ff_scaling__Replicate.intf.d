@@ -1,0 +1,1 @@
+lib/scaling/replicate.mli: Ff_netsim

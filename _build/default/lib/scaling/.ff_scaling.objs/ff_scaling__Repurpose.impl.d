@@ -1,0 +1,1 @@
+lib/scaling/repurpose.ml: Ff_netsim Ff_topology Hashtbl List Transfer

@@ -1,0 +1,1 @@
+lib/scaling/repurpose.mli: Ff_netsim

@@ -1,0 +1,1 @@
+lib/scaling/transfer.ml: Fec Ff_dataplane Ff_netsim Ff_topology Fun Hashtbl List

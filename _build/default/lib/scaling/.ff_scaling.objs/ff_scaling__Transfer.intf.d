@@ -1,0 +1,1 @@
+lib/scaling/transfer.mli: Ff_netsim

@@ -1,0 +1,131 @@
+type chunk = {
+  group : int;
+  index : int;
+  of_group : int;
+  parity : bool;
+  entries : (string * float) list;
+}
+
+let xor_key a b =
+  let len = max (String.length a) (String.length b) in
+  String.init len (fun i ->
+      let ca = if i < String.length a then Char.code a.[i] else 0 in
+      let cb = if i < String.length b then Char.code b.[i] else 0 in
+      Char.chr (ca lxor cb))
+
+let strip_padding s =
+  let len = ref (String.length s) in
+  while !len > 0 && s.[!len - 1] = '\000' do
+    decr len
+  done;
+  String.sub s 0 !len
+
+let xor_value a b = Int64.float_of_bits (Int64.logxor (Int64.bits_of_float a) (Int64.bits_of_float b))
+
+let xor_pair (k1, v1) (k2, v2) = (xor_key k1 k2, xor_value v1 v2)
+
+let pad_to n entries =
+  let len = List.length entries in
+  if len >= n then entries else entries @ List.init (n - len) (fun _ -> ("", 0.))
+
+let xor_entries lists =
+  match lists with
+  | [] -> []
+  | first :: _ ->
+    let width = List.fold_left (fun acc l -> max acc (List.length l)) (List.length first) lists in
+    let padded = List.map (pad_to width) lists in
+    List.fold_left
+      (fun acc l -> List.map2 xor_pair acc l)
+      (List.init width (fun _ -> ("", 0.)))
+      padded
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+let rec drop n = function
+  | [] -> []
+  | _ :: rest as l -> if n <= 0 then l else drop (n - 1) rest
+
+let encode ?(group_size = 4) ?(per_chunk = 8) entries =
+  assert (group_size >= 1 && per_chunk >= 1);
+  let rec chunks acc i = function
+    | [] -> List.rev acc
+    | rest -> chunks (take per_chunk rest :: acc) (i + 1) (drop per_chunk rest)
+  in
+  let data = chunks [] 0 entries in
+  let rec groups acc g = function
+    | [] -> List.rev acc
+    | rest ->
+      let members = take group_size rest in
+      groups (members :: acc) (g + 1) (drop group_size rest)
+  in
+  let grouped = groups [] 0 data in
+  List.concat
+    (List.mapi
+       (fun g members ->
+         let n = List.length members in
+         let width = List.fold_left (fun acc m -> max acc (List.length m)) 0 members in
+         let data_chunks =
+           List.mapi
+             (fun i m ->
+               { group = g; index = i; of_group = n; parity = false;
+                 entries = pad_to width m })
+             members
+         in
+         let parity_chunk =
+           { group = g; index = n; of_group = n; parity = true;
+             entries = xor_entries (List.map (fun c -> c.entries) data_chunks) }
+         in
+         data_chunks @ [ parity_chunk ])
+       grouped)
+
+let data_chunks chunks = List.filter (fun c -> not c.parity) chunks
+
+let group_count chunks =
+  List.fold_left (fun acc c -> max acc (c.group + 1)) 0 chunks
+
+let clean entries =
+  List.filter_map
+    (fun (k, v) ->
+      let k = strip_padding k in
+      if k = "" then None else Some (k, v))
+    entries
+
+let recover_members members =
+    match members with
+    | [] -> None
+    | sample :: _ ->
+      let n = sample.of_group in
+      let data = List.filter (fun c -> not c.parity) members in
+      let parity = List.find_opt (fun c -> c.parity) members in
+      let have = List.map (fun c -> c.index) data in
+      let missing = List.filter (fun i -> not (List.mem i have)) (List.init n Fun.id) in
+      (match (missing, parity) with
+      | [], _ ->
+        let sorted = List.sort (fun a b -> compare a.index b.index) data in
+        Some (List.concat_map (fun c -> c.entries) sorted)
+      | [ miss ], Some p ->
+        (* XOR of parity with the present data chunks reconstructs the hole *)
+        let reconstructed = xor_entries (p.entries :: List.map (fun c -> c.entries) data) in
+        let restored =
+          { group = sample.group; index = miss; of_group = n; parity = false;
+            entries = reconstructed }
+        in
+        let sorted = List.sort (fun a b -> compare a.index b.index) (restored :: data) in
+        Some (List.concat_map (fun c -> c.entries) sorted)
+      | _ -> None)
+
+let decode_group members = Option.map clean (recover_members members)
+
+let decode chunks =
+  let ngroups = group_count chunks in
+  let recover_group g = recover_members (List.filter (fun c -> c.group = g) chunks) in
+  let rec collect g acc =
+    if g >= ngroups then Some (List.rev acc)
+    else
+      match recover_group g with
+      | Some entries -> collect (g + 1) (entries :: acc)
+      | None -> None
+  in
+  Option.map (fun groups -> clean (List.concat groups)) (collect 0 [])

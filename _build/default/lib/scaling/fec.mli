@@ -1,0 +1,37 @@
+(** Forward error correction for state-carrying packets (paper
+    section 3.4): "FEC encoding and decoding are bitwise operations over
+    special header fields, therefore implementable in data plane".
+
+    State entries (register name/value pairs) are split into fixed-size
+    data chunks; every [group_size] data chunks get one parity chunk that
+    is their slot-wise XOR (keys XORed byte-wise after padding, values
+    XORed on their IEEE-754 bit patterns). Any single lost chunk per group
+    is reconstructible from the rest. *)
+
+type chunk = {
+  group : int;
+  index : int;  (** 0..group_size-1 for data, group_size for parity *)
+  of_group : int;  (** data chunks in this group (last group may be short) *)
+  parity : bool;
+  entries : (string * float) list;
+}
+
+val encode :
+  ?group_size:int -> ?per_chunk:int -> (string * float) list -> chunk list
+(** Defaults: 4 data chunks per parity group, 8 entries per chunk. The
+    entry order is preserved across encode/decode. *)
+
+val decode : chunk list -> (string * float) list option
+(** Reassemble the original entries. Tolerates one missing {e data} chunk
+    per group when the group's parity chunk is present. [None] if any group
+    is short two or more chunks (or one chunk with no parity). *)
+
+val decode_group : chunk list -> (string * float) list option
+(** Recover one group from its members alone (same tolerance as [decode]);
+    what the transfer receiver runs as each group fills in. *)
+
+val group_count : chunk list -> int
+val data_chunks : chunk list -> chunk list
+
+val xor_entries : (string * float) list list -> (string * float) list
+(** Slot-wise XOR of equally-shaped entry lists (exposed for tests). *)

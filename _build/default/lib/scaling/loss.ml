@@ -1,0 +1,44 @@
+module Net = Ff_netsim.Net
+module Packet = Ff_dataplane.Packet
+
+type class_filter = All | Control_only | Data_only | State_chunks_only
+
+type t = {
+  mutable prob : float;
+  rng : Ff_util.Prng.t;
+  classes : class_filter;
+  mutable dropped : int;
+  mutable seen : int;
+}
+
+let matches t (pkt : Packet.t) =
+  match t.classes with
+  | All -> true
+  | Control_only -> Packet.is_control pkt
+  | Data_only -> not (Packet.is_control pkt)
+  | State_chunks_only -> (
+    match pkt.Packet.payload with Packet.State_chunk _ -> true | _ -> false)
+
+let install net ~sw ~prob ?(seed = 99) ?(classes = All) () =
+  assert (prob >= 0. && prob <= 1.);
+  let t = { prob; rng = Ff_util.Prng.create ~seed:(seed + sw); classes; dropped = 0; seen = 0 } in
+  Net.add_stage ~front:true net ~sw
+    {
+      Net.stage_name = "loss-injection";
+      process =
+        (fun _ctx pkt ->
+          if matches t pkt then begin
+            t.seen <- t.seen + 1;
+            if Ff_util.Prng.float t.rng 1. < t.prob then begin
+              t.dropped <- t.dropped + 1;
+              Net.Drop "injected-loss"
+            end
+            else Net.Continue
+          end
+          else Net.Continue);
+    };
+  t
+
+let dropped t = t.dropped
+let seen t = t.seen
+let set_prob t p = t.prob <- p

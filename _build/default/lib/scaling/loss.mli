@@ -1,0 +1,16 @@
+(** Random loss injection — the failure model the FEC/retransmission
+    machinery is evaluated against (and a general fault-injection tool for
+    tests). Installed as a switch stage so it drops packets the way a
+    faulty link would. *)
+
+type t
+
+type class_filter = All | Control_only | Data_only | State_chunks_only
+
+val install :
+  Ff_netsim.Net.t -> sw:int -> prob:float -> ?seed:int -> ?classes:class_filter -> unit -> t
+(** Drop arriving packets of the selected class with probability [prob]. *)
+
+val dropped : t -> int
+val seen : t -> int
+val set_prob : t -> float -> unit

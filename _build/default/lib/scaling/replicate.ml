@@ -1,0 +1,43 @@
+module Net = Ff_netsim.Net
+module Engine = Ff_netsim.Engine
+
+type t = {
+  net : Net.t;
+  primary : int;
+  replica : int;
+  period : float;
+  snapshot : unit -> (string * float) list;
+  mutable last_copy : (string * float) list;
+  mutable copies : int;
+  mutable running : bool;
+}
+
+let round t () =
+  if t.running then begin
+    let entries = t.snapshot () in
+    if entries <> [] then
+      ignore
+        (Transfer.send t.net ~src_sw:t.primary ~dst_sw:t.replica ~entries
+           ~on_complete:(fun received ->
+             t.last_copy <- received;
+             t.copies <- t.copies + 1)
+           ())
+  end
+
+let start net ~primary ~replica ~period ~snapshot () =
+  let t =
+    { net; primary; replica; period; snapshot; last_copy = []; copies = 0; running = true }
+  in
+  Engine.every (Net.engine net) ~period (round t);
+  t
+
+let last_copy t = t.last_copy
+let copies_completed t = t.copies
+let stop t = t.running <- false
+
+let failover t ~restore =
+  if t.copies = 0 then false
+  else begin
+    restore t.last_copy;
+    true
+  end

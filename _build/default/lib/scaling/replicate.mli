@@ -1,0 +1,25 @@
+(** Critical-state replication (paper section 3.4): periodically snapshot a
+    switch's critical registers to a replica switch over the in-band
+    transfer channel, so that a switch failure does not lose defense state
+    (e.g. the suspicious-flow table). *)
+
+type t
+
+val start :
+  Ff_netsim.Net.t ->
+  primary:int ->
+  replica:int ->
+  period:float ->
+  snapshot:(unit -> (string * float) list) ->
+  unit ->
+  t
+
+val last_copy : t -> (string * float) list
+(** The most recent complete replica ([\[\]] before the first round). *)
+
+val copies_completed : t -> int
+val stop : t -> unit
+
+val failover : t -> restore:((string * float) list -> unit) -> bool
+(** Apply the replica's last copy (e.g. into a replacement switch's
+    registers). [false] when no copy has completed yet. *)

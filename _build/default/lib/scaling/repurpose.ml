@@ -1,0 +1,107 @@
+module Net = Ff_netsim.Net
+module Engine = Ff_netsim.Engine
+module Topology = Ff_topology.Topology
+
+type outcome = {
+  switch : int;
+  downtime : float;
+  started_at : float;
+  completed_at : float;
+  state_moved : int;
+}
+
+let install_backup_routes net ~around =
+  let topo = Net.topology net in
+  let installed = ref 0 in
+  List.iter
+    (fun neighbor ->
+      let sw = Net.switch net neighbor in
+      (* destinations this neighbor currently reaches through [around] *)
+      let dsts =
+        Hashtbl.fold
+          (fun dst next acc -> if next = around then dst :: acc else acc)
+          sw.Net.routes []
+      in
+      let pair_dsts =
+        Hashtbl.fold
+          (fun (_, dst) next acc -> if next = around then dst :: acc else acc)
+          sw.Net.pair_routes []
+      in
+      List.iter
+        (fun dst ->
+          let banned = Hashtbl.create 1 in
+          Hashtbl.replace banned around ();
+          (* alternative path that avoids the repurposed switch *)
+          let weight (_ : Topology.link) = 1. in
+          ignore weight;
+          let alt =
+            (* Dijkstra with [around] banned: emulate by removing it from
+               consideration — shortest path on the topology minus the node *)
+            let rec bfs fringe seen =
+              match fringe with
+              | [] -> None
+              | (node, path) :: rest ->
+                if node = dst then Some (List.rev path)
+                else if Hashtbl.mem seen node then bfs rest seen
+                else begin
+                  Hashtbl.replace seen node ();
+                  let nexts =
+                    Topology.neighbors topo node
+                    |> List.filter_map (fun (peer, _) ->
+                           if peer = around || Hashtbl.mem seen peer then None
+                           else if
+                             peer <> dst && (Topology.node topo peer).Topology.kind = Topology.Host
+                           then None
+                           else Some (peer, peer :: path))
+                  in
+                  bfs (rest @ nexts) seen
+                end
+            in
+            bfs [ (neighbor, [ neighbor ]) ] (Hashtbl.create 16)
+          in
+          match alt with
+          | Some (_ :: next :: _) ->
+            Net.set_backup_route net ~sw:neighbor ~dst ~next_hop:next;
+            incr installed
+          | _ -> ())
+        (List.sort_uniq compare (dsts @ pair_dsts)))
+    (Net.neighbors_of net around);
+  !installed
+
+let repurpose net ~sw ~downtime ?state_to ?snapshot ?restore ~install ~on_done () =
+  let engine = Net.engine net in
+  let started_at = Net.now net in
+  ignore (install_backup_routes net ~around:sw);
+  let state_moved = ref 0 in
+  let finish parked_at =
+    let complete () =
+      install ();
+      Net.set_switch_up net ~sw true;
+      on_done
+        { switch = sw; downtime; started_at; completed_at = Net.now net;
+          state_moved = !state_moved };
+      (* migrate the parked state back in-band now that the switch is up *)
+      match (parked_at, restore) with
+      | Some (target, entries), Some f ->
+        ignore
+          (Transfer.send net ~src_sw:target ~dst_sw:sw ~entries
+             ~on_complete:(fun back -> f back)
+             ())
+      | _ -> ()
+    in
+    Net.set_switch_up net ~sw false;
+    Engine.after engine ~delay:downtime complete
+  in
+  match (state_to, snapshot) with
+  | Some target, Some snap ->
+    let entries = snap () in
+    state_moved := List.length entries;
+    if entries = [] then finish None
+    else
+      ignore
+        (Transfer.send net ~src_sw:sw ~dst_sw:target ~entries
+           ~on_complete:(fun received ->
+             (* state parked at [target]; ship it back after reconfiguration *)
+             finish (Some (target, received)))
+           ())
+  | _ -> finish None

@@ -1,0 +1,37 @@
+(** Runtime switch repurposing (paper section 3.4, "Dynamic scaling").
+
+    Installing a new program on a Tofino-class switch takes seconds of
+    downtime; Trident-class switches reconfigure parts without downtime.
+    Either way, the switch informs its neighbors first so they fast-reroute
+    around it until the reconfiguration completes, and its transferable
+    state is shipped out beforehand and (optionally) migrated back after. *)
+
+type outcome = {
+  switch : int;
+  downtime : float;
+  started_at : float;
+  completed_at : float;
+  state_moved : int;  (** entries shipped out (0 when no state host given) *)
+}
+
+val repurpose :
+  Ff_netsim.Net.t ->
+  sw:int ->
+  downtime:float ->
+  ?state_to:int ->
+  ?snapshot:(unit -> (string * float) list) ->
+  ?restore:((string * float) list -> unit) ->
+  install:(unit -> unit) ->
+  on_done:(outcome -> unit) ->
+  unit ->
+  unit
+(** Sequence: (1) install backup routes at every neighbor for destinations
+    they currently reach through [sw]; (2) if [state_to] and [snapshot] are
+    given, transfer the snapshot to that switch; (3) take [sw] down for
+    [downtime] seconds (0 models partial reconfiguration); (4) run
+    [install], bring the switch up, migrate state back through [restore],
+    and drop the backup routes. *)
+
+val install_backup_routes : Ff_netsim.Net.t -> around:int -> int
+(** Just step (1): for each neighbor of [around], add backup next hops that
+    avoid it. Returns the number of backup entries installed. *)

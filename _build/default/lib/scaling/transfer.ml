@@ -1,0 +1,210 @@
+module Net = Ff_netsim.Net
+module Engine = Ff_netsim.Engine
+module Packet = Ff_dataplane.Packet
+module Topology = Ff_topology.Topology
+
+type t = {
+  net : Net.t;
+  xfer_id : int;
+  src_sw : int;
+  dst_sw : int;
+  fec : bool;
+  retransmit_timeout : float;
+  max_retries : int;
+  chunks_by_group : (int, Fec.chunk list) Hashtbl.t;
+  total_groups : int;
+  (* sender state *)
+  acked : (int, unit) Hashtbl.t;
+  retries : (int, int) Hashtbl.t;
+  mutable chunks_sent : int;
+  mutable retransmitted_groups : int;
+  mutable failed : bool;
+  (* receiver state *)
+  received : (int * int, Fec.chunk) Hashtbl.t; (* (group, index) -> chunk *)
+  decoded : (int, (string * float) list) Hashtbl.t;
+  mutable fec_recoveries : int;
+  mutable complete : bool;
+  on_complete : (string * float) list -> unit;
+}
+
+let next_xfer_id = ref 0
+
+(* registry so that a single per-switch stage dispatches to live transfers *)
+let registry : (int, t) Hashtbl.t = Hashtbl.create 16
+
+let stage_name = "state-transfer"
+
+let group_complete t g =
+  match Hashtbl.find_opt t.chunks_by_group g with
+  | None -> false
+  | Some members -> (
+    let n = (List.hd members).Fec.of_group in
+    let have_data =
+      List.length
+        (List.filter
+           (fun i -> Hashtbl.mem t.received (g, i))
+           (List.init n Fun.id))
+    in
+    let have_parity = Hashtbl.mem t.received (g, n) in
+    have_data = n || (have_data = n - 1 && have_parity))
+
+let try_decode_group t g =
+  if (not (Hashtbl.mem t.decoded g)) && group_complete t g then begin
+    let members =
+      Hashtbl.fold (fun (gg, _) c acc -> if gg = g then c :: acc else acc) t.received []
+    in
+    match Fec.decode_group members with
+    | Some entries ->
+      let n = (List.hd members).Fec.of_group in
+      let data_present =
+        List.length (List.filter (fun c -> not c.Fec.parity) members)
+      in
+      if data_present < n then t.fec_recoveries <- t.fec_recoveries + 1;
+      Hashtbl.replace t.decoded g entries;
+      true
+    | None -> false
+  end
+  else false
+
+let send_ack t ~group =
+  let ack =
+    Packet.make ~src:t.dst_sw ~dst:t.src_sw ~flow:t.xfer_id ~birth:(Net.now t.net)
+      ~payload:(Packet.State_ack { xfer_id = t.xfer_id; group })
+      ()
+  in
+  Net.inject_at_switch t.net ~sw:t.dst_sw ack
+
+let finish_if_done t =
+  if (not t.complete) && Hashtbl.length t.decoded = t.total_groups then begin
+    t.complete <- true;
+    let all =
+      List.concat_map
+        (fun g -> Hashtbl.find t.decoded g)
+        (List.init t.total_groups Fun.id)
+    in
+    t.on_complete all
+  end
+
+let on_chunk t (c : Fec.chunk) =
+  if not (Hashtbl.mem t.received (c.Fec.group, c.Fec.index)) then begin
+    Hashtbl.replace t.received (c.Fec.group, c.Fec.index) c;
+    if try_decode_group t c.Fec.group then begin
+      send_ack t ~group:c.Fec.group;
+      finish_if_done t
+    end
+  end
+  else if Hashtbl.mem t.decoded c.Fec.group then
+    (* retransmission of an already-complete group: the ack was lost, re-ack *)
+    send_ack t ~group:c.Fec.group
+
+let transfer_stage =
+  {
+    Net.stage_name;
+    process =
+      (fun ctx pkt ->
+        let here = ctx.Net.sw.Net.sw_id in
+        match pkt.Packet.payload with
+        | Packet.State_chunk { xfer_id; group; index; of_group; parity; entries }
+          when pkt.Packet.dst = here -> (
+          (match Hashtbl.find_opt registry xfer_id with
+          | Some t when t.dst_sw = here ->
+            on_chunk t { Fec.group; index; of_group; parity; entries }
+          | _ -> ());
+          Net.Absorb)
+        | Packet.State_ack { xfer_id; group } when pkt.Packet.dst = here -> (
+          (match Hashtbl.find_opt registry xfer_id with
+          | Some t when t.src_sw = here -> Hashtbl.replace t.acked group ()
+          | _ -> ());
+          Net.Absorb)
+        | _ -> Net.Continue);
+  }
+
+let ensure_stage net sw =
+  if not (Net.has_stage net ~sw ~name:stage_name) then Net.add_stage net ~sw transfer_stage
+
+let send_group t g =
+  match Hashtbl.find_opt t.chunks_by_group g with
+  | None -> ()
+  | Some members ->
+    List.iter
+      (fun (c : Fec.chunk) ->
+        let pkt =
+          Packet.make ~src:t.src_sw ~dst:t.dst_sw ~flow:t.xfer_id ~birth:(Net.now t.net)
+            ~size:(Packet.control_size + (16 * List.length c.Fec.entries))
+            ~payload:
+              (Packet.State_chunk
+                 { xfer_id = t.xfer_id; group = c.Fec.group; index = c.Fec.index;
+                   of_group = c.Fec.of_group; parity = c.Fec.parity; entries = c.Fec.entries })
+            ()
+        in
+        t.chunks_sent <- t.chunks_sent + 1;
+        Net.inject_at_switch t.net ~sw:t.src_sw pkt)
+      members
+
+let rec watch_group t g =
+  if (not t.failed) && not (Hashtbl.mem t.acked g) then begin
+    let tries = try Hashtbl.find t.retries g with Not_found -> 0 in
+    if tries >= t.max_retries then t.failed <- true
+    else begin
+      Hashtbl.replace t.retries g (tries + 1);
+      if tries > 0 then t.retransmitted_groups <- t.retransmitted_groups + 1;
+      send_group t g;
+      Engine.after (Net.engine t.net) ~delay:t.retransmit_timeout (fun () -> watch_group t g)
+    end
+  end
+
+let send net ~src_sw ~dst_sw ~entries ?(group_size = 4) ?(per_chunk = 8) ?(fec = true)
+    ?(retransmit_timeout = 0.08) ?(max_retries = 10) ~on_complete () =
+  incr next_xfer_id;
+  let chunks = Fec.encode ~group_size ~per_chunk entries in
+  let chunks = if fec then chunks else Fec.data_chunks chunks in
+  let by_group = Hashtbl.create 8 in
+  List.iter
+    (fun (c : Fec.chunk) ->
+      Hashtbl.replace by_group c.Fec.group
+        ((try Hashtbl.find by_group c.Fec.group with Not_found -> []) @ [ c ]))
+    chunks;
+  let total_groups = Fec.group_count chunks in
+  let t =
+    {
+      net;
+      xfer_id = !next_xfer_id;
+      src_sw;
+      dst_sw;
+      fec;
+      retransmit_timeout;
+      max_retries;
+      chunks_by_group = by_group;
+      total_groups;
+      acked = Hashtbl.create 8;
+      retries = Hashtbl.create 8;
+      chunks_sent = 0;
+      retransmitted_groups = 0;
+      failed = false;
+      received = Hashtbl.create 64;
+      decoded = Hashtbl.create 8;
+      fec_recoveries = 0;
+      complete = total_groups = 0;
+      on_complete;
+    }
+  in
+  if t.complete then on_complete [];
+  Hashtbl.replace registry t.xfer_id t;
+  (* endpoints and routes over the current topology *)
+  List.iter (fun sw -> ensure_stage net sw) (Net.switch_ids net);
+  let topo = Net.topology net in
+  (match Topology.shortest_path topo ~src:src_sw ~dst:dst_sw with
+  | Some p -> Net.install_path net ~dst:dst_sw p
+  | None -> t.failed <- true);
+  (match Topology.shortest_path topo ~src:dst_sw ~dst:src_sw with
+  | Some p -> Net.install_path net ~dst:src_sw p
+  | None -> t.failed <- true);
+  if not t.failed then
+    List.iter (fun g -> watch_group t g) (List.init total_groups Fun.id);
+  t
+
+let chunks_sent t = t.chunks_sent
+let retransmitted_groups t = t.retransmitted_groups
+let fec_recoveries t = t.fec_recoveries
+let complete t = t.complete
+let failed t = t.failed

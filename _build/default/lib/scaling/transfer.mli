@@ -1,0 +1,39 @@
+(** In-band switch-to-switch state transfer (paper section 3.4, after
+    Swing State, SOSR '17).
+
+    Register state identified as transferable is shipped as state-chunk
+    packets over the network itself (no software controller on the path).
+    Chunks are FEC-protected ([Fec]); the receiver acknowledges each
+    complete group, and the sender retransmits unacked groups. Per-group
+    loss beyond what FEC absorbs is repaired by the retransmission layer. *)
+
+type t
+
+val send :
+  Ff_netsim.Net.t ->
+  src_sw:int ->
+  dst_sw:int ->
+  entries:(string * float) list ->
+  ?group_size:int ->
+  ?per_chunk:int ->
+  ?fec:bool ->
+  ?retransmit_timeout:float ->
+  ?max_retries:int ->
+  on_complete:((string * float) list -> unit) ->
+  unit ->
+  t
+(** Installs transfer endpoints (idempotently) on both switches, routes
+    chunks over the current shortest switch path, and starts sending.
+    [on_complete] fires at the receiver with the reassembled entries.
+    [~fec:false] disables parity chunks (the ablation), leaving recovery
+    to retransmission alone. Defaults: groups of 4 data chunks, 8 entries
+    per chunk, 80 ms retransmit timer, 10 retries per group. *)
+
+val chunks_sent : t -> int
+val retransmitted_groups : t -> int
+val fec_recoveries : t -> int
+(** Groups completed with a chunk missing (parity reconstruction). *)
+
+val complete : t -> bool
+val failed : t -> bool
+(** True when some group exhausted its retries. *)

@@ -1,0 +1,1 @@
+lib/te/controller.ml: Ff_netsim List Solver

@@ -1,0 +1,1 @@
+lib/te/controller.mli: Ff_netsim Solver Traffic_matrix

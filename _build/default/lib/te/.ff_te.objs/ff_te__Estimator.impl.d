@@ -1,0 +1,1 @@
+lib/te/estimator.ml: Ff_dataplane Ff_netsim Ff_util Hashtbl List Traffic_matrix

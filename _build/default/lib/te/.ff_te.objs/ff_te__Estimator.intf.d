@@ -1,0 +1,1 @@
+lib/te/estimator.mli: Ff_netsim Traffic_matrix

@@ -1,0 +1,1 @@
+lib/te/solver.ml: Ff_netsim Ff_topology Float Hashtbl List Option Traffic_matrix

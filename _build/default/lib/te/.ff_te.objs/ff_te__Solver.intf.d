@@ -1,0 +1,1 @@
+lib/te/solver.mli: Ff_netsim Ff_topology Traffic_matrix

@@ -1,0 +1,1 @@
+lib/te/traffic_matrix.ml: Hashtbl List

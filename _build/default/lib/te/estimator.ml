@@ -1,0 +1,56 @@
+module Net = Ff_netsim.Net
+module Packet = Ff_dataplane.Packet
+
+type t = {
+  net : Net.t;
+  switches : int list;
+  window : float;
+  min_rate : float;
+  counters : (int * int, Ff_util.Stats.Window_counter.t) Hashtbl.t;
+}
+
+let counter t pair =
+  match Hashtbl.find_opt t.counters pair with
+  | Some c -> c
+  | None ->
+    let c = Ff_util.Stats.Window_counter.create ~width:t.window in
+    Hashtbl.replace t.counters pair c;
+    c
+
+let stage t =
+  {
+    Net.stage_name = "te-telemetry";
+    process =
+      (fun ctx pkt ->
+        (match pkt.Packet.payload with
+        | Packet.Data ->
+          let sw = ctx.Net.sw.Net.sw_id in
+          if Net.access_switch t.net ~host:pkt.Packet.src = sw then
+            Ff_util.Stats.Window_counter.add
+              (counter t (pkt.Packet.src, pkt.Packet.dst))
+              ~now:ctx.Net.now
+              (float_of_int pkt.Packet.size)
+        | _ -> ());
+        Net.Continue);
+  }
+
+let install net ~switches ?(window = 2.0) ?(min_rate = 10_000.) () =
+  let t = { net; switches; window; min_rate; counters = Hashtbl.create 64 } in
+  List.iter (fun sw -> Net.add_stage net ~sw (stage t)) switches;
+  t
+
+let rate t ~src ~dst =
+  match Hashtbl.find_opt t.counters (src, dst) with
+  | None -> 0.
+  | Some c -> Ff_util.Stats.Window_counter.rate c ~now:(Net.now t.net) *. 8.
+
+let matrix t =
+  let m = Traffic_matrix.empty () in
+  Hashtbl.iter
+    (fun (src, dst) _ ->
+      let r = rate t ~src ~dst in
+      if r >= t.min_rate then Traffic_matrix.set m ~src ~dst r)
+    t.counters;
+  m
+
+let pairs_seen t = Hashtbl.length t.counters

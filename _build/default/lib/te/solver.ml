@@ -1,0 +1,139 @@
+module Topology = Ff_topology.Topology
+
+type plan = {
+  routes : ((int * int) * Topology.path) list;
+  max_util : float;
+  link_load : (int * float) list;
+}
+
+(* Directed-link load bookkeeping: key (from,to). *)
+module Load = struct
+  type t = (int * int, float) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+  let get t key = try Hashtbl.find t key with Not_found -> 0.
+  let add t key v = Hashtbl.replace t key (get t key +. v)
+
+  let dirs_of_path topo path =
+    let rec go = function
+      | [] | [ _ ] -> []
+      | a :: (b :: _ as rest) ->
+        let l = Option.get (Topology.find_link topo a b) in
+        ((a, b), l) :: go rest
+    in
+    go path
+
+  let apply t topo path v = List.iter (fun (key, _) -> add t key v) (dirs_of_path topo path)
+
+  let path_max_util t topo path extra =
+    List.fold_left
+      (fun acc (key, (l : Topology.link)) ->
+        Float.max acc ((get t key +. extra) /. l.Topology.capacity))
+      0. (dirs_of_path topo path)
+
+  let global_max_util t topo =
+    Hashtbl.fold
+      (fun (a, b) load acc ->
+        match Topology.find_link topo a b with
+        | Some l -> Float.max acc (load /. l.Topology.capacity)
+        | None -> acc)
+      t 0.
+end
+
+let choose_path topo load candidates demand =
+  let scored =
+    List.map (fun p -> (Load.path_max_util load topo p demand, List.length p, p)) candidates
+  in
+  match List.sort compare scored with
+  | (_, _, best) :: _ -> Some best
+  | [] -> None
+
+let solve ?(k = 4) topo matrix =
+  let demands = Traffic_matrix.pairs matrix in
+  let load = Load.create () in
+  let candidates_of (s, d) = Topology.k_shortest_paths ~k topo ~src:s ~dst:d in
+  (* greedy assignment in decreasing demand order *)
+  let routes = Hashtbl.create 32 in
+  List.iter
+    (fun (s, d, v) ->
+      match choose_path topo load (candidates_of (s, d)) v with
+      | Some p ->
+        Load.apply load topo p v;
+        Hashtbl.replace routes (s, d) p
+      | None -> ())
+    demands;
+  (* local search: try moving each demand to a better path *)
+  let improved = ref true in
+  let rounds = ref 0 in
+  while !improved && !rounds < 3 do
+    improved := false;
+    incr rounds;
+    List.iter
+      (fun (s, d, v) ->
+        match Hashtbl.find_opt routes (s, d) with
+        | None -> ()
+        | Some current ->
+          let before = Load.global_max_util load topo in
+          Load.apply load topo current (-.v);
+          (match choose_path topo load (candidates_of (s, d)) v with
+          | Some best when best <> current ->
+            Load.apply load topo best v;
+            let after = Load.global_max_util load topo in
+            if after < before -. 1e-9 then begin
+              Hashtbl.replace routes (s, d) best;
+              improved := true
+            end
+            else begin
+              Load.apply load topo best (-.v);
+              Load.apply load topo current v
+            end
+          | _ -> Load.apply load topo current v))
+      demands
+  done;
+  let route_list =
+    Hashtbl.fold (fun pair path acc -> (pair, path) :: acc) routes []
+    |> List.sort compare
+  in
+  let link_load =
+    List.map
+      (fun (l : Topology.link) ->
+        ( l.Topology.link_id,
+          Load.get load (l.Topology.a, l.Topology.b) +. Load.get load (l.Topology.b, l.Topology.a) ))
+      (Topology.links topo)
+  in
+  { routes = route_list; max_util = Load.global_max_util load topo; link_load }
+
+let install net plan =
+  List.iter
+    (fun ((src, dst), path) -> Ff_netsim.Net.install_pair_path net ~src ~dst path)
+    plan.routes
+
+let install_prefix_based net plan =
+  let topo = Ff_netsim.Net.topology net in
+  List.iter
+    (fun ((src, dst), path) ->
+      Ff_netsim.Net.install_pair_path net ~src ~dst path;
+      (* the same route serves every host of dst's prefix (access switch) *)
+      let edge = Ff_netsim.Net.access_switch net ~host:dst in
+      List.iter
+        (fun sibling ->
+          if sibling <> dst && sibling <> src then begin
+            let rec retarget = function
+              | [] -> []
+              | [ last ] -> if last = dst then [ sibling ] else [ last ]
+              | hop :: rest -> hop :: retarget rest
+            in
+            Ff_netsim.Net.install_pair_path net ~src ~dst:sibling (retarget path)
+          end)
+        (Ff_netsim.Net.attached_hosts net ~sw:edge))
+    plan.routes;
+  ignore topo
+
+let plan_path plan ~src ~dst = List.assoc_opt (src, dst) plan.routes
+
+let utilization_of topo matrix routes =
+  let load = Load.create () in
+  List.iter
+    (fun ((s, d), path) -> Load.apply load topo path (Traffic_matrix.get matrix ~src:s ~dst:d))
+    routes;
+  Load.global_max_util load topo

@@ -1,0 +1,37 @@
+(** Centralized traffic engineering: pick one of the k shortest paths per
+    demand so that the maximum link utilization is (approximately)
+    minimized — greedy water-filling over demands in decreasing order,
+    followed by single-demand local-search improvement.
+
+    This is the "optimal configuration computed by centralized control"
+    of the paper's default mode, and the engine behind the baseline SDN
+    defense that re-solves every period. *)
+
+type plan = {
+  routes : ((int * int) * Ff_topology.Topology.path) list;
+      (** chosen path per (src,dst) demand *)
+  max_util : float;  (** bottleneck utilization under the input matrix *)
+  link_load : (int * float) list;  (** load (bps) per link id, both directions summed *)
+}
+
+val solve : ?k:int -> Ff_topology.Topology.t -> Traffic_matrix.t -> plan
+(** [k] candidate paths per pair (default 4). Demands with no path are
+    skipped. *)
+
+val install : Ff_netsim.Net.t -> plan -> unit
+(** Write every chosen path into the switches' per-pair tables. *)
+
+val install_prefix_based : Ff_netsim.Net.t -> plan -> unit
+(** Like [install], but destination-prefix granularity: the path chosen
+    for (src, dst) is also installed for every other host behind [dst]'s
+    access switch. This is how deployed TE behaves (routes move per
+    prefix, not per host) — and why a Crossfire attacker tracerouting
+    public servers near the victim observes the defense's reroutes. *)
+
+val plan_path : plan -> src:int -> dst:int -> Ff_topology.Topology.path option
+
+val utilization_of :
+  Ff_topology.Topology.t -> Traffic_matrix.t -> ((int * int) * Ff_topology.Topology.path) list ->
+  float
+(** Max link utilization if the matrix is routed over the given paths
+    (capacity per direction). *)

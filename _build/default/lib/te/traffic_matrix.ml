@@ -1,0 +1,31 @@
+type t = (int * int, float) Hashtbl.t
+
+let empty () : t = Hashtbl.create 32
+
+let set t ~src ~dst v =
+  if v < 0. then invalid_arg "Traffic_matrix.set: negative demand";
+  if v = 0. then Hashtbl.remove t (src, dst) else Hashtbl.replace t (src, dst) v
+
+let get t ~src ~dst = try Hashtbl.find t (src, dst) with Not_found -> 0.
+
+let add t ~src ~dst v = set t ~src ~dst (get t ~src ~dst +. v)
+
+let pairs t =
+  Hashtbl.fold (fun (s, d) v acc -> (s, d, v) :: acc) t []
+  |> List.sort (fun (s1, d1, v1) (s2, d2, v2) ->
+         match compare v2 v1 with 0 -> compare (s1, d1) (s2, d2) | c -> c)
+
+let total t = Hashtbl.fold (fun _ v acc -> acc +. v) t 0.
+
+let scale t k =
+  let out = empty () in
+  Hashtbl.iter (fun (s, d) v -> set out ~src:s ~dst:d (k *. v)) t;
+  out
+
+let merge a b =
+  let out = empty () in
+  Hashtbl.iter (fun (s, d) v -> add out ~src:s ~dst:d v) a;
+  Hashtbl.iter (fun (s, d) v -> add out ~src:s ~dst:d v) b;
+  out
+
+let num_pairs = Hashtbl.length

@@ -1,0 +1,24 @@
+(** Traffic matrix: offered demand between host pairs, bits per second. *)
+
+type t
+
+val empty : unit -> t
+
+val set : t -> src:int -> dst:int -> float -> unit
+(** Overwrite the demand of a pair (bps). Negative demand is rejected. *)
+
+val add : t -> src:int -> dst:int -> float -> unit
+(** Accumulate into a pair. *)
+
+val get : t -> src:int -> dst:int -> float
+(** 0. for unknown pairs. *)
+
+val pairs : t -> (int * int * float) list
+(** All non-zero entries, sorted by decreasing demand (deterministic). *)
+
+val total : t -> float
+val scale : t -> float -> t
+val merge : t -> t -> t
+(** Pairwise sum. *)
+
+val num_pairs : t -> int

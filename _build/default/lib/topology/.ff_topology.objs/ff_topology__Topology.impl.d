@@ -1,0 +1,1 @@
+lib/topology/topology.ml: Array Ff_util Fun Hashtbl List Option Printf

@@ -1,0 +1,451 @@
+type node_kind = Host | Switch
+
+type node = { id : int; kind : node_kind; name : string }
+
+type link = {
+  link_id : int;
+  a : int;
+  b : int;
+  capacity : float;
+  delay : float;
+}
+
+type t = {
+  mutable nodes_rev : node list;
+  mutable links_rev : link list;
+  mutable nnodes : int;
+  mutable nlinks : int;
+  adjacency : (int, (int * link) list) Hashtbl.t;
+  by_name : (string, int) Hashtbl.t;
+}
+
+let create () =
+  {
+    nodes_rev = [];
+    links_rev = [];
+    nnodes = 0;
+    nlinks = 0;
+    adjacency = Hashtbl.create 64;
+    by_name = Hashtbl.create 64;
+  }
+
+let add_node t ~kind ~name =
+  if Hashtbl.mem t.by_name name then invalid_arg ("Topology.add_node: duplicate name " ^ name);
+  let id = t.nnodes in
+  t.nnodes <- id + 1;
+  t.nodes_rev <- { id; kind; name } :: t.nodes_rev;
+  Hashtbl.replace t.by_name name id;
+  Hashtbl.replace t.adjacency id [];
+  id
+
+let adj t n = try Hashtbl.find t.adjacency n with Not_found -> []
+
+let find_link t a b =
+  List.find_map (fun (peer, l) -> if peer = b then Some l else None) (adj t a)
+
+let add_link t ?(capacity = 10_000_000.) ?(delay = 0.001) a b =
+  if a = b then invalid_arg "Topology.add_link: self loop";
+  if a < 0 || a >= t.nnodes || b < 0 || b >= t.nnodes then
+    invalid_arg "Topology.add_link: unknown node";
+  if find_link t a b <> None then invalid_arg "Topology.add_link: duplicate link";
+  let link_id = t.nlinks in
+  t.nlinks <- link_id + 1;
+  let l = { link_id; a; b; capacity; delay } in
+  t.links_rev <- l :: t.links_rev;
+  Hashtbl.replace t.adjacency a ((b, l) :: adj t a);
+  Hashtbl.replace t.adjacency b ((a, l) :: adj t b);
+  link_id
+
+let nodes t = List.rev t.nodes_rev
+let links t = List.rev t.links_rev
+let num_nodes t = t.nnodes
+let num_links t = t.nlinks
+
+let node t id =
+  if id < 0 || id >= t.nnodes then invalid_arg "Topology.node: bad id";
+  List.nth t.nodes_rev (t.nnodes - 1 - id)
+
+let link t id =
+  if id < 0 || id >= t.nlinks then invalid_arg "Topology.link: bad id";
+  List.nth t.links_rev (t.nlinks - 1 - id)
+
+let hosts t = List.filter (fun n -> n.kind = Host) (nodes t)
+let switches t = List.filter (fun n -> n.kind = Switch) (nodes t)
+
+let neighbors t n = List.rev (adj t n)
+
+let link_other_end l n =
+  if l.a = n then l.b
+  else begin
+    assert (l.b = n);
+    l.a
+  end
+
+let node_by_name t name = node t (Hashtbl.find t.by_name name)
+
+let degree t n = List.length (adj t n)
+
+type path = int list
+
+let path_links t p =
+  let rec go = function
+    | [] | [ _ ] -> []
+    | a :: (b :: _ as rest) ->
+      (match find_link t a b with
+      | Some l -> l :: go rest
+      | None -> invalid_arg "Topology.path_links: non-adjacent nodes")
+  in
+  go p
+
+let path_delay t p = List.fold_left (fun acc l -> acc +. l.delay) 0. (path_links t p)
+
+(* Dijkstra; hosts are never used as transit (only as endpoints). *)
+let shortest_path_excluding ?(weight = fun (_ : link) -> 1.) t ~src ~dst ~banned_nodes ~banned_links =
+  let n = t.nnodes in
+  if src < 0 || src >= n || dst < 0 || dst >= n then invalid_arg "Topology.shortest_path";
+  let dist = Array.make n infinity in
+  let prev = Array.make n (-1) in
+  let heap = Ff_util.Heap.create () in
+  dist.(src) <- 0.;
+  Ff_util.Heap.push heap ~prio:0. src;
+  let finished = Array.make n false in
+  let rec loop () =
+    match Ff_util.Heap.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+      if finished.(u) || d > dist.(u) then loop ()
+      else begin
+        finished.(u) <- true;
+        if u <> dst then begin
+          let is_transit_ok = u = src || (node t u).kind = Switch in
+          if is_transit_ok then
+            List.iter
+              (fun (v, l) ->
+                if (not (Hashtbl.mem banned_links l.link_id)) && not (Hashtbl.mem banned_nodes v)
+                then begin
+                  let nd = dist.(u) +. weight l in
+                  if nd < dist.(v) then begin
+                    dist.(v) <- nd;
+                    prev.(v) <- u;
+                    Ff_util.Heap.push heap ~prio:nd v
+                  end
+                end)
+              (adj t u)
+          end;
+          loop ()
+      end
+  in
+  loop ();
+  if dist.(dst) = infinity then None
+  else begin
+    let rec build acc v = if v = src then src :: acc else build (v :: acc) prev.(v) in
+    Some (build [] dst, dist.(dst))
+  end
+
+let shortest_path ?weight t ~src ~dst =
+  let banned_nodes = Hashtbl.create 1 and banned_links = Hashtbl.create 1 in
+  Option.map fst (shortest_path_excluding ?weight t ~src ~dst ~banned_nodes ~banned_links)
+
+let path_weight ?(weight = fun (_ : link) -> 1.) t p =
+  List.fold_left (fun acc l -> acc +. weight l) 0. (path_links t p)
+
+(* Yen's k-shortest loop-free paths. *)
+let k_shortest_paths ?weight ?(k = 4) t ~src ~dst =
+  match shortest_path ?weight t ~src ~dst with
+  | None -> []
+  | Some first ->
+    let accepted = ref [ first ] in
+    let candidates = ref [] in
+    let add_candidate p =
+      if not (List.mem p !candidates) && not (List.mem p !accepted) then
+        candidates := p :: !candidates
+    in
+    let rec iterate () =
+      if List.length !accepted >= k then ()
+      else begin
+        let last = List.hd (List.rev !accepted) in
+        let last_arr = Array.of_list last in
+        (* spur from every node of the previous accepted path except dst *)
+        for i = 0 to Array.length last_arr - 2 do
+          let spur = last_arr.(i) in
+          let root = Array.to_list (Array.sub last_arr 0 (i + 1)) in
+          let banned_links = Hashtbl.create 8 in
+          let banned_nodes = Hashtbl.create 8 in
+          (* ban links used by accepted paths sharing this root *)
+          List.iter
+            (fun p ->
+              let parr = Array.of_list p in
+              if Array.length parr > i + 1 && Array.sub parr 0 (i + 1) = Array.sub last_arr 0 (i + 1)
+              then
+                match find_link t parr.(i) parr.(i + 1) with
+                | Some l -> Hashtbl.replace banned_links l.link_id ()
+                | None -> ())
+            !accepted;
+          (* ban root nodes except the spur itself *)
+          List.iteri (fun j v -> if j < i then Hashtbl.replace banned_nodes v ()) root;
+          match shortest_path_excluding ?weight t ~src:spur ~dst ~banned_nodes ~banned_links with
+          | Some (tail, _) -> add_candidate (root @ List.tl tail)
+          | None -> ()
+        done;
+        match !candidates with
+        | [] -> ()
+        | cs ->
+          let best =
+            List.fold_left
+              (fun acc p ->
+                match acc with
+                | None -> Some p
+                | Some q -> if path_weight ?weight t p < path_weight ?weight t q then Some p else acc)
+              None cs
+          in
+          (match best with
+          | None -> ()
+          | Some p ->
+            candidates := List.filter (fun q -> q <> p) !candidates;
+            accepted := !accepted @ [ p ];
+            iterate ())
+      end
+    in
+    iterate ();
+    !accepted
+
+let is_connected t =
+  if t.nnodes = 0 then true
+  else begin
+    let seen = Array.make t.nnodes false in
+    let rec dfs u =
+      if not seen.(u) then begin
+        seen.(u) <- true;
+        List.iter (fun (v, _) -> dfs v) (adj t u)
+      end
+    in
+    dfs 0;
+    Array.for_all Fun.id seen
+  end
+
+let edge_betweenness t =
+  let counts = Hashtbl.create (max 1 t.nlinks) in
+  List.iter (fun l -> Hashtbl.replace counts l.link_id 0.) (links t);
+  let hs = hosts t in
+  List.iter
+    (fun h1 ->
+      List.iter
+        (fun h2 ->
+          if h1.id < h2.id then
+            (* split the pair's weight across equal-cost shortest paths
+               (ECMP-style), so parallel critical links both register *)
+            match k_shortest_paths ~k:4 t ~src:h1.id ~dst:h2.id with
+            | [] -> ()
+            | (first :: _) as paths ->
+              let short_len = List.length first in
+              let equal_cost = List.filter (fun p -> List.length p = short_len) paths in
+              let share = 1. /. float_of_int (List.length equal_cost) in
+              List.iter
+                (fun p ->
+                  List.iter
+                    (fun l ->
+                      Hashtbl.replace counts l.link_id
+                        (Hashtbl.find counts l.link_id +. share))
+                    (path_links t p))
+                equal_cost)
+        hs)
+    hs;
+  counts
+
+let critical_links t ~n =
+  let counts = edge_betweenness t in
+  let core_links =
+    List.filter
+      (fun l -> (node t l.a).kind = Switch && (node t l.b).kind = Switch)
+      (links t)
+  in
+  (* attack cost scales with capacity: the attractive targets are links
+     many paths cross relative to how much traffic it takes to flood them *)
+  let value l = Hashtbl.find counts l.link_id /. l.capacity in
+  let sorted = List.sort (fun l1 l2 -> compare (value l2) (value l1)) core_links in
+  List.filteri (fun i _ -> i < n) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Builders                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let linear ?(capacity = 10_000_000.) ~n () =
+  assert (n >= 1);
+  let t = create () in
+  let h0 = add_node t ~kind:Host ~name:"h0" in
+  let sw = Array.init n (fun i -> add_node t ~kind:Switch ~name:(Printf.sprintf "s%d" i)) in
+  let h1 = add_node t ~kind:Host ~name:"h1" in
+  ignore (add_link t ~capacity h0 sw.(0));
+  for i = 0 to n - 2 do
+    ignore (add_link t ~capacity sw.(i) sw.(i + 1))
+  done;
+  ignore (add_link t ~capacity sw.(n - 1) h1);
+  t
+
+let ring ?(capacity = 10_000_000.) ~n () =
+  assert (n >= 3);
+  let t = create () in
+  let sw = Array.init n (fun i -> add_node t ~kind:Switch ~name:(Printf.sprintf "s%d" i)) in
+  for i = 0 to n - 1 do
+    ignore (add_link t ~capacity sw.(i) sw.((i + 1) mod n))
+  done;
+  Array.iteri
+    (fun i s ->
+      let h = add_node t ~kind:Host ~name:(Printf.sprintf "h%d" i) in
+      ignore (add_link t ~capacity:(2. *. capacity) h s))
+    sw;
+  t
+
+let dumbbell ?(capacity = 10_000_000.) ?(bottleneck = 10_000_000.) ~pairs () =
+  assert (pairs >= 1);
+  let t = create () in
+  let sl = add_node t ~kind:Switch ~name:"left" in
+  let sr = add_node t ~kind:Switch ~name:"right" in
+  ignore (add_link t ~capacity:bottleneck sl sr);
+  for i = 0 to pairs - 1 do
+    let snd_h = add_node t ~kind:Host ~name:(Printf.sprintf "src%d" i) in
+    let rcv_h = add_node t ~kind:Host ~name:(Printf.sprintf "dst%d" i) in
+    ignore (add_link t ~capacity snd_h sl);
+    ignore (add_link t ~capacity rcv_h sr)
+  done;
+  t
+
+let fat_tree ?(capacity = 10_000_000.) ~k () =
+  if k < 2 || k mod 2 <> 0 then invalid_arg "Topology.fat_tree: k must be even and >= 2";
+  let t = create () in
+  let half = k / 2 in
+  let cores =
+    Array.init (half * half) (fun i -> add_node t ~kind:Switch ~name:(Printf.sprintf "core%d" i))
+  in
+  for pod = 0 to k - 1 do
+    let aggs =
+      Array.init half (fun i ->
+          add_node t ~kind:Switch ~name:(Printf.sprintf "agg%d_%d" pod i))
+    in
+    let edges =
+      Array.init half (fun i ->
+          add_node t ~kind:Switch ~name:(Printf.sprintf "edge%d_%d" pod i))
+    in
+    Array.iteri
+      (fun ai agg ->
+        Array.iter (fun e -> ignore (add_link t ~capacity agg e)) edges;
+        for ci = 0 to half - 1 do
+          ignore (add_link t ~capacity agg cores.((ai * half) + ci))
+        done)
+      aggs;
+    Array.iteri
+      (fun ei edge ->
+        for hi = 0 to half - 1 do
+          let h = add_node t ~kind:Host ~name:(Printf.sprintf "h%d_%d_%d" pod ei hi) in
+          ignore (add_link t ~capacity h edge)
+        done)
+      edges
+  done;
+  t
+
+let abilene ?(capacity = 10_000_000.) () =
+  let t = create () in
+  let names =
+    [| "seattle"; "sunnyvale"; "losangeles"; "denver"; "kansascity"; "houston"; "chicago";
+       "indianapolis"; "atlanta"; "washington"; "newyork" |]
+  in
+  let sw = Array.map (fun n -> add_node t ~kind:Switch ~name:n) names in
+  let edges =
+    [ (0, 1); (0, 3); (1, 2); (1, 3); (2, 5); (3, 4); (4, 5); (4, 7); (5, 8); (6, 7); (6, 10);
+      (7, 8); (8, 9); (9, 10) ]
+  in
+  List.iter (fun (a, b) -> ignore (add_link t ~capacity ~delay:0.005 sw.(a) sw.(b))) edges;
+  Array.iteri
+    (fun i s ->
+      let h = add_node t ~kind:Host ~name:(Printf.sprintf "h_%s" names.(i)) in
+      ignore (add_link t ~capacity:(4. *. capacity) h s))
+    sw;
+  t
+
+let waxman ?(capacity = 10_000_000.) ?(alpha = 0.6) ?(beta = 0.4) ~n ~seed () =
+  assert (n >= 2);
+  let rec attempt try_seed =
+    let rng = Ff_util.Prng.create ~seed:try_seed in
+    let t = create () in
+    let sw = Array.init n (fun i -> add_node t ~kind:Switch ~name:(Printf.sprintf "s%d" i)) in
+    let xy = Array.init n (fun _ -> (Ff_util.Prng.float rng 1., Ff_util.Prng.float rng 1.)) in
+    let dist i j =
+      let xi, yi = xy.(i) and xj, yj = xy.(j) in
+      sqrt (((xi -. xj) ** 2.) +. ((yi -. yj) ** 2.))
+    in
+    let dmax = sqrt 2. in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let p = alpha *. exp (-.dist i j /. (beta *. dmax)) in
+        if Ff_util.Prng.float rng 1. < p then ignore (add_link t ~capacity sw.(i) sw.(j))
+      done
+    done;
+    if is_connected t then begin
+      Array.iteri
+        (fun i s ->
+          let h = add_node t ~kind:Host ~name:(Printf.sprintf "h%d" i) in
+          ignore (add_link t ~capacity:(2. *. capacity) h s))
+        sw;
+      t
+    end
+    else attempt (try_seed + 1)
+  in
+  attempt seed
+
+module Fig2 = struct
+  type landmarks = {
+    topo : t;
+    normal_sources : int list;
+    bot_sources : int list;
+    victim : int;
+    decoys : int list;
+    critical : link list;
+    agg : int;
+    victim_agg : int;
+    detour : int list;
+  }
+
+  let build ?(core_capacity = 10_000_000.) ?(detour_capacity = 20_000_000.)
+      ?(edge_capacity = 40_000_000.) ?(bots = 4) ?(normals = 4) () =
+    let t = create () in
+    let sw name = add_node t ~kind:Switch ~name in
+    let e1 = sw "e1" and e2 = sw "e2" in
+    let agg = sw "agg" in
+    let m1 = sw "m1" and m2 = sw "m2" in
+    let vagg = sw "vagg" in
+    let d1 = sw "d1" and d2 = sw "d2" in
+    let ve1 = sw "ve1" and ve2 = sw "ve2" in
+    let core a b = ignore (add_link t ~capacity:core_capacity ~delay:0.002 a b) in
+    let edge a b = ignore (add_link t ~capacity:edge_capacity ~delay:0.001 a b) in
+    edge e1 agg;
+    edge e2 agg;
+    (* the two critical links *)
+    core agg m1;
+    core agg m2;
+    core m1 vagg;
+    core m2 vagg;
+    (* the longer (but better-provisioned) detour path *)
+    ignore (add_link t ~capacity:detour_capacity ~delay:0.006 agg d1);
+    ignore (add_link t ~capacity:detour_capacity ~delay:0.006 d1 d2);
+    ignore (add_link t ~capacity:detour_capacity ~delay:0.006 d2 vagg);
+    edge vagg ve1;
+    edge vagg ve2;
+    let host name s =
+      let h = add_node t ~kind:Host ~name in
+      ignore (add_link t ~capacity:edge_capacity ~delay:0.0005 h s);
+      h
+    in
+    let normal_sources =
+      List.init normals (fun i -> host (Printf.sprintf "n%d" i) (if i mod 2 = 0 then e1 else e2))
+    in
+    let bot_sources =
+      List.init bots (fun i -> host (Printf.sprintf "b%d" i) (if i mod 2 = 0 then e1 else e2))
+    in
+    let victim = host "victim" ve1 in
+    let decoys = [ host "decoy1" ve1; host "decoy2" ve2 ] in
+    let critical =
+      [ Option.get (find_link t agg m1); Option.get (find_link t agg m2) ]
+    in
+    { topo = t; normal_sources; bot_sources; victim; decoys; critical; agg; victim_agg = vagg;
+      detour = [ d1; d2 ] }
+end

@@ -1,0 +1,80 @@
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; len = 0; next_seq = 0 }
+
+let is_empty t = t.len = 0
+let size t = t.len
+
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let grow t e =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let nd = Array.make ncap e in
+    Array.blit t.data 0 nd 0 t.len;
+    t.data <- nd
+  end
+
+let push t ~prio value =
+  let e = { prio; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  grow t e;
+  let d = t.data in
+  let i = ref t.len in
+  t.len <- t.len + 1;
+  d.(!i) <- e;
+  (* sift up *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if less d.(!i) d.(parent) then begin
+      let tmp = d.(parent) in
+      d.(parent) <- d.(!i);
+      d.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let sift_down t =
+  let d = t.data in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.len && less d.(l) d.(!smallest) then smallest := l;
+    if r < t.len && less d.(r) d.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      let tmp = d.(!smallest) in
+      d.(!smallest) <- d.(!i);
+      d.(!i) <- tmp;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      sift_down t
+    end;
+    Some (top.prio, top.value)
+  end
+
+let peek t = if t.len = 0 then None else Some (t.data.(0).prio, t.data.(0).value)
+
+let clear t =
+  t.len <- 0;
+  t.next_seq <- 0

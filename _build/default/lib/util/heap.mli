@@ -1,0 +1,22 @@
+(** Imperative binary min-heap, the core of the discrete-event engine.
+
+    Elements are ordered by a float priority with an integer tiebreaker so
+    that events scheduled at the same instant pop in insertion order
+    (deterministic simulation). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> prio:float -> 'a -> unit
+(** Insert with priority; ties break by insertion order. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum, or [None] when empty. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

@@ -1,0 +1,90 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let variance xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+    let m = mean xs in
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    sq /. float_of_int (List.length xs)
+
+let stddev xs = sqrt (variance xs)
+
+let percentile p xs =
+  if xs = [] then invalid_arg "Stats.percentile: empty sample";
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+  end
+
+let median xs = percentile 50. xs
+
+module Ewma = struct
+  type t = { alpha : float; mutable value : float; mutable initialized : bool }
+
+  let create ~alpha =
+    assert (alpha > 0. && alpha <= 1.);
+    { alpha; value = 0.; initialized = false }
+
+  let update t x =
+    if t.initialized then t.value <- (t.alpha *. x) +. ((1. -. t.alpha) *. t.value)
+    else begin
+      t.value <- x;
+      t.initialized <- true
+    end
+
+  let value t = t.value
+
+  let reset t =
+    t.value <- 0.;
+    t.initialized <- false
+end
+
+module Window_counter = struct
+  (* A ring of sub-buckets approximating a sliding window: the window is
+     divided into [buckets] slots; entries older than the window are zeroed
+     lazily as time advances. *)
+  type t = {
+    width : float;
+    buckets : float array;
+    mutable epoch : int; (* index of the slot holding "now" *)
+    slot : float; (* duration of one slot *)
+  }
+
+  let nbuckets = 20
+
+  let create ~width =
+    assert (width > 0.);
+    { width; buckets = Array.make nbuckets 0.; epoch = 0; slot = width /. float_of_int nbuckets }
+
+  let slot_of t now = int_of_float (now /. t.slot)
+
+  let advance t now =
+    let target = slot_of t now in
+    if target > t.epoch then begin
+      let steps = min nbuckets (target - t.epoch) in
+      for k = 1 to steps do
+        t.buckets.((t.epoch + k) mod nbuckets) <- 0.
+      done;
+      t.epoch <- target
+    end
+
+  let add t ~now x =
+    advance t now;
+    let i = slot_of t now mod nbuckets in
+    t.buckets.(i) <- t.buckets.(i) +. x
+
+  let rate t ~now =
+    advance t now;
+    let total = Array.fold_left ( +. ) 0. t.buckets in
+    total /. t.width
+end

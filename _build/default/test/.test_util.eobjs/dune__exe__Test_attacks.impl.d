@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Ff_attacks Ff_dataplane Ff_netsim Ff_scaling Ff_topology Float List

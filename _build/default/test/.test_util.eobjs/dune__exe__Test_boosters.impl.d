@@ -1,0 +1,1 @@
+test/test_boosters.ml: Alcotest Ff_boosters Ff_dataplane Ff_netsim Ff_topology Hashtbl List

@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Fastflex Ff_boosters Ff_dataflow Ff_dataplane Gen List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dataplane.ml: Alcotest Ff_dataplane Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Fastflex Ff_dataflow Ff_dataplane Ff_netsim Ff_placement Ff_topology Ff_util Float List String

@@ -1,0 +1,1 @@
+test/test_modes.ml: Alcotest Ff_dataplane Ff_modes Ff_netsim Ff_topology Gen Hashtbl List Printf QCheck QCheck_alcotest

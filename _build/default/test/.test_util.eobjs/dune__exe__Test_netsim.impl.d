@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Ff_dataplane Ff_netsim Ff_topology Ff_util Float Hashtbl List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Fastflex Ff_dataflow Ff_dataplane Ff_placement Ff_te Ff_topology Fun List String

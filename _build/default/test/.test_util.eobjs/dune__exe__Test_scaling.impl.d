@@ -1,0 +1,1 @@
+test/test_scaling.ml: Alcotest Ff_netsim Ff_scaling Ff_topology Float Gen Hashtbl List Printf QCheck QCheck_alcotest

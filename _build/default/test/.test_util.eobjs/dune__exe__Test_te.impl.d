@@ -1,0 +1,1 @@
+test/test_te.ml: Alcotest Ff_netsim Ff_te Ff_topology Float List Option

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Ff_topology Hashtbl List Option QCheck QCheck_alcotest

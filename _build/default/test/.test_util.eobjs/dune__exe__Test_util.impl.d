@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ff_util Float Format Fun Gen List Option QCheck QCheck_alcotest String

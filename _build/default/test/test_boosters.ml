@@ -1,0 +1,603 @@
+(* Tests for Ff_boosters: each defense app exercised on a live simulated
+   network. *)
+
+module T = Ff_topology.Topology
+module Engine = Ff_netsim.Engine
+module Net = Ff_netsim.Net
+module Flow = Ff_netsim.Flow
+module Packet = Ff_dataplane.Packet
+module B = Ff_boosters
+
+let install_all_routes net topo =
+  let hosts = T.hosts topo in
+  List.iter
+    (fun (h1 : T.node) ->
+      List.iter
+        (fun (h2 : T.node) ->
+          if h1.T.id <> h2.T.id then
+            match T.shortest_path topo ~src:h1.T.id ~dst:h2.T.id with
+            | Some p -> Net.install_path net ~dst:h2.T.id p
+            | None -> ())
+        hosts)
+    hosts
+
+let fig2_net () =
+  let lm = T.Fig2.build ~bots:8 ~normals:4 () in
+  let engine = Engine.create () in
+  let net = Net.create engine lm.T.Fig2.topo in
+  install_all_routes net lm.T.Fig2.topo;
+  (lm, engine, net)
+
+(* ---------------- Common ---------------- *)
+
+let test_mode_vars () =
+  let _, _, net = fig2_net () in
+  let sw = Net.switch net (List.hd (Net.switch_ids net)) in
+  Alcotest.(check bool) "off by default" false (B.Common.mode_active sw "reroute");
+  B.Common.set_mode sw "reroute" true;
+  Alcotest.(check bool) "on" true (B.Common.mode_active sw "reroute");
+  B.Common.set_mode sw "reroute" false;
+  Alcotest.(check bool) "off" false (B.Common.mode_active sw "reroute")
+
+(* ---------------- LFA detector ---------------- *)
+
+let detector_on_fig2 ?(suspicious_rate = 1_500_000.) ?(min_age = 0.5) (lm : T.Fig2.landmarks)
+    net =
+  let watched =
+    List.map
+      (fun (l : T.link) ->
+        if l.T.a = lm.T.Fig2.agg then (l.T.a, l.T.b) else (l.T.b, l.T.a))
+      lm.T.Fig2.critical
+  in
+  let alarms = ref [] and clears = ref [] in
+  let det =
+    B.Lfa_detector.install net ~sw:lm.T.Fig2.agg ~watched ~suspicious_rate ~min_age
+      ~dst_flows_min:8
+      ~on_alarm:(fun a -> alarms := a :: !alarms)
+      ~on_clear:(fun a -> clears := a :: !clears)
+      ()
+  in
+  (det, alarms, clears)
+
+let test_detector_alarms_on_flood () =
+  let lm, engine, net = fig2_net () in
+  let det, alarms, _ = detector_on_fig2 lm net in
+  (* bots flood decoy1 through agg->m1 *)
+  let decoy = List.hd lm.T.Fig2.decoys in
+  List.iter
+    (fun bot -> ignore (Flow.Cbr.start net ~src:bot ~dst:decoy ~rate_pps:200. ()))
+    lm.T.Fig2.bot_sources;
+  Engine.run engine ~until:5.;
+  Alcotest.(check bool) "alarmed" true (B.Lfa_detector.alarmed det);
+  (match !alarms with
+  | { B.Lfa_detector.switch; attack } :: _ ->
+    Alcotest.(check int) "at agg" lm.T.Fig2.agg switch;
+    Alcotest.(check bool) "lfa kind" true (attack = Packet.Lfa)
+  | [] -> Alcotest.fail "no alarm");
+  Alcotest.(check bool) "tracks flows" true (B.Lfa_detector.tracked_flows det >= 8)
+
+let test_detector_quiet_without_attack () =
+  let lm, engine, net = fig2_net () in
+  let det, alarms, _ = detector_on_fig2 lm net in
+  List.iter
+    (fun n -> ignore (Flow.Tcp.start net ~src:n ~dst:lm.T.Fig2.victim ~max_cwnd:4. ()))
+    lm.T.Fig2.normal_sources;
+  Engine.run engine ~until:5.;
+  Alcotest.(check bool) "no alarm" false (B.Lfa_detector.alarmed det);
+  Alcotest.(check int) "no alarms" 0 (List.length !alarms)
+
+let test_detector_classifies_crossfire_not_normal () =
+  let lm, engine, net = fig2_net () in
+  let det, _, _ = detector_on_fig2 lm net in
+  (* normal: 4 distinct-destination... all to victim, but only 4 flows *)
+  let normal_flows =
+    List.map
+      (fun n -> Flow.Tcp.start net ~src:n ~dst:lm.T.Fig2.victim ~max_cwnd:4. ())
+      lm.T.Fig2.normal_sources
+  in
+  (* crossfire: 24 low-rate flows to one decoy *)
+  let decoy = List.hd lm.T.Fig2.decoys in
+  let bot_flows =
+    List.concat_map
+      (fun bot ->
+        List.init 3 (fun _ -> Flow.Tcp.start net ~src:bot ~dst:decoy ~max_cwnd:4. ()))
+      lm.T.Fig2.bot_sources
+  in
+  Engine.run engine ~until:8.;
+  let suspicious = B.Lfa_detector.suspicious_flows det in
+  let bot_ids = List.map Flow.Tcp.flow_id bot_flows in
+  let normal_ids = List.map Flow.Tcp.flow_id normal_flows in
+  let bot_caught = List.filter (fun f -> List.mem f suspicious) bot_ids in
+  let normal_caught = List.filter (fun f -> List.mem f suspicious) normal_ids in
+  Alcotest.(check bool) "most bot flows caught" true
+    (List.length bot_caught > List.length bot_ids / 2);
+  Alcotest.(check int) "no normal flow caught" 0 (List.length normal_caught);
+  Alcotest.(check bool) "bots are suspicious sources" true
+    (List.exists (fun b -> B.Lfa_detector.is_suspicious_source det b) lm.T.Fig2.bot_sources)
+
+let test_detector_clears_when_attack_stops () =
+  let lm, engine, net = fig2_net () in
+  let det, _, clears =
+    detector_on_fig2 ~suspicious_rate:1_500_000. ~min_age:0.5 lm net
+  in
+  let decoy = List.hd lm.T.Fig2.decoys in
+  let flows =
+    List.concat_map
+      (fun bot ->
+        List.init 3 (fun _ ->
+            Flow.Tcp.start net ~src:bot ~dst:decoy ~max_cwnd:4. ~stop:6. ()))
+      lm.T.Fig2.bot_sources
+  in
+  ignore flows;
+  Engine.run engine ~until:15.;
+  Alcotest.(check bool) "cleared after attack subsides" true (List.length !clears >= 1);
+  Alcotest.(check bool) "not alarmed at end" false (B.Lfa_detector.alarmed det)
+
+(* ---------------- Reroute ---------------- *)
+
+let test_reroute_probes_build_tables () =
+  let lm, engine, net = fig2_net () in
+  let rr = B.Reroute.install net ~roots:[ lm.T.Fig2.victim ] ~probe_interval:0.05 () in
+  (* activate the mode on every switch so probing starts *)
+  List.iter (fun sw -> B.Common.set_mode (Net.switch net sw) "reroute" true) (Net.switch_ids net);
+  Engine.run engine ~until:2.;
+  Alcotest.(check bool) "probes flowed" true (B.Reroute.probes_sent rr > 10);
+  (* agg must know a next hop toward the victim *)
+  match B.Reroute.best_next_hop rr ~sw:lm.T.Fig2.agg ~dst:lm.T.Fig2.victim with
+  | Some nh ->
+    Alcotest.(check bool) "plausible next hop" true
+      (List.mem nh (Net.neighbors_of net lm.T.Fig2.agg))
+  | None -> Alcotest.fail "no table entry at agg"
+
+let test_reroute_prefers_uncongested () =
+  let lm, engine, net = fig2_net () in
+  let rr = B.Reroute.install net ~roots:[ lm.T.Fig2.victim ] ~probe_interval:0.05 () in
+  List.iter (fun sw -> B.Common.set_mode (Net.switch net sw) "reroute" true) (Net.switch_ids net);
+  (* congest agg->m1 with decoy1 CBR traffic *)
+  let decoy = List.hd lm.T.Fig2.decoys in
+  List.iter
+    (fun bot -> ignore (Flow.Cbr.start net ~src:bot ~dst:decoy ~rate_pps:200. ()))
+    lm.T.Fig2.bot_sources;
+  Engine.run engine ~until:3.;
+  (* the best path toward the victim must avoid the middle switch the decoy
+     flood actually crosses *)
+  let congested_mid =
+    match Net.current_path net ~src:(List.hd lm.T.Fig2.bot_sources) ~dst:decoy with
+    | Some path -> List.nth path 3
+    | None -> Alcotest.fail "no decoy path"
+  in
+  (match B.Reroute.best_next_hop rr ~sw:lm.T.Fig2.agg ~dst:lm.T.Fig2.victim with
+  | Some nh -> Alcotest.(check bool) "avoids congested link" true (nh <> congested_mid)
+  | None -> Alcotest.fail "no entry");
+  match B.Reroute.best_metric rr ~sw:lm.T.Fig2.agg ~dst:lm.T.Fig2.victim with
+  | Some m -> Alcotest.(check bool) "low metric" true (m < 0.5)
+  | None -> Alcotest.fail "no metric"
+
+let test_reroute_steers_marked_packets () =
+  let lm, engine, net = fig2_net () in
+  let _rr = B.Reroute.install net ~roots:[ lm.T.Fig2.victim ] ~probe_interval:0.05 () in
+  List.iter (fun sw -> B.Common.set_mode (Net.switch net sw) "reroute" true) (Net.switch_ids net);
+  (* a marking stage at the source edges makes all data suspicious *)
+  let mark =
+    { Net.stage_name = "mark-all";
+      process =
+        (fun _ pkt ->
+          (match pkt.Packet.payload with
+          | Packet.Data -> pkt.Packet.suspicious <- true
+          | _ -> ());
+          Net.Continue) }
+  in
+  List.iter
+    (fun name -> Net.add_stage net ~sw:(T.node_by_name lm.T.Fig2.topo name).T.id mark)
+    [ "e1"; "e2" ];
+  let f = Flow.Tcp.start net ~src:(List.hd lm.T.Fig2.normal_sources) ~dst:lm.T.Fig2.victim () in
+  Engine.run engine ~until:3.;
+  Alcotest.(check bool) "rerouted packets counted" true (B.Reroute.reroutes _rr > 0);
+  Alcotest.(check bool) "traffic still delivered" true (Flow.Tcp.delivered_bytes f > 100_000.)
+
+(* ---------------- Obfuscator ---------------- *)
+
+let test_obfuscator_rewrites_traceroute () =
+  let lm, engine, net = fig2_net () in
+  let topo = lm.T.Fig2.topo in
+  let bot = List.hd lm.T.Fig2.bot_sources in
+  let decoy = List.hd lm.T.Fig2.decoys in
+  (* virtual topology: pretend every hop is the aggregation switch *)
+  let fake_path ~src:_ ~dst:_ = Some (List.init 10 (fun _ -> lm.T.Fig2.agg)) in
+  let ob = B.Obfuscator.install net ~virtual_path:fake_path () in
+  (* obfuscation off: see the real path *)
+  let real = ref [] in
+  Flow.Traceroute.run net ~src:bot ~dst:decoy ~on_done:(fun h -> real := h) ();
+  Engine.run engine ~until:2.;
+  (* obfuscation on everywhere: all switch hops must answer as agg *)
+  List.iter (fun sw -> B.Common.set_mode (Net.switch net sw) "obfuscate" true) (Net.switch_ids net);
+  let fake = ref [] in
+  Flow.Traceroute.run net ~src:bot ~dst:decoy ~on_done:(fun h -> fake := h) ();
+  Engine.run engine ~until:4.;
+  Alcotest.(check bool) "real path has distinct hops" true
+    (List.length (List.sort_uniq compare (List.map snd !real)) > 2);
+  let fake_switch_hops = List.filter (fun (_, r) -> r <> decoy) !fake in
+  Alcotest.(check bool) "some hops obfuscated" true (List.length fake_switch_hops > 0);
+  List.iter
+    (fun (_, r) ->
+      Alcotest.(check string) "answered as agg" "agg" (T.node topo r).T.name)
+    fake_switch_hops;
+  Alcotest.(check bool) "replies counted" true (B.Obfuscator.obfuscated_replies ob > 0)
+
+(* ---------------- Dropper ---------------- *)
+
+let test_dropper_rate_limits_suspicious () =
+  let lm, engine, net = fig2_net () in
+  let dr = B.Dropper.install net ~sw:lm.T.Fig2.agg ~rate_limit:200_000. ~drop_prob:0. () in
+  B.Common.set_mode (Net.switch net lm.T.Fig2.agg) "drop" true;
+  let mark =
+    { Net.stage_name = "mark-all";
+      process =
+        (fun _ pkt ->
+          (match pkt.Packet.payload with
+          | Packet.Data -> pkt.Packet.suspicious <- true
+          | _ -> ());
+          Net.Continue) }
+  in
+  (* mark before the dropper runs: install at the upstream edge *)
+  List.iter
+    (fun name -> Net.add_stage net ~sw:(T.node_by_name lm.T.Fig2.topo name).T.id mark)
+    [ "e1"; "e2" ];
+  let f =
+    Flow.Cbr.start net ~src:(List.hd lm.T.Fig2.bot_sources) ~dst:(List.hd lm.T.Fig2.decoys)
+      ~rate_pps:200. ()
+  in
+  Engine.run engine ~until:5.;
+  (* offered 1.6 Mb/s, limited to 200 kb/s = 25 kB/s *)
+  Alcotest.(check bool) "dropped most" true (B.Dropper.dropped dr > 500);
+  Alcotest.(check bool) "throughput near the limit" true
+    (Flow.Cbr.delivered_bytes f < 350_000.);
+  Alcotest.(check int) "one meter" 1 (B.Dropper.metered_flows dr)
+
+let test_dropper_spares_normal () =
+  let lm, engine, net = fig2_net () in
+  let dr = B.Dropper.install net ~sw:lm.T.Fig2.agg ~rate_limit:200_000. ~drop_prob:0.5 () in
+  B.Common.set_mode (Net.switch net lm.T.Fig2.agg) "drop" true;
+  let f =
+    Flow.Cbr.start net ~src:(List.hd lm.T.Fig2.normal_sources) ~dst:lm.T.Fig2.victim
+      ~rate_pps:200. ()
+  in
+  Engine.run engine ~until:5.;
+  Alcotest.(check int) "unmarked traffic untouched" 0 (B.Dropper.dropped dr);
+  Alcotest.(check bool) "full throughput" true (Flow.Cbr.delivered_bytes f > 900_000.)
+
+(* ---------------- Heavy hitter ---------------- *)
+
+let test_heavy_hitter_detects_volumetric () =
+  let lm, engine, net = fig2_net () in
+  let alarms = ref [] in
+  let hh =
+    B.Heavy_hitter.install net ~sw:lm.T.Fig2.agg ~epoch:0.5 ~threshold_bps:3_000_000.
+      ~on_alarm:(fun a -> alarms := a :: !alarms)
+      ~on_clear:(fun _ -> ())
+      ()
+  in
+  (* one elephant at ~6.4 Mb/s among mice *)
+  let elephant =
+    Flow.Cbr.start net ~src:(List.hd lm.T.Fig2.bot_sources) ~dst:lm.T.Fig2.victim
+      ~rate_pps:800. ()
+  in
+  List.iter
+    (fun n -> ignore (Flow.Cbr.start net ~src:n ~dst:lm.T.Fig2.victim ~rate_pps:10. ()))
+    lm.T.Fig2.normal_sources;
+  (* stop mid-epoch so the live HashPipe still holds this epoch's counts *)
+  Engine.run engine ~until:3.75;
+  Alcotest.(check bool) "alarmed" true (B.Heavy_hitter.alarmed hh);
+  (match !alarms with
+  | { B.Lfa_detector.attack; _ } :: _ ->
+    Alcotest.(check bool) "volumetric kind" true (attack = Packet.Volumetric)
+  | [] -> Alcotest.fail "no alarm");
+  Alcotest.(check bool) "elephant among offenders" true
+    (List.mem (Flow.Cbr.flow_id elephant) (B.Heavy_hitter.offenders hh));
+  (* top-k exposes it too *)
+  match B.Heavy_hitter.top hh ~k:1 with
+  | (k, _) :: _ -> Alcotest.(check int) "top flow" (Flow.Cbr.flow_id elephant) k
+  | [] -> Alcotest.fail "empty top"
+
+(* ---------------- Hop-count filter ---------------- *)
+
+let test_hcf_filters_spoofed () =
+  let lm, engine, net = fig2_net () in
+  let hcf = B.Hop_count_filter.install net ~sw:lm.T.Fig2.agg ~tolerance:2 () in
+  let normal = List.hd lm.T.Fig2.normal_sources in
+  (* learning phase: legitimate traffic from [normal] *)
+  ignore (Flow.Cbr.start net ~src:normal ~dst:lm.T.Fig2.victim ~rate_pps:50. ());
+  Engine.run engine ~until:2.;
+  B.Common.set_mode (Net.switch net lm.T.Fig2.agg) "hcf" true;
+  (* a bot spoofing [normal]'s address with a wrong initial TTL *)
+  let spoofed =
+    Flow.Cbr.start net ~src:normal ~dst:lm.T.Fig2.victim ~rate_pps:50. ~ttl:32
+      ~via:(List.hd lm.T.Fig2.bot_sources) ()
+  in
+  Engine.run engine ~until:4.;
+  Alcotest.(check bool) "spoofed filtered" true (B.Hop_count_filter.filtered hcf > 50);
+  Alcotest.(check bool) "spoofed delivery suppressed" true
+    (Flow.Cbr.delivered_bytes spoofed < 30_000.);
+  Alcotest.(check bool) "learned sources" true (B.Hop_count_filter.learned_sources hcf >= 1)
+
+(* ---------------- Access control ---------------- *)
+
+let test_acl_blocks_unapproved () =
+  let lm, engine, net = fig2_net () in
+  let acl = B.Access_control.install net ~sw:lm.T.Fig2.agg () in
+  let src = List.hd lm.T.Fig2.normal_sources in
+  B.Access_control.permit acl ~src ~dst:lm.T.Fig2.victim;
+  B.Common.set_mode (Net.switch net lm.T.Fig2.agg) "acl" true;
+  let allowed = Flow.Cbr.start net ~src ~dst:lm.T.Fig2.victim ~rate_pps:50. () in
+  let blocked = Flow.Cbr.start net ~src ~dst:(List.hd lm.T.Fig2.decoys) ~rate_pps:50. () in
+  Engine.run engine ~until:3.;
+  Alcotest.(check bool) "allowed flows" true (Flow.Cbr.delivered_bytes allowed > 100_000.);
+  Alcotest.(check (float 0.)) "blocked entirely" 0. (Flow.Cbr.delivered_bytes blocked);
+  Alcotest.(check bool) "violations counted" true (B.Access_control.violations acl > 50);
+  (* revoke works *)
+  B.Access_control.revoke acl ~src ~dst:lm.T.Fig2.victim;
+  Alcotest.(check bool) "revoked" false (B.Access_control.allowed acl ~src ~dst:lm.T.Fig2.victim)
+
+(* ---------------- Global rate limit ---------------- *)
+
+let test_grl_converges_to_limit () =
+  let lm, engine, net = fig2_net () in
+  let topo = lm.T.Fig2.topo in
+  let e1 = (T.node_by_name topo "e1").T.id and e2 = (T.node_by_name topo "e2").T.id in
+  let grl = B.Global_rate_limit.install net ~participants:[ e1; e2 ] ~sync_period:0.2 () in
+  List.iter (fun sw -> B.Common.set_mode (Net.switch net sw) "grl" true) [ e1; e2 ];
+  (* one tenant entering at two different switches, 2 Mb/s each, 2 Mb/s cap *)
+  let tenant = 1 in
+  B.Global_rate_limit.set_limit grl ~tenant 2_000_000.;
+  let senders = List.filteri (fun i _ -> i < 2) lm.T.Fig2.bot_sources in
+  List.iter (fun src -> B.Global_rate_limit.assign grl ~src ~tenant) senders;
+  let flows =
+    List.map
+      (fun src -> Flow.Cbr.start net ~src ~dst:lm.T.Fig2.victim ~rate_pps:250. ())
+      senders
+  in
+  Engine.run engine ~until:10.;
+  let delivered = List.fold_left (fun acc f -> acc +. Flow.Cbr.delivered_bytes f) 0. flows in
+  let rate_bps = delivered *. 8. /. 10. in
+  (* offered 4 Mb/s; policed near the 2 Mb/s global cap *)
+  Alcotest.(check bool) "held near global limit" true
+    (rate_bps < 2_600_000. && rate_bps > 1_200_000.);
+  Alcotest.(check bool) "dropped some" true (B.Global_rate_limit.dropped grl > 100);
+  Alcotest.(check bool) "synced" true (B.Global_rate_limit.sync_probes grl > 10);
+  (* each participant's view includes the remote share *)
+  Alcotest.(check bool) "global view at e1 exceeds local" true
+    (B.Global_rate_limit.global_rate grl ~sw:e1 ~tenant
+     > B.Global_rate_limit.local_rate grl ~sw:e1 ~tenant +. 100_000.)
+
+let test_reroute_loop_free () =
+  (* steer ALL data through the probe tables and verify with the packet
+     tracer that no packet ever revisits a switch *)
+  let lm, engine, net = fig2_net () in
+  let _rr =
+    B.Reroute.install net ~roots:[ lm.T.Fig2.victim ] ~probe_interval:0.05 ~reroute_all:true ()
+  in
+  List.iter (fun sw -> B.Common.set_mode (Net.switch net sw) "reroute" true) (Net.switch_ids net);
+  (* congestion to force the probes onto changing paths *)
+  List.iter
+    (fun bot ->
+      ignore (Flow.Cbr.start net ~src:bot ~dst:(List.hd lm.T.Fig2.decoys) ~rate_pps:150. ()))
+    lm.T.Fig2.bot_sources;
+  let f = Flow.Tcp.start net ~src:(List.hd lm.T.Fig2.normal_sources) ~dst:lm.T.Fig2.victim () in
+  let events = Net.trace_flow net ~flow:(Flow.Tcp.flow_id f) in
+  Engine.run engine ~until:5.;
+  (* group switch arrivals by packet uid: each packet visits each switch
+     at most once *)
+  let visits = Hashtbl.create 1024 in
+  List.iter
+    (fun (e : Net.trace_event) ->
+      match e.Net.kind with
+      | Net.Switch_arrival ->
+        let key = (e.Net.uid, e.Net.node) in
+        Hashtbl.replace visits key (1 + (try Hashtbl.find visits key with Not_found -> 0))
+      | _ -> ())
+    !events;
+  Hashtbl.iter
+    (fun (uid, node) n ->
+      if n > 1 then
+        Alcotest.failf "packet %d visited switch %d %d times (forwarding loop)" uid node n)
+    visits;
+  Alcotest.(check bool) "traffic flowed" true (Flow.Tcp.delivered_bytes f > 100_000.)
+
+(* ---------------- Slowpath ---------------- *)
+
+let test_slowpath_latency_and_budget () =
+  let lm, engine, net = fig2_net () in
+  let handled = ref 0 in
+  let sp =
+    B.Slowpath.create net ~sw:lm.T.Fig2.agg ~latency:0.01 ~rate_limit:10.
+      ~handler:(fun _ ->
+        incr handled;
+        B.Slowpath.Allow)
+      ()
+  in
+  let verdicts = ref [] in
+  let pkt = Ff_dataplane.Packet.make ~src:0 ~dst:1 ~flow:1 ~birth:0. () in
+  (* one punt inside budget: verdict arrives after the PCIe-like latency *)
+  Engine.schedule engine ~at:1. (fun () ->
+      B.Slowpath.punt sp pkt ~on_verdict:(fun v ->
+          verdicts := (Net.now net, v) :: !verdicts));
+  Engine.run engine ~until:2.;
+  (match !verdicts with
+  | [ (at, B.Slowpath.Allow) ] -> Alcotest.(check (float 1e-6)) "latency applied" 1.01 at
+  | _ -> Alcotest.fail "expected one Allow verdict");
+  (* a burst beyond the 10/s budget overflows fail-closed *)
+  Engine.schedule engine ~at:2.5 (fun () ->
+      for _ = 1 to 50 do
+        B.Slowpath.punt sp pkt ~on_verdict:(fun _ -> ())
+      done);
+  Engine.run engine ~until:4.;
+  Alcotest.(check bool) "budget enforced" true (B.Slowpath.overflows sp > 30);
+  Alcotest.(check bool) "some punts processed" true (B.Slowpath.punts sp >= 1)
+
+let test_reactive_acl_flow_setup () =
+  let lm, engine, net = fig2_net () in
+  let sw = lm.T.Fig2.agg in
+  let oracle_calls = ref 0 in
+  let acl =
+    B.Slowpath.Reactive_acl.install net ~sw ~latency:0.005
+      ~oracle:(fun ~src:_ ~dst ->
+        incr oracle_calls;
+        dst = lm.T.Fig2.victim)
+      ()
+  in
+  B.Common.set_mode (Net.switch net sw) "acl" true;
+  let src = List.hd lm.T.Fig2.normal_sources in
+  let allowed = Flow.Tcp.start net ~src ~dst:lm.T.Fig2.victim ~at:0.5 () in
+  let denied = Flow.Cbr.start net ~src ~dst:(List.hd lm.T.Fig2.decoys) ~rate_pps:50. ~at:0.5 () in
+  Engine.run engine ~until:5.;
+  (* first packet punted, the rest ride the cache: oracle consulted once
+     per pair, traffic flows at line rate afterwards *)
+  Alcotest.(check int) "oracle once per pair" 2 !oracle_calls;
+  Alcotest.(check bool) "allowed pair transfers" true (Flow.Tcp.delivered_bytes allowed > 1e6);
+  Alcotest.(check (float 0.)) "denied pair blocked" 0. (Flow.Cbr.delivered_bytes denied);
+  Alcotest.(check int) "two pairs cached" 2 (B.Slowpath.Reactive_acl.cached_pairs acl);
+  Alcotest.(check bool) "fastpath dominates" true
+    (B.Slowpath.Reactive_acl.cache_hits acl > 100 * B.Slowpath.Reactive_acl.cache_misses acl)
+
+(* ---------------- Network-wide heavy hitter ---------------- *)
+
+let test_nwhh_detects_distributed_flood () =
+  let lm, engine, net = fig2_net () in
+  let topo = lm.T.Fig2.topo in
+  let e1 = (T.node_by_name topo "e1").T.id and e2 = (T.node_by_name topo "e2").T.id in
+  let alarms = ref [] in
+  let nw =
+    B.Network_wide_hh.install net ~ingresses:[ e1; e2 ] ~threshold_bps:6_000_000.
+      ~on_alarm:(fun a -> alarms := a :: !alarms)
+      ~on_clear:(fun _ -> ())
+      ()
+  in
+  (* 8 bots at ~1 Mb/s each toward the victim: under 4 Mb/s at either
+     ingress, 8 Mb/s network-wide *)
+  List.iter
+    (fun bot ->
+      ignore (Flow.Cbr.start net ~src:bot ~dst:lm.T.Fig2.victim ~rate_pps:125. ()))
+    lm.T.Fig2.bot_sources;
+  Engine.run engine ~until:5.;
+  (* locally invisible... *)
+  Alcotest.(check bool) "local rate below threshold" true
+    (B.Network_wide_hh.local_rate nw ~sw:e1 ~dst:lm.T.Fig2.victim < 6_000_000.);
+  (* ...globally glaring *)
+  Alcotest.(check bool) "global rate above threshold" true
+    (B.Network_wide_hh.global_rate nw ~sw:e1 ~dst:lm.T.Fig2.victim > 6_000_000.);
+  Alcotest.(check bool) "alarmed" true (B.Network_wide_hh.alarmed nw);
+  Alcotest.(check bool) "victim among offenders" true
+    (List.mem lm.T.Fig2.victim (B.Network_wide_hh.offenders nw));
+  Alcotest.(check bool) "volumetric kind" true
+    (match !alarms with
+    | { B.Lfa_detector.attack; _ } :: _ -> attack = Packet.Volumetric
+    | [] -> false);
+  Alcotest.(check bool) "sync probes flowed" true (B.Network_wide_hh.sync_probes nw > 5)
+
+let test_nwhh_quiet_under_local_threshold () =
+  let lm, engine, net = fig2_net () in
+  let topo = lm.T.Fig2.topo in
+  let e1 = (T.node_by_name topo "e1").T.id and e2 = (T.node_by_name topo "e2").T.id in
+  let nw =
+    B.Network_wide_hh.install net ~ingresses:[ e1; e2 ] ~threshold_bps:6_000_000.
+      ~on_alarm:(fun _ -> ()) ~on_clear:(fun _ -> ()) ()
+  in
+  (* modest legitimate traffic only *)
+  List.iter
+    (fun n -> ignore (Flow.Cbr.start net ~src:n ~dst:lm.T.Fig2.victim ~rate_pps:60. ()))
+    lm.T.Fig2.normal_sources;
+  Engine.run engine ~until:5.;
+  Alcotest.(check bool) "no alarm" false (B.Network_wide_hh.alarmed nw);
+  Alcotest.(check (list int)) "no offenders" [] (B.Network_wide_hh.offenders nw)
+
+let test_nwhh_clears_after_flood () =
+  let lm, engine, net = fig2_net () in
+  let topo = lm.T.Fig2.topo in
+  let e1 = (T.node_by_name topo "e1").T.id and e2 = (T.node_by_name topo "e2").T.id in
+  let clears = ref 0 in
+  let nw =
+    B.Network_wide_hh.install net ~ingresses:[ e1; e2 ] ~threshold_bps:6_000_000.
+      ~on_alarm:(fun _ -> ())
+      ~on_clear:(fun _ -> incr clears)
+      ()
+  in
+  List.iter
+    (fun bot ->
+      ignore (Flow.Cbr.start net ~src:bot ~dst:lm.T.Fig2.victim ~rate_pps:125. ~stop:4. ()))
+    lm.T.Fig2.bot_sources;
+  Engine.run engine ~until:10.;
+  Alcotest.(check bool) "cleared after the flood ends" true (!clears >= 1);
+  Alcotest.(check bool) "not alarmed at the end" false (B.Network_wide_hh.alarmed nw)
+
+(* ---------------- Specs ---------------- *)
+
+let test_specs_catalogue () =
+  Alcotest.(check int) "eight boosters" 8 (List.length B.Specs.booster_names);
+  List.iter
+    (fun name ->
+      let specs = B.Specs.specs_of name in
+      Alcotest.(check bool) (name ^ " has >= 3 PPMs") true (List.length specs >= 3);
+      List.iter
+        (fun s ->
+          Alcotest.(check bool)
+            (name ^ "/" ^ s.Ff_dataplane.Ppm.name ^ " positive stages")
+            true
+            (s.Ff_dataplane.Ppm.resources.Ff_dataplane.Resource.stages > 0.))
+        specs)
+    B.Specs.booster_names;
+  Alcotest.(check bool) "unknown booster raises" true
+    (try
+       ignore (B.Specs.specs_of "nope");
+       false
+     with Not_found -> true)
+
+let () =
+  Alcotest.run "ff_boosters"
+    [
+      ("common", [ Alcotest.test_case "mode vars" `Quick test_mode_vars ]);
+      ( "lfa-detector",
+        [
+          Alcotest.test_case "alarms on flood" `Quick test_detector_alarms_on_flood;
+          Alcotest.test_case "quiet without attack" `Quick test_detector_quiet_without_attack;
+          Alcotest.test_case "classifies crossfire not normal" `Quick
+            test_detector_classifies_crossfire_not_normal;
+          Alcotest.test_case "clears when attack stops" `Quick
+            test_detector_clears_when_attack_stops;
+        ] );
+      ( "reroute",
+        [
+          Alcotest.test_case "probes build tables" `Quick test_reroute_probes_build_tables;
+          Alcotest.test_case "prefers uncongested" `Quick test_reroute_prefers_uncongested;
+          Alcotest.test_case "steers marked packets" `Quick test_reroute_steers_marked_packets;
+          Alcotest.test_case "loop free under rerouting" `Quick test_reroute_loop_free;
+        ] );
+      ( "obfuscator",
+        [ Alcotest.test_case "rewrites traceroute" `Quick test_obfuscator_rewrites_traceroute ] );
+      ( "dropper",
+        [
+          Alcotest.test_case "rate limits suspicious" `Quick test_dropper_rate_limits_suspicious;
+          Alcotest.test_case "spares normal" `Quick test_dropper_spares_normal;
+        ] );
+      ( "heavy-hitter",
+        [ Alcotest.test_case "detects volumetric" `Quick test_heavy_hitter_detects_volumetric ] );
+      ( "hop-count-filter",
+        [ Alcotest.test_case "filters spoofed" `Quick test_hcf_filters_spoofed ] );
+      ( "access-control",
+        [ Alcotest.test_case "blocks unapproved" `Quick test_acl_blocks_unapproved ] );
+      ( "global-rate-limit",
+        [ Alcotest.test_case "converges to limit" `Quick test_grl_converges_to_limit ] );
+      ( "slowpath",
+        [
+          Alcotest.test_case "latency and budget" `Quick test_slowpath_latency_and_budget;
+          Alcotest.test_case "reactive acl flow setup" `Quick test_reactive_acl_flow_setup;
+        ] );
+      ( "network-wide-hh",
+        [
+          Alcotest.test_case "detects distributed flood" `Quick
+            test_nwhh_detects_distributed_flood;
+          Alcotest.test_case "quiet under threshold" `Quick
+            test_nwhh_quiet_under_local_threshold;
+          Alcotest.test_case "clears after flood" `Quick test_nwhh_clears_after_flood;
+        ] );
+      ("specs", [ Alcotest.test_case "catalogue" `Quick test_specs_catalogue ]);
+    ]

@@ -1,0 +1,348 @@
+(* Tests for Ff_dataplane: packets, resources, registers, sketches, bloom
+   filters, HashPipe, match-action tables, PPM IR analysis. *)
+
+module Packet = Ff_dataplane.Packet
+module Resource = Ff_dataplane.Resource
+module Register = Ff_dataplane.Register
+module Sketch = Ff_dataplane.Sketch
+module Bloom = Ff_dataplane.Bloom
+module Hashpipe = Ff_dataplane.Hashpipe
+module Match_table = Ff_dataplane.Match_table
+module Ppm = Ff_dataplane.Ppm
+
+(* ---------------- Packet ---------------- *)
+
+let test_packet_defaults () =
+  let p = Packet.make ~src:1 ~dst:2 ~flow:3 ~birth:0. () in
+  Alcotest.(check int) "default size" 1000 p.Packet.size;
+  Alcotest.(check int) "default ttl" 64 p.Packet.ttl;
+  Alcotest.(check bool) "data not control" false (Packet.is_control p);
+  let probe =
+    Packet.make ~src:1 ~dst:2 ~flow:3 ~birth:0.
+      ~payload:(Packet.Mode_probe { attack = Packet.Lfa; epoch = 1; origin = 0; activate = true;
+                                    region_ttl = 4 })
+      ()
+  in
+  Alcotest.(check int) "control size" Packet.control_size probe.Packet.size;
+  Alcotest.(check bool) "probe is control" true (Packet.is_control probe)
+
+let test_packet_uids_unique () =
+  let a = Packet.make ~src:0 ~dst:1 ~flow:1 ~birth:0. () in
+  let b = Packet.make ~src:0 ~dst:1 ~flow:1 ~birth:0. () in
+  Alcotest.(check bool) "unique uids" true (a.Packet.uid <> b.Packet.uid)
+
+let test_packet_tags () =
+  let p = Packet.make ~src:0 ~dst:1 ~flow:1 ~birth:0. () in
+  Alcotest.(check (option (float 0.))) "missing" None (Packet.tag_value p "k");
+  Packet.tag p "k" 1.5;
+  Alcotest.(check (option (float 0.))) "set" (Some 1.5) (Packet.tag_value p "k");
+  Packet.tag p "k" 2.5;
+  Alcotest.(check (option (float 0.))) "overwritten" (Some 2.5) (Packet.tag_value p "k");
+  Alcotest.(check int) "no duplicate keys" 1 (List.length p.Packet.tags)
+
+(* ---------------- Resource ---------------- *)
+
+let test_resource_arith () =
+  let a = Resource.make ~stages:2. ~sram_kb:100. () in
+  let b = Resource.make ~stages:1. ~tcam:50. () in
+  let s = Resource.add a b in
+  Alcotest.(check (float 0.)) "stages add" 3. s.Resource.stages;
+  Alcotest.(check (float 0.)) "tcam add" 50. s.Resource.tcam;
+  let d = Resource.sub s b in
+  Alcotest.(check (float 0.)) "sub" 2. d.Resource.stages;
+  Alcotest.(check (float 0.)) "scale" 4. (Resource.scale 2. a).Resource.stages
+
+let test_resource_fits () =
+  let cap = Resource.tofino_like in
+  Alcotest.(check bool) "zero fits" true (Resource.fits ~need:Resource.zero ~within:cap);
+  Alcotest.(check bool) "cap fits itself" true (Resource.fits ~need:cap ~within:cap);
+  let over = Resource.add cap (Resource.make ~stages:1. ()) in
+  Alcotest.(check bool) "over does not fit" false (Resource.fits ~need:over ~within:cap)
+
+let test_dominant_share () =
+  let cap = Resource.make ~stages:10. ~sram_kb:100. ~alus:10. ~tcam:10. ~hash_units:10. () in
+  let need = Resource.make ~stages:5. ~sram_kb:10. () in
+  Alcotest.(check (float 1e-9)) "dominant" 0.5 (Resource.dominant_share ~need ~within:cap);
+  let impossible = Resource.make ~stages:1. () in
+  let no_cap = Resource.make ~sram_kb:10. () in
+  Alcotest.(check (float 0.)) "infinite when impossible" infinity
+    (Resource.dominant_share ~need:impossible ~within:no_cap)
+
+(* ---------------- Registers and meters ---------------- *)
+
+let test_array_reg () =
+  let r = Register.Array_reg.create ~name:"r" ~slots:16 () in
+  Register.Array_reg.set r 42 3.0;
+  Alcotest.(check (float 0.)) "get" 3.0 (Register.Array_reg.get r 42);
+  Alcotest.(check (float 0.)) "bump" 5.0 (Register.Array_reg.bump r 42 2.0);
+  Register.Array_reg.reset r;
+  Alcotest.(check (float 0.)) "reset" 0.0 (Register.Array_reg.get r 42)
+
+let test_array_reg_dump_load () =
+  let r = Register.Array_reg.create ~name:"state" ~slots:8 () in
+  Register.Array_reg.set_slot r 1 10.;
+  Register.Array_reg.set_slot r 5 20.;
+  let dump = Register.Array_reg.dump r in
+  Alcotest.(check int) "two non-zero entries" 2 (List.length dump);
+  let r2 = Register.Array_reg.create ~name:"state" ~slots:8 () in
+  Register.Array_reg.load r2 dump;
+  Alcotest.(check (float 0.)) "slot 1 restored" 10. (Register.Array_reg.get_slot r2 1);
+  Alcotest.(check (float 0.)) "slot 5 restored" 20. (Register.Array_reg.get_slot r2 5)
+
+let test_meter () =
+  let m = Register.Meter.create ~rate:1000. ~burst:500. in
+  Alcotest.(check bool) "burst allowed" true (Register.Meter.allow m ~now:0. ~bytes:500.);
+  Alcotest.(check bool) "empty bucket refuses" false (Register.Meter.allow m ~now:0. ~bytes:100.);
+  (* after 0.1 s, 100 bytes of tokens have accrued *)
+  Alcotest.(check bool) "refill allows" true (Register.Meter.allow m ~now:0.1 ~bytes:100.);
+  Alcotest.(check bool) "but not more" false (Register.Meter.allow m ~now:0.1 ~bytes:100.)
+
+(* ---------------- Sketch ---------------- *)
+
+let test_sketch_never_underestimates () =
+  let s = Sketch.create ~rows:4 ~cols:64 () in
+  for key = 0 to 99 do
+    Sketch.add s key (float_of_int (key + 1))
+  done;
+  for key = 0 to 99 do
+    Alcotest.(check bool) "estimate >= truth" true
+      (Sketch.estimate s key >= float_of_int (key + 1))
+  done
+
+let test_sketch_exact_when_sparse () =
+  let s = Sketch.create ~rows:4 ~cols:1024 () in
+  Sketch.add s 7 5.;
+  Sketch.add s 9 3.;
+  Alcotest.(check (float 0.)) "sparse exact" 5. (Sketch.estimate s 7);
+  Alcotest.(check (float 0.)) "total" 8. (Sketch.total s)
+
+let test_sketch_merge () =
+  let a = Sketch.create ~rows:3 ~cols:128 () in
+  let b = Sketch.create ~rows:3 ~cols:128 () in
+  Sketch.add a 1 10.;
+  Sketch.add b 1 5.;
+  Sketch.add b 2 7.;
+  Sketch.merge_into ~dst:a ~src:b;
+  Alcotest.(check bool) "merged estimate" true (Sketch.estimate a 1 >= 15.);
+  Alcotest.(check bool) "merged other key" true (Sketch.estimate a 2 >= 7.);
+  Alcotest.(check (float 0.)) "merged total" 22. (Sketch.total a)
+
+let test_sketch_merge_incompatible () =
+  let a = Sketch.create ~rows:3 ~cols:128 () in
+  let b = Sketch.create ~rows:4 ~cols:128 () in
+  Alcotest.check_raises "incompatible"
+    (Invalid_argument "Sketch.merge_into: incompatible sketches") (fun () ->
+      Sketch.merge_into ~dst:a ~src:b)
+
+let test_sketch_serialize_absorb () =
+  let a = Sketch.create ~rows:3 ~cols:128 () in
+  Sketch.add a 5 9.;
+  let cells = Sketch.serialize a in
+  let b = Sketch.create ~rows:3 ~cols:128 () in
+  Sketch.absorb b cells;
+  Alcotest.(check bool) "absorbed" true (Sketch.estimate b 5 >= 9.)
+
+let prop_sketch_upper_bound =
+  QCheck.Test.make ~name:"count-min estimate always >= true count" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 200) (int_range 0 50))
+    (fun keys ->
+      let s = Sketch.create ~rows:4 ~cols:32 () in
+      List.iter (fun k -> Sketch.add s k 1.) keys;
+      List.for_all
+        (fun k ->
+          let truth = float_of_int (List.length (List.filter (( = ) k) keys)) in
+          Sketch.estimate s k >= truth)
+        (List.sort_uniq compare keys))
+
+(* ---------------- Bloom ---------------- *)
+
+let test_bloom_no_false_negatives () =
+  let b = Bloom.create ~bits:1024 ~hashes:3 () in
+  for k = 0 to 99 do
+    Bloom.add b k
+  done;
+  for k = 0 to 99 do
+    Alcotest.(check bool) "member" true (Bloom.mem b k)
+  done
+
+let test_bloom_fp_rate_reasonable () =
+  let b = Bloom.create ~bits:4096 ~hashes:3 () in
+  for k = 0 to 199 do
+    Bloom.add b k
+  done;
+  let fps = ref 0 in
+  for k = 10_000 to 10_999 do
+    if Bloom.mem b k then incr fps
+  done;
+  let analytic = Bloom.expected_fp_rate b ~inserted:200 in
+  Alcotest.(check bool) "observed fp within 3x analytic + slack" true
+    (float_of_int !fps /. 1000. <= (3. *. analytic) +. 0.02)
+
+let test_bloom_reset () =
+  let b = Bloom.create ~bits:256 ~hashes:2 () in
+  Bloom.add b 1;
+  Bloom.reset b;
+  Alcotest.(check int) "no set bits" 0 (Bloom.count_set_bits b)
+
+let prop_bloom_membership =
+  QCheck.Test.make ~name:"bloom: every inserted key is a member" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 100) int)
+    (fun keys ->
+      let b = Bloom.create ~bits:2048 ~hashes:4 () in
+      List.iter (Bloom.add b) keys;
+      List.for_all (Bloom.mem b) keys)
+
+(* ---------------- HashPipe ---------------- *)
+
+let test_hashpipe_tracks_heavy () =
+  let hp = Hashpipe.create ~stages:4 ~slots_per_stage:32 () in
+  (* heavy key 1000 interleaved with light noise *)
+  for i = 0 to 999 do
+    Hashpipe.update hp ~key:1000 ~weight:1.;
+    Hashpipe.update hp ~key:(i mod 200) ~weight:1.
+  done;
+  let hh = Hashpipe.heavy_hitters hp ~threshold:400. in
+  Alcotest.(check bool) "heavy key found" true (List.mem_assoc 1000 hh)
+
+let test_hashpipe_no_overestimate () =
+  let hp = Hashpipe.create ~stages:2 ~slots_per_stage:8 () in
+  for _ = 1 to 50 do
+    Hashpipe.update hp ~key:1 ~weight:2.
+  done;
+  Alcotest.(check bool) "count <= truth" true (Hashpipe.count hp ~key:1 <= 100.)
+
+let test_hashpipe_reset () =
+  let hp = Hashpipe.create ~stages:2 ~slots_per_stage:8 () in
+  Hashpipe.update hp ~key:1 ~weight:1.;
+  Hashpipe.reset hp;
+  Alcotest.(check (float 0.)) "reset" 0. (Hashpipe.count hp ~key:1);
+  Alcotest.(check (list int)) "no residents" [] (Hashpipe.resident_keys hp)
+
+(* ---------------- Match tables ---------------- *)
+
+let test_exact_table () =
+  let t = Match_table.Exact.create ~capacity:2 () in
+  Match_table.Exact.insert t ~key:1 "a";
+  Match_table.Exact.insert t ~key:2 "b";
+  Alcotest.(check (option string)) "hit" (Some "a") (Match_table.Exact.lookup t ~key:1);
+  Alcotest.(check (option string)) "miss" None (Match_table.Exact.lookup t ~key:3);
+  Alcotest.check_raises "full" (Failure "table full") (fun () ->
+      Match_table.Exact.insert t ~key:3 "c");
+  Match_table.Exact.remove t ~key:1;
+  Alcotest.(check int) "size" 1 (Match_table.Exact.size t)
+
+let test_lpm_longest_prefix_wins () =
+  let t = Match_table.Lpm.create () in
+  Match_table.Lpm.insert t ~prefix:0x0A000000 ~len:8 "wide";
+  Match_table.Lpm.insert t ~prefix:0x0A0A0000 ~len:16 "narrow";
+  Alcotest.(check (option string)) "longest wins" (Some "narrow")
+    (Match_table.Lpm.lookup t ~key:0x0A0A0101);
+  Alcotest.(check (option string)) "fallback" (Some "wide")
+    (Match_table.Lpm.lookup t ~key:0x0A010101);
+  Alcotest.(check (option string)) "miss" None (Match_table.Lpm.lookup t ~key:0x0B000001);
+  Match_table.Lpm.remove t ~prefix:0x0A0A0000 ~len:16;
+  Alcotest.(check (option string)) "after remove" (Some "wide")
+    (Match_table.Lpm.lookup t ~key:0x0A0A0101)
+
+let test_lpm_default_route () =
+  let t = Match_table.Lpm.create () in
+  Match_table.Lpm.insert t ~prefix:0 ~len:0 "default";
+  Alcotest.(check (option string)) "default matches all" (Some "default")
+    (Match_table.Lpm.lookup t ~key:0x12345678)
+
+let test_ternary_priority () =
+  let t = Match_table.Ternary.create () in
+  Match_table.Ternary.insert t ~value:0x10 ~mask:0xF0 ~priority:1 "low";
+  Match_table.Ternary.insert t ~value:0x12 ~mask:0xFF ~priority:10 "high";
+  Alcotest.(check (option string)) "priority wins" (Some "high")
+    (Match_table.Ternary.lookup t ~key:0x12);
+  Alcotest.(check (option string)) "fallthrough" (Some "low")
+    (Match_table.Ternary.lookup t ~key:0x13)
+
+(* ---------------- PPM IR analysis ---------------- *)
+
+let sample_spec =
+  Ppm.make_spec ~name:"s" ~booster:"b" ~role:Ppm.Detection
+    ~resources:(Resource.make ~stages:1. ())
+    [
+      Ppm.Set_meta ("m", Ppm.Reg_read ("counts", Ppm.Hash [ "src" ]));
+      Ppm.Reg_write ("counts", Ppm.Hash [ "src" ], Ppm.Binop (Ppm.Add, Ppm.Meta "m", Ppm.Const 1.));
+      Ppm.If
+        ( Ppm.Cmp (Ppm.Gt, Ppm.Meta "m", Ppm.Const 10.),
+          [ Ppm.Reg_write ("alarms", Ppm.Const 0., Ppm.Const 1.) ],
+          [] );
+    ]
+
+let test_ppm_reads_writes () =
+  Alcotest.(check (list string)) "reads" [ "counts" ] (Ppm.registers_read sample_spec);
+  Alcotest.(check (list string)) "writes" [ "alarms"; "counts" ]
+    (Ppm.registers_written sample_spec)
+
+let test_ppm_state_shared () =
+  let reader =
+    Ppm.make_spec ~name:"r" ~booster:"b" ~role:Ppm.Mitigation ~resources:Resource.zero
+      [ Ppm.Drop_when (Ppm.Cmp (Ppm.Gt, Ppm.Reg_read ("alarms", Ppm.Const 0.), Ppm.Const 0.)) ]
+  in
+  Alcotest.(check (list string)) "shared register" [ "alarms" ]
+    (Ppm.state_shared sample_spec reader)
+
+let test_ppm_body_size () =
+  Alcotest.(check int) "statements counted recursively" 4 (Ppm.body_size sample_spec)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest [ prop_sketch_upper_bound; prop_bloom_membership ] in
+  Alcotest.run "ff_dataplane"
+    [
+      ( "packet",
+        [
+          Alcotest.test_case "defaults" `Quick test_packet_defaults;
+          Alcotest.test_case "unique uids" `Quick test_packet_uids_unique;
+          Alcotest.test_case "tags" `Quick test_packet_tags;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_resource_arith;
+          Alcotest.test_case "fits" `Quick test_resource_fits;
+          Alcotest.test_case "dominant share" `Quick test_dominant_share;
+        ] );
+      ( "registers",
+        [
+          Alcotest.test_case "array register" `Quick test_array_reg;
+          Alcotest.test_case "dump/load" `Quick test_array_reg_dump_load;
+          Alcotest.test_case "meter" `Quick test_meter;
+        ] );
+      ( "sketch",
+        [
+          Alcotest.test_case "never underestimates" `Quick test_sketch_never_underestimates;
+          Alcotest.test_case "sparse exact" `Quick test_sketch_exact_when_sparse;
+          Alcotest.test_case "merge" `Quick test_sketch_merge;
+          Alcotest.test_case "merge incompatible" `Quick test_sketch_merge_incompatible;
+          Alcotest.test_case "serialize/absorb" `Quick test_sketch_serialize_absorb;
+        ] );
+      ( "bloom",
+        [
+          Alcotest.test_case "no false negatives" `Quick test_bloom_no_false_negatives;
+          Alcotest.test_case "fp rate" `Quick test_bloom_fp_rate_reasonable;
+          Alcotest.test_case "reset" `Quick test_bloom_reset;
+        ] );
+      ( "hashpipe",
+        [
+          Alcotest.test_case "tracks heavy keys" `Quick test_hashpipe_tracks_heavy;
+          Alcotest.test_case "no overestimate" `Quick test_hashpipe_no_overestimate;
+          Alcotest.test_case "reset" `Quick test_hashpipe_reset;
+        ] );
+      ( "tables",
+        [
+          Alcotest.test_case "exact" `Quick test_exact_table;
+          Alcotest.test_case "lpm longest prefix" `Quick test_lpm_longest_prefix_wins;
+          Alcotest.test_case "lpm default route" `Quick test_lpm_default_route;
+          Alcotest.test_case "ternary priority" `Quick test_ternary_priority;
+        ] );
+      ( "ppm",
+        [
+          Alcotest.test_case "reads/writes" `Quick test_ppm_reads_writes;
+          Alcotest.test_case "state shared" `Quick test_ppm_state_shared;
+          Alcotest.test_case "body size" `Quick test_ppm_body_size;
+        ] );
+      ("properties", qcheck);
+    ]

@@ -1,0 +1,163 @@
+(* Tests for Ff_placement: vector bin packing and on-path placement. *)
+
+module T = Ff_topology.Topology
+module Resource = Ff_dataplane.Resource
+module Ppm = Ff_dataplane.Ppm
+module Graph = Ff_dataflow.Graph
+module Pack = Ff_placement.Pack
+module Placement = Ff_placement.Placement
+module TM = Ff_te.Traffic_matrix
+
+let ppm ?(role = Ppm.Detection) name stages sram =
+  Ppm.make_spec ~name ~booster:"b" ~role
+    ~resources:(Resource.make ~stages ~sram_kb:sram ())
+    [ Ppm.Set_meta (name, Ppm.Const 1.) ]
+
+let graph_of specs = Graph.of_pipeline ~booster:"b" specs
+
+let test_ffd_packs_within_capacity () =
+  let g = graph_of [ ppm "a" 4. 100.; ppm "b" 4. 100.; ppm "c" 4. 100.; ppm "d" 4. 100. ] in
+  let cap = Resource.make ~stages:8. ~sram_kb:1000. ~alus:100. ~tcam:100. ~hash_units:10. () in
+  match Pack.first_fit_decreasing ~capacities:[ (0, cap); (1, cap) ] g with
+  | Ok bins ->
+    Alcotest.(check bool) "capacity respected" true (Pack.respects_capacity bins);
+    Alcotest.(check int) "both switches used" 2 (Pack.bins_used bins);
+    (* all four items placed *)
+    let placed = List.concat_map (fun b -> b.Pack.items) bins in
+    Alcotest.(check int) "all placed" 4 (List.length placed)
+  | Error e -> Alcotest.fail e
+
+let test_ffd_reports_infeasible () =
+  let g = graph_of [ ppm "huge" 100. 10. ] in
+  let cap = Resource.make ~stages:8. ~sram_kb:1000. () in
+  match Pack.first_fit_decreasing ~capacities:[ (0, cap) ] g with
+  | Ok _ -> Alcotest.fail "should not fit"
+  | Error msg -> Alcotest.(check bool) "names the PPM" true (String.length msg > 0)
+
+let test_ffd_affinity_colocates () =
+  (* two PPMs sharing state should land on the same switch when both fit *)
+  let writer =
+    Ppm.make_spec ~name:"w" ~booster:"b" ~role:Ppm.Detection
+      ~resources:(Resource.make ~stages:1. ())
+      [ Ppm.Reg_write ("shared", Ppm.Const 0., Ppm.Const 1.) ]
+  in
+  let reader =
+    Ppm.make_spec ~name:"r" ~booster:"b" ~role:Ppm.Detection
+      ~resources:(Resource.make ~stages:1. ())
+      [ Ppm.Set_meta ("m", Ppm.Reg_read ("shared", Ppm.Const 0.)) ]
+  in
+  let g = graph_of [ writer; reader ] in
+  let cap = Resource.make ~stages:4. ~sram_kb:10. ~alus:10. ~tcam:10. ~hash_units:10. () in
+  match Pack.first_fit_decreasing ~capacities:[ (0, cap); (1, cap) ] g with
+  | Ok bins ->
+    Alcotest.(check (float 0.)) "all shared state co-located" 1. (Pack.colocation_score g bins)
+  | Error e -> Alcotest.fail e
+
+let test_sharing_reduces_bins () =
+  (* the headline packing claim: merged graphs need fewer switches *)
+  let compiled = Fastflex.Compile.boosters () in
+  let small_cap = Resource.make ~stages:8. ~sram_kb:1024. ~tcam:512. ~alus:16. ~hash_units:4. () in
+  let switches = List.init 12 Fun.id in
+  let capacities = List.map (fun sw -> (sw, small_cap)) switches in
+  let unmerged_graphs = List.map snd compiled.Fastflex.Compile.graphs in
+  let count_bins g =
+    match Pack.first_fit_decreasing ~capacities g with
+    | Ok bins -> Pack.bins_used bins
+    | Error _ -> max_int
+  in
+  (* pack each booster's graph cumulatively (no sharing): total switch use
+     is the sum of per-graph needs under a naive one-graph-at-a-time policy *)
+  let merged_bins = count_bins compiled.Fastflex.Compile.merged in
+  let unmerged_total =
+    List.fold_left (fun acc g -> acc + count_bins g) 0 unmerged_graphs
+  in
+  Alcotest.(check bool) "merged uses fewer switch slots" true (merged_bins < unmerged_total);
+  Alcotest.(check bool) "merged fits the pool" true (merged_bins <= 12)
+
+let fig2_paths lm =
+  let topo = lm.T.Fig2.topo in
+  List.filter_map
+    (fun src -> T.shortest_path topo ~src ~dst:lm.T.Fig2.victim)
+    (lm.T.Fig2.normal_sources @ lm.T.Fig2.bot_sources)
+
+let test_place_covers_paths () =
+  let lm = T.Fig2.build () in
+  let paths = fig2_paths lm in
+  let compiled = Fastflex.Compile.boosters ~names:[ "lfa-detector"; "dropper" ] () in
+  let capacities =
+    List.map
+      (fun (n : T.node) -> (n.T.id, Resource.tofino_like))
+      (T.switches lm.T.Fig2.topo)
+  in
+  let plan = Placement.place lm.T.Fig2.topo ~paths ~capacities compiled.Fastflex.Compile.merged in
+  Alcotest.(check (float 0.)) "every path watched" 1. plan.Placement.path_coverage;
+  Alcotest.(check bool) "detectors exist" true (plan.Placement.detectors <> []);
+  Alcotest.(check bool) "mitigators exist" true (plan.Placement.mitigators <> []);
+  Alcotest.(check (float 0.)) "mitigation co-located with detection" 0.
+    plan.Placement.avg_mitigation_distance
+
+let test_place_falls_downstream_when_tight () =
+  let lm = T.Fig2.build () in
+  let paths = fig2_paths lm in
+  let compiled = Fastflex.Compile.boosters ~names:[ "lfa-detector"; "dropper" ] () in
+  (* capacity fits detection but not detection+mitigation on one switch *)
+  let detection_need =
+    Resource.sum
+      (List.map
+         (fun v -> v.Graph.spec.Ppm.resources)
+         (List.filter
+            (fun v -> v.Graph.spec.Ppm.role = Ppm.Detection)
+            (Graph.vertices compiled.Fastflex.Compile.merged)))
+  in
+  let tight = Resource.add detection_need (Resource.make ~stages:1. ~sram_kb:8. ()) in
+  let capacities =
+    List.map (fun (n : T.node) -> (n.T.id, tight)) (T.switches lm.T.Fig2.topo)
+  in
+  let plan = Placement.place lm.T.Fig2.topo ~paths ~capacities compiled.Fastflex.Compile.merged in
+  Alcotest.(check bool) "coverage still positive" true (plan.Placement.path_coverage > 0.)
+
+let test_popular_switches_ranking () =
+  let lm = T.Fig2.build () in
+  let paths = fig2_paths lm in
+  match Placement.popular_switches lm.T.Fig2.topo ~paths with
+  | (top, count) :: _ ->
+    (* agg or vagg carries every source-victim path *)
+    let name = (T.node lm.T.Fig2.topo top).T.name in
+    Alcotest.(check bool) "agg-ish switch on top" true (name = "agg" || name = "vagg");
+    Alcotest.(check int) "crossed by all paths" (List.length paths) count
+  | [] -> Alcotest.fail "no ranking"
+
+let test_middlebox_detour_stretch () =
+  let lm = T.Fig2.build () in
+  let topo = lm.T.Fig2.topo in
+  let m = TM.empty () in
+  List.iter
+    (fun src -> TM.set m ~src ~dst:lm.T.Fig2.victim 2_000_000.)
+    lm.T.Fig2.normal_sources;
+  (* middlebox parked off the natural paths: the detour switches *)
+  let eval = Placement.middlebox_detour topo m ~sites:lm.T.Fig2.detour in
+  Alcotest.(check bool) "detour stretches paths" true (eval.Placement.avg_stretch > 1.0);
+  Alcotest.(check bool) "detour still carries the demand" true
+    (eval.Placement.max_util_detour > 0.);
+  (* a middlebox already on-path costs nothing *)
+  let eval2 = Placement.middlebox_detour topo m ~sites:[ lm.T.Fig2.agg ] in
+  Alcotest.(check (float 1e-9)) "on-path site has stretch 1" 1. eval2.Placement.avg_stretch
+
+let () =
+  Alcotest.run "ff_placement"
+    [
+      ( "packing",
+        [
+          Alcotest.test_case "packs within capacity" `Quick test_ffd_packs_within_capacity;
+          Alcotest.test_case "reports infeasible" `Quick test_ffd_reports_infeasible;
+          Alcotest.test_case "affinity co-locates" `Quick test_ffd_affinity_colocates;
+          Alcotest.test_case "sharing reduces bins" `Quick test_sharing_reduces_bins;
+        ] );
+      ( "placement",
+        [
+          Alcotest.test_case "covers paths" `Quick test_place_covers_paths;
+          Alcotest.test_case "tight capacity" `Quick test_place_falls_downstream_when_tight;
+          Alcotest.test_case "popular switches" `Quick test_popular_switches_ranking;
+          Alcotest.test_case "middlebox detour stretch" `Quick test_middlebox_detour_stretch;
+        ] );
+    ]

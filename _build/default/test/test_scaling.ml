@@ -1,0 +1,303 @@
+(* Tests for Ff_scaling: FEC codec, in-band state transfer under loss,
+   switch repurposing, replication/failover. *)
+
+module T = Ff_topology.Topology
+module Engine = Ff_netsim.Engine
+module Net = Ff_netsim.Net
+module Fec = Ff_scaling.Fec
+module Transfer = Ff_scaling.Transfer
+module Repurpose = Ff_scaling.Repurpose
+module Loss = Ff_scaling.Loss
+module Replicate = Ff_scaling.Replicate
+
+let entries n = List.init n (fun i -> (Printf.sprintf "reg[%d]" i, float_of_int i *. 1.5))
+
+(* ---------------- FEC ---------------- *)
+
+let test_fec_roundtrip () =
+  let e = entries 37 in
+  let chunks = Fec.encode ~group_size:4 ~per_chunk:8 e in
+  Alcotest.(check (option (list (pair string (float 0.))))) "lossless roundtrip" (Some e)
+    (Fec.decode chunks)
+
+let test_fec_parity_counts () =
+  let chunks = Fec.encode ~group_size:4 ~per_chunk:8 (entries 64) in
+  (* 8 data chunks -> 2 groups -> 2 parity chunks *)
+  Alcotest.(check int) "total chunks" 10 (List.length chunks);
+  Alcotest.(check int) "data chunks" 8 (List.length (Fec.data_chunks chunks));
+  Alcotest.(check int) "groups" 2 (Fec.group_count chunks)
+
+let test_fec_recovers_single_loss () =
+  let e = entries 30 in
+  let chunks = Fec.encode ~group_size:4 ~per_chunk:8 e in
+  (* drop one data chunk from each group *)
+  let dropped =
+    List.filter (fun (c : Fec.chunk) -> not (c.Fec.index = 1 && not c.Fec.parity)) chunks
+  in
+  Alcotest.(check bool) "chunks dropped" true (List.length dropped < List.length chunks);
+  Alcotest.(check (option (list (pair string (float 0.))))) "reconstructed" (Some e)
+    (Fec.decode dropped)
+
+let test_fec_fails_on_double_loss () =
+  let e = entries 30 in
+  let chunks = Fec.encode ~group_size:4 ~per_chunk:8 e in
+  let dropped =
+    List.filter
+      (fun (c : Fec.chunk) -> not (c.Fec.group = 0 && (c.Fec.index = 0 || c.Fec.index = 1)))
+      chunks
+  in
+  Alcotest.(check (option (list (pair string (float 0.))))) "two losses in one group" None
+    (Fec.decode dropped)
+
+let test_fec_parity_loss_harmless () =
+  let e = entries 30 in
+  let chunks = Fec.encode ~group_size:4 ~per_chunk:8 e in
+  let dropped = Fec.data_chunks chunks in
+  Alcotest.(check (option (list (pair string (float 0.))))) "parity lost, data intact" (Some e)
+    (Fec.decode dropped)
+
+let test_fec_empty () =
+  Alcotest.(check (option (list (pair string (float 0.))))) "empty" (Some []) (Fec.decode [])
+
+let test_xor_entries_involution () =
+  let a = [ ("abc", 1.5); ("de", -2.25) ] in
+  let b = [ ("xyzw", 3.75); ("q", 0.5) ] in
+  let x = Fec.xor_entries [ a; b ] in
+  let back = Fec.xor_entries [ x; b ] in
+  (* xoring back recovers a (padded keys are stripped only by decode,
+     so compare by re-xoring to zero) *)
+  let zero = Fec.xor_entries [ back; a ] in
+  List.iter (fun (_, v) -> Alcotest.(check (float 0.)) "values cancel" 0. v) zero
+
+let prop_fec_roundtrip =
+  QCheck.Test.make ~name:"fec roundtrip for any entry list and geometry" ~count:100
+    QCheck.(triple (int_range 1 6) (int_range 1 10) (list_of_size (Gen.int_range 0 60) (float_range (-100.) 100.)))
+    (fun (group_size, per_chunk, values) ->
+      let e = List.mapi (fun i v -> (Printf.sprintf "k%d" i, v)) values in
+      Fec.decode (Fec.encode ~group_size ~per_chunk e) = Some e)
+
+let prop_fec_single_loss_recovery =
+  QCheck.Test.make ~name:"fec recovers any single data-chunk loss" ~count:100
+    QCheck.(pair (int_range 0 3) (list_of_size (Gen.int_range 8 40) (float_range 0. 10.)))
+    (fun (drop_index, values) ->
+      let e = List.mapi (fun i v -> (Printf.sprintf "k%d" i, v)) values in
+      let chunks = Fec.encode ~group_size:4 ~per_chunk:4 e in
+      let victim =
+        List.filter (fun (c : Fec.chunk) -> c.Fec.group = 0 && not c.Fec.parity) chunks
+        |> fun l -> List.nth_opt l (drop_index mod List.length l)
+      in
+      match victim with
+      | None -> true
+      | Some v ->
+        let remaining = List.filter (fun c -> c <> v) chunks in
+        Fec.decode remaining = Some e)
+
+(* ---------------- Transfer ---------------- *)
+
+let transfer_net () =
+  let topo = T.linear ~n:4 () in
+  let engine = Engine.create () in
+  let net = Net.create engine topo in
+  let s0 = (T.node_by_name topo "s0").T.id in
+  let s3 = (T.node_by_name topo "s3").T.id in
+  (topo, engine, net, s0, s3)
+
+let test_transfer_lossless () =
+  let _, engine, net, s0, s3 = transfer_net () in
+  let e = entries 50 in
+  let got = ref None in
+  let x = Transfer.send net ~src_sw:s0 ~dst_sw:s3 ~entries:e
+      ~on_complete:(fun r -> got := Some r) () in
+  Engine.run engine ~until:2.;
+  Alcotest.(check bool) "complete" true (Transfer.complete x);
+  Alcotest.(check (option (list (pair string (float 0.))))) "payload intact" (Some e) !got;
+  Alcotest.(check int) "no retransmissions" 0 (Transfer.retransmitted_groups x);
+  Alcotest.(check int) "no fec work needed" 0 (Transfer.fec_recoveries x)
+
+let test_transfer_with_loss_fec () =
+  let _, engine, net, s0, s3 = transfer_net () in
+  let mid = s0 + 1 in
+  let _loss = Loss.install net ~sw:mid ~prob:0.15 ~classes:Loss.State_chunks_only () in
+  let e = entries 200 in
+  let got = ref None in
+  let x = Transfer.send net ~src_sw:s0 ~dst_sw:s3 ~entries:e
+      ~on_complete:(fun r -> got := Some r) () in
+  Engine.run engine ~until:10.;
+  Alcotest.(check bool) "complete despite loss" true (Transfer.complete x);
+  Alcotest.(check (option (list (pair string (float 0.))))) "payload intact" (Some e) !got;
+  Alcotest.(check bool) "fec recovered some groups" true
+    (Transfer.fec_recoveries x + Transfer.retransmitted_groups x > 0)
+
+let test_transfer_without_fec_needs_more_retx () =
+  let run_with_fec fec seed =
+    let _, engine, net, s0, s3 = transfer_net () in
+    let _loss = Loss.install net ~sw:(s0 + 1) ~prob:0.15 ~seed ~classes:Loss.State_chunks_only () in
+    let x = Transfer.send net ~src_sw:s0 ~dst_sw:s3 ~entries:(entries 200) ~fec
+        ~on_complete:(fun _ -> ()) () in
+    Engine.run engine ~until:20.;
+    (Transfer.complete x, Transfer.retransmitted_groups x)
+  in
+  let totals fec =
+    List.fold_left
+      (fun (c, r) seed ->
+        let complete, retx = run_with_fec fec seed in
+        ((if complete then c + 1 else c), r + retx))
+      (0, 0) [ 1; 2; 3; 4; 5 ]
+  in
+  let complete_fec, retx_fec = totals true in
+  let complete_nofec, retx_nofec = totals false in
+  Alcotest.(check int) "fec runs all complete" 5 complete_fec;
+  Alcotest.(check int) "nofec runs all complete" 5 complete_nofec;
+  Alcotest.(check bool) "fec needs fewer retransmissions" true (retx_fec < retx_nofec)
+
+let test_transfer_empty () =
+  let _, engine, net, s0, s3 = transfer_net () in
+  let got = ref None in
+  let x = Transfer.send net ~src_sw:s0 ~dst_sw:s3 ~entries:[] ~on_complete:(fun r -> got := Some r) () in
+  Engine.run engine ~until:1.;
+  Alcotest.(check bool) "trivially complete" true (Transfer.complete x);
+  Alcotest.(check (option (list (pair string (float 0.))))) "empty payload" (Some []) !got
+
+(* ---------------- Repurposing ---------------- *)
+
+let test_repurpose_downtime_and_recovery () =
+  let topo = T.Fig2.build () in
+  let lm = topo in
+  let engine = Engine.create () in
+  let net = Net.create engine lm.T.Fig2.topo in
+  (* route a flow through m1 explicitly *)
+  let src = List.hd lm.T.Fig2.normal_sources in
+  let dst = lm.T.Fig2.victim in
+  let mid_of (l : T.link) = if l.T.a = lm.T.Fig2.agg then l.T.b else l.T.a in
+  let m1 = mid_of (List.hd lm.T.Fig2.critical) in
+  let full_path =
+    [ src; Net.access_switch net ~host:src; lm.T.Fig2.agg; m1; lm.T.Fig2.victim_agg ]
+    @ [ Net.access_switch net ~host:dst; dst ]
+  in
+  Net.install_path net ~dst full_path;
+  (match T.shortest_path lm.T.Fig2.topo ~src:dst ~dst:src with
+  | Some p -> Net.install_path net ~dst:src p
+  | None -> Alcotest.fail "no reverse path");
+  let flow = Ff_netsim.Flow.Cbr.start net ~src ~dst ~rate_pps:100. () in
+  let installed = ref false and done_at = ref 0. in
+  Engine.schedule engine ~at:2. (fun () ->
+      Repurpose.repurpose net ~sw:m1 ~downtime:1.0
+        ~install:(fun () -> installed := true)
+        ~on_done:(fun o ->
+          done_at := o.Repurpose.completed_at)
+        ());
+  Engine.run engine ~until:6.;
+  Alcotest.(check bool) "program installed" true !installed;
+  Alcotest.(check (float 0.01)) "downtime respected" 3.0 !done_at;
+  Alcotest.(check bool) "switch back up" true (Net.switch net m1).Net.up;
+  (* fast reroute kept most traffic flowing: >= 80% of 400 s-worth *)
+  Alcotest.(check bool) "traffic survived via backup" true
+    (Ff_netsim.Flow.Cbr.delivered_bytes flow > 0.8 *. 100. *. 1000. *. 6.)
+
+let test_repurpose_moves_state () =
+  let _, engine, net, s0, s3 = transfer_net () in
+  let store = ref (entries 20) in
+  let restored = ref [] in
+  Repurpose.repurpose net ~sw:s0 ~downtime:0.5 ~state_to:s3
+    ~snapshot:(fun () -> !store)
+    ~restore:(fun e -> restored := e)
+    ~install:(fun () -> store := [])
+    ~on_done:(fun o -> Alcotest.(check int) "entries shipped" 20 o.Repurpose.state_moved)
+    ();
+  Engine.run engine ~until:5.;
+  Alcotest.(check (list (pair string (float 0.)))) "state made the round trip" (entries 20)
+    !restored
+
+let test_install_backup_routes () =
+  let topo = T.ring ~n:5 () in
+  let engine = Engine.create () in
+  let net = Net.create engine topo in
+  (* route around the ring through switch 1 *)
+  let h0 = (T.node_by_name topo "h0").T.id in
+  let h2 = (T.node_by_name topo "h2").T.id in
+  Net.set_route net ~sw:0 ~dst:h2 ~next_hop:1;
+  Net.set_route net ~sw:1 ~dst:h2 ~next_hop:2;
+  let n = Repurpose.install_backup_routes net ~around:1 in
+  Alcotest.(check bool) "backups installed" true (n >= 1);
+  (* switch 0's backup for h2 avoids switch 1 (goes the other way) *)
+  ignore h0;
+  let backup = Hashtbl.find_opt (Net.switch net 0).Net.backup_routes h2 in
+  Alcotest.(check (option int)) "backup goes around" (Some 4) backup
+
+(* ---------------- Loss injection ---------------- *)
+
+let test_loss_probability () =
+  let topo = T.linear ~n:1 () in
+  let engine = Engine.create () in
+  let net = Net.create engine topo in
+  let h0 = (T.node_by_name topo "h0").T.id in
+  let h1 = (T.node_by_name topo "h1").T.id in
+  let s0 = (T.node_by_name topo "s0").T.id in
+  Net.set_route net ~sw:s0 ~dst:h1 ~next_hop:h1;
+  let loss = Loss.install net ~sw:s0 ~prob:0.3 () in
+  let f = Ff_netsim.Flow.Cbr.start net ~src:h0 ~dst:h1 ~rate_pps:500. () in
+  Engine.run engine ~until:4.;
+  let observed = float_of_int (Loss.dropped loss) /. float_of_int (Loss.seen loss) in
+  Alcotest.(check bool) "drop rate near 0.3" true (Float.abs (observed -. 0.3) < 0.05);
+  Alcotest.(check bool) "goodput reduced accordingly" true
+    (Ff_netsim.Flow.Cbr.delivered_bytes f < 0.8 *. float_of_int (Ff_netsim.Flow.Cbr.sent_packets f * 1000))
+
+(* ---------------- Replication ---------------- *)
+
+let test_replicate_and_failover () =
+  let _, engine, net, s0, s3 = transfer_net () in
+  let state = ref (entries 10) in
+  let r = Replicate.start net ~primary:s0 ~replica:s3 ~period:0.5
+      ~snapshot:(fun () -> !state) () in
+  Engine.run engine ~until:3.;
+  Alcotest.(check bool) "several copies done" true (Replicate.copies_completed r >= 3);
+  Alcotest.(check (list (pair string (float 0.)))) "replica holds the state" (entries 10)
+    (Replicate.last_copy r);
+  (* primary dies; failover restores from the replica *)
+  state := [];
+  Net.set_switch_up net ~sw:s0 false;
+  let recovered = ref [] in
+  Alcotest.(check bool) "failover succeeds" true
+    (Replicate.failover r ~restore:(fun e -> recovered := e));
+  Alcotest.(check (list (pair string (float 0.)))) "state recovered" (entries 10) !recovered;
+  Replicate.stop r;
+  let copies = Replicate.copies_completed r in
+  Engine.run engine ~until:6.;
+  (* at most one in-flight transfer may still land after stop *)
+  Alcotest.(check bool) "no new rounds after stop" true
+    (Replicate.copies_completed r <= copies + 1)
+
+let () =
+  let qcheck =
+    List.map QCheck_alcotest.to_alcotest [ prop_fec_roundtrip; prop_fec_single_loss_recovery ]
+  in
+  Alcotest.run "ff_scaling"
+    [
+      ( "fec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_fec_roundtrip;
+          Alcotest.test_case "parity counts" `Quick test_fec_parity_counts;
+          Alcotest.test_case "recovers single loss" `Quick test_fec_recovers_single_loss;
+          Alcotest.test_case "fails on double loss" `Quick test_fec_fails_on_double_loss;
+          Alcotest.test_case "parity loss harmless" `Quick test_fec_parity_loss_harmless;
+          Alcotest.test_case "empty" `Quick test_fec_empty;
+          Alcotest.test_case "xor involution" `Quick test_xor_entries_involution;
+        ] );
+      ( "transfer",
+        [
+          Alcotest.test_case "lossless" `Quick test_transfer_lossless;
+          Alcotest.test_case "loss with fec" `Quick test_transfer_with_loss_fec;
+          Alcotest.test_case "fec vs retransmit" `Quick test_transfer_without_fec_needs_more_retx;
+          Alcotest.test_case "empty transfer" `Quick test_transfer_empty;
+        ] );
+      ( "repurpose",
+        [
+          Alcotest.test_case "downtime and recovery" `Quick test_repurpose_downtime_and_recovery;
+          Alcotest.test_case "state round trip" `Quick test_repurpose_moves_state;
+          Alcotest.test_case "backup routes" `Quick test_install_backup_routes;
+        ] );
+      ("loss", [ Alcotest.test_case "probability" `Quick test_loss_probability ]);
+      ( "replication",
+        [ Alcotest.test_case "replicate and failover" `Quick test_replicate_and_failover ] );
+      ("properties", qcheck);
+    ]

@@ -1,0 +1,243 @@
+(* Unit and property tests for Ff_util: PRNG, statistics, heap, series. *)
+
+module Prng = Ff_util.Prng
+module Stats = Ff_util.Stats
+module Heap = Ff_util.Heap
+module Series = Ff_util.Series
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_loose = Alcotest.(check (float 1e-3))
+
+(* ---------------- PRNG ---------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.int64 a) (Prng.int64 b)
+  done
+
+let test_prng_seed_dependence () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  Alcotest.(check bool) "different streams" false (Prng.int64 a = Prng.int64 b)
+
+let test_prng_int_bounds () =
+  let rng = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_float_bounds () =
+  let rng = Prng.create ~seed:8 in
+  for _ = 1 to 1000 do
+    let v = Prng.float rng 3.5 in
+    Alcotest.(check bool) "in range" true (v >= 0. && v < 3.5)
+  done
+
+let test_prng_uniformity () =
+  let rng = Prng.create ~seed:5 in
+  let buckets = Array.make 10 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let i = Prng.int rng 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let expected = n / 10 in
+      Alcotest.(check bool) "within 15% of uniform" true
+        (abs (c - expected) < expected * 15 / 100))
+    buckets
+
+let test_prng_split_independent () =
+  let parent = Prng.create ~seed:3 in
+  let child = Prng.split parent in
+  let c1 = Prng.int64 child and p1 = Prng.int64 parent in
+  Alcotest.(check bool) "split diverges from parent" true (c1 <> p1)
+
+let test_prng_exponential_mean () =
+  let rng = Prng.create ~seed:11 in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Prng.exponential rng ~mean:2.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "sample mean near 2.0" true (Float.abs (mean -. 2.0) < 0.1)
+
+let test_prng_shuffle_permutation () =
+  let rng = Prng.create ~seed:13 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 Fun.id) sorted
+
+(* ---------------- Stats ---------------- *)
+
+let test_mean () =
+  check_float "mean" 2.5 (Stats.mean [ 1.; 2.; 3.; 4. ]);
+  check_float "empty mean" 0. (Stats.mean [])
+
+let test_variance () =
+  check_float "variance" 1.25 (Stats.variance [ 1.; 2.; 3.; 4. ]);
+  check_float "singleton" 0. (Stats.variance [ 5. ])
+
+let test_percentile () =
+  let xs = [ 1.; 2.; 3.; 4.; 5. ] in
+  check_float "p0" 1. (Stats.percentile 0. xs);
+  check_float "p50" 3. (Stats.percentile 50. xs);
+  check_float "p100" 5. (Stats.percentile 100. xs);
+  check_float "p25 interpolates" 2. (Stats.percentile 25. xs)
+
+let test_percentile_empty () =
+  Alcotest.check_raises "empty percentile" (Invalid_argument "Stats.percentile: empty sample")
+    (fun () -> ignore (Stats.percentile 50. []))
+
+let test_ewma () =
+  let e = Stats.Ewma.create ~alpha:0.5 in
+  check_float "initial" 0. (Stats.Ewma.value e);
+  Stats.Ewma.update e 10.;
+  check_float "first sample taken whole" 10. (Stats.Ewma.value e);
+  Stats.Ewma.update e 0.;
+  check_float "decays" 5. (Stats.Ewma.value e);
+  Stats.Ewma.reset e;
+  check_float "reset" 0. (Stats.Ewma.value e)
+
+let test_window_counter () =
+  let w = Stats.Window_counter.create ~width:1.0 in
+  Stats.Window_counter.add w ~now:0.1 100.;
+  Stats.Window_counter.add w ~now:0.5 100.;
+  check_float_loose "rate inside window" 200. (Stats.Window_counter.rate w ~now:0.9);
+  (* after the window passes, old samples age out *)
+  check_float_loose "rate after window" 0. (Stats.Window_counter.rate w ~now:5.0)
+
+(* ---------------- Heap ---------------- *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  List.iter (fun p -> Heap.push h ~prio:p p) [ 5.; 1.; 4.; 2.; 3. ];
+  let order = List.init 5 (fun _ -> fst (Option.get (Heap.pop h))) in
+  Alcotest.(check (list (float 0.))) "sorted pops" [ 1.; 2.; 3.; 4.; 5. ] order
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  Heap.push h ~prio:1. "first";
+  Heap.push h ~prio:1. "second";
+  Heap.push h ~prio:1. "third";
+  let order = List.init 3 (fun _ -> snd (Option.get (Heap.pop h))) in
+  Alcotest.(check (list string)) "insertion order on ties" [ "first"; "second"; "third" ] order
+
+let test_heap_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None);
+  Heap.push h ~prio:1. 1;
+  Alcotest.(check int) "size" 1 (Heap.size h);
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops any input in sorted order" ~count:200
+    QCheck.(list (float_range 0. 1000.))
+    (fun xs ->
+      let h = Heap.create () in
+      List.iter (fun x -> Heap.push h ~prio:x x) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some (p, _) -> drain (p :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let prop_percentile_within_range =
+  QCheck.Test.make ~name:"percentile stays within sample bounds" ~count:200
+    QCheck.(pair (float_range 0. 100.) (list_of_size (Gen.int_range 1 40) (float_range (-50.) 50.)))
+    (fun (p, xs) ->
+      let v = Stats.percentile p xs in
+      let lo = List.fold_left Float.min infinity xs in
+      let hi = List.fold_left Float.max neg_infinity xs in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+(* ---------------- Series ---------------- *)
+
+let test_series_basics () =
+  let s = Series.create ~name:"x" in
+  Series.add s ~time:0. 1.;
+  Series.add s ~time:1. 2.;
+  Series.add s ~time:2. 3.;
+  Alcotest.(check int) "length" 3 (Series.length s);
+  Alcotest.(check (option (pair (float 0.) (float 0.)))) "last" (Some (2., 3.)) (Series.last s)
+
+let test_series_resample () =
+  let s = Series.create ~name:"x" in
+  Series.add s ~time:1. 10.;
+  Series.add s ~time:3. 20.;
+  let pts = Series.resample s ~step:1. ~until:4. in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "piecewise-constant grid"
+    [ (0., 0.); (1., 10.); (2., 10.); (3., 20.); (4., 20.) ]
+    pts
+
+let test_series_csv () =
+  let a = Series.create ~name:"a" and b = Series.create ~name:"b" in
+  List.iter (fun t -> Series.add a ~time:t (t *. 2.)) [ 0.; 1.; 2. ];
+  List.iter (fun t -> Series.add b ~time:t (t +. 10.)) [ 0.; 1.; 2. ];
+  let out = Format.asprintf "%a" (fun fmt s -> Series.pp_csv fmt s) [ a; b ] in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  Alcotest.(check string) "header" "time,a,b" (List.hd lines);
+  Alcotest.(check int) "rows" 4 (List.length lines);
+  Alcotest.(check bool) "values present" true
+    (List.exists (fun l -> l = "2.000,4.0000,12.0000") lines)
+
+let test_series_ascii_renders () =
+  let s = Series.create ~name:"wave" in
+  for i = 0 to 20 do
+    Series.add s ~time:(float_of_int i) (float_of_int (i mod 5))
+  done;
+  let out = Format.asprintf "%a" (fun fmt x -> Series.pp_ascii ~width:40 ~height:6 fmt x) [ s ] in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "chart body drawn" true (String.contains out '*');
+  Alcotest.(check bool) "legend includes the name" true (contains out "wave")
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest [ prop_heap_sorts; prop_percentile_within_range ] in
+  Alcotest.run "ff_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed dependence" `Quick test_prng_seed_dependence;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "uniformity" `Quick test_prng_uniformity;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;
+          Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "variance" `Quick test_variance;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "percentile empty" `Quick test_percentile_empty;
+          Alcotest.test_case "ewma" `Quick test_ewma;
+          Alcotest.test_case "window counter" `Quick test_window_counter;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "basics" `Quick test_series_basics;
+          Alcotest.test_case "resample" `Quick test_series_resample;
+          Alcotest.test_case "csv rendering" `Quick test_series_csv;
+          Alcotest.test_case "ascii rendering" `Quick test_series_ascii_renders;
+        ] );
+      ("properties", qcheck);
+    ]
