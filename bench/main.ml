@@ -775,17 +775,67 @@ let experiments =
     ("micro", micro);
   ]
 
+let run_experiment name f =
+  let trace_events () =
+    match Ff_obs.Trace.ambient () with Some tr -> Ff_obs.Trace.count tr | None -> 0
+  in
+  let span =
+    Ff_obs.Profile.start ~events:(Ff_netsim.Engine.total_steps ())
+      ~trace_events:(trace_events ()) name
+  in
+  f ();
+  let report =
+    Ff_obs.Profile.finish span ~events:(Ff_netsim.Engine.total_steps ())
+      ~trace_events:(trace_events ()) ()
+  in
+  Format.printf "%a@." Ff_obs.Profile.pp_report report
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  match args with
-  | [] | [ "all" ] -> List.iter (fun (_, f) -> f ()) experiments
+  (* --trace FILE    write the telemetry event log (JSONL, or CSV if FILE
+                     ends in .csv) after the experiments run
+     --metrics FILE  write the metrics registry as CSV *)
+  let rec split_opts trace metrics acc = function
+    | "--trace" :: file :: rest -> split_opts (Some file) metrics acc rest
+    | "--metrics" :: file :: rest -> split_opts trace (Some file) acc rest
+    | a :: rest -> split_opts trace metrics (a :: acc) rest
+    | [] -> (trace, metrics, List.rev acc)
+  in
+  let trace_file, metrics_file, names = split_opts None None [] args in
+  let trace =
+    match trace_file with
+    | None -> None
+    | Some _ ->
+      let tr = Ff_obs.Trace.create () in
+      Ff_obs.Trace.set_ambient (Some tr);
+      Some tr
+  in
+  let metrics =
+    let m = Ff_obs.Metrics.create () in
+    Ff_obs.Metrics.set_ambient (Some m);
+    m
+  in
+  (match names with
+  | [] | [ "all" ] -> List.iter (fun (name, f) -> run_experiment name f) experiments
   | names ->
     List.iter
       (fun name ->
         match List.assoc_opt name experiments with
-        | Some f -> f ()
+        | Some f -> run_experiment name f
         | None ->
           Printf.eprintf "unknown experiment %S; available: %s\n" name
             (String.concat " " (List.map fst experiments));
           exit 1)
-      names
+      names);
+  (match (trace_file, trace) with
+  | Some file, Some tr ->
+    if Filename.check_suffix file ".csv" then Ff_obs.Trace.write_csv tr file
+    else Ff_obs.Trace.write_jsonl tr file;
+    Printf.printf "[trace] %d events (%d buffered, %d dropped) -> %s\n" (Ff_obs.Trace.count tr)
+      (Ff_obs.Trace.length tr) (Ff_obs.Trace.dropped tr) file
+  | _ -> ());
+  match metrics_file with
+  | Some file ->
+    Ff_obs.Metrics.write_csv metrics ~now:infinity file;
+    Printf.printf "[metrics] -> %s\n" file
+  | None -> ()

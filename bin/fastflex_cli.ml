@@ -8,7 +8,7 @@
 
 open Cmdliner
 
-let run_lfa defense duration te_period roll_times csv seed_bots normals =
+let run_lfa defense duration te_period roll_times csv seed_bots normals trace_file =
   let defense =
     match defense with
     | "none" -> Fastflex.Scenario.No_defense
@@ -19,14 +19,35 @@ let run_lfa defense duration te_period roll_times csv seed_bots normals =
   let attack =
     Some { Fastflex.Scenario.default_attack with roll_schedule = roll_times }
   in
+  let trace =
+    Option.map
+      (fun _ ->
+        let tr = Ff_obs.Trace.create () in
+        Ff_obs.Trace.set_ambient (Some tr);
+        tr)
+      trace_file
+  in
+  let span = Ff_obs.Profile.start ~events:(Ff_netsim.Engine.total_steps ()) "lfa" in
   let r =
     Fastflex.Scenario.run_lfa ~defense ~attack ~duration ~bots:seed_bots ~normals ()
+  in
+  let report =
+    Ff_obs.Profile.finish span ~events:(Ff_netsim.Engine.total_steps ())
+      ~trace_events:(match trace with Some tr -> Ff_obs.Trace.count tr | None -> 0)
+      ()
   in
   Fastflex.Scenario.pp_summary Format.std_formatter r;
   if csv then Ff_util.Series.pp_csv Format.std_formatter [ r.Fastflex.Scenario.normalized ]
   else
     Ff_util.Series.pp_ascii ~height:12 Format.std_formatter
       [ r.Fastflex.Scenario.normalized ];
+  Format.printf "%a@." Ff_obs.Profile.pp_report report;
+  (match (trace_file, trace) with
+  | Some file, Some tr ->
+    if Filename.check_suffix file ".csv" then Ff_obs.Trace.write_csv tr file
+    else Ff_obs.Trace.write_jsonl tr file;
+    Printf.printf "trace: %d events -> %s\n" (Ff_obs.Trace.count tr) file
+  | _ -> ());
   `Ok ()
 
 let compile_cmd () =
@@ -98,6 +119,11 @@ let csv_arg = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of an AS
 let bots_arg = Arg.(value & opt int 8 & info [ "bots" ] ~doc:"Number of bot hosts.")
 let normals_arg = Arg.(value & opt int 4 & info [ "normals" ] ~doc:"Number of normal hosts.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write the telemetry event log to $(docv) (JSONL, or CSV when \
+               $(docv) ends in .csv).")
+
 let dwell_arg =
   Arg.(value & opt float 1.0 & info [ "dwell" ] ~docv:"SECONDS" ~doc:"Minimum mode dwell.")
 
@@ -107,7 +133,7 @@ let lfa_cmd =
     Term.(
       ret
         (const run_lfa $ defense_arg $ duration_arg $ te_period_arg $ rolls_arg $ csv_arg
-        $ bots_arg $ normals_arg))
+        $ bots_arg $ normals_arg $ trace_arg))
 
 let compile_command =
   let doc = "Compile the booster catalogue and print the module/sharing report." in

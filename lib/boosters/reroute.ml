@@ -100,6 +100,15 @@ let stage t =
                  actually better than nothing; always prefer probe path for
                  marked traffic *)
               t.reroutes <- t.reroutes + 1;
+              Net.obs_emit t.net
+                (Ff_obs.Event.Reroute
+                   { sw = sw.Net.sw_id; dst = pkt.Packet.dst; next_hop = e.next_hop });
+              (match Net.metrics t.net with
+              | Some m ->
+                Ff_obs.Metrics.Counter.incr
+                  (Ff_obs.Metrics.counter m
+                     ~scope:(Ff_obs.Metrics.Switch sw.Net.sw_id) "reroutes")
+              | None -> ());
               Net.Forward e.next_hop
             | _ -> Net.Continue
           end

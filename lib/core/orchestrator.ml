@@ -1,6 +1,9 @@
 module Net = Ff_netsim.Net
+module Engine = Ff_netsim.Engine
 module Packet = Ff_dataplane.Packet
+module Sketch = Ff_dataplane.Sketch
 module Topology = Ff_topology.Topology
+module Transfer = Ff_scaling.Transfer
 module B = Ff_boosters
 
 type config = {
@@ -38,6 +41,9 @@ type t = {
   reroute : B.Reroute.t;
   obfuscator : B.Obfuscator.t;
   droppers : B.Dropper.t list;
+  suspect_sketch : Sketch.t;  (** per-source suspicious bytes, kept at [agg] *)
+  victim_sketch : Sketch.t;  (** [victim_agg]'s copy, filled by state transfer *)
+  mutable state_transfer : Transfer.t option;
 }
 
 let modes_for = function
@@ -61,17 +67,50 @@ let deploy net ~landmarks ~default_plan ?(config = default_config) () =
         else (l.Topology.b, l.Topology.a))
       lm.Topology.Fig2.critical
   in
+  (* The agg switch accumulates per-source suspicious bytes in a sketch;
+     once the alarm fires and classification has had time to populate it,
+     the sketch is shipped in-band to the victim-side aggregation switch
+     (paper 3.4) so mitigation there starts from the upstream evidence
+     instead of a cold table. *)
+  let suspect_sketch = Sketch.create ~rows:3 ~cols:128 () in
+  let victim_sketch = Sketch.create ~rows:3 ~cols:128 () in
+  let self = ref None in
+  let ship_sketch () =
+    match !self with
+    | Some t when t.state_transfer = None && Sketch.total suspect_sketch > 0. ->
+      t.state_transfer <-
+        Some
+          (Transfer.send_sketch net ~src_sw:lm.Topology.Fig2.agg
+             ~dst_sw:lm.Topology.Fig2.victim_agg ~sketch:suspect_sketch
+             ~into:victim_sketch ())
+    | _ -> ()
+  in
   let detector =
     B.Lfa_detector.install net ~sw:lm.Topology.Fig2.agg ~watched
       ~check_period:config.check_period ~high_threshold:config.high_threshold
       ~suspicious_rate:config.suspicious_rate ~min_age:config.min_age
       ~clear_hold:config.clear_hold ~dst_flows_min:config.dst_flows_min
       ~on_alarm:(fun a ->
-        Ff_modes.Protocol.raise_alarm protocol ~sw:a.B.Lfa_detector.switch a.B.Lfa_detector.attack)
+        Ff_modes.Protocol.raise_alarm protocol ~sw:a.B.Lfa_detector.switch a.B.Lfa_detector.attack;
+        (* let the classify mode mark traffic for ~2 s before snapshotting *)
+        Engine.after (Net.engine net) ~delay:2.0 ship_sketch)
       ~on_clear:(fun a ->
         Ff_modes.Protocol.clear_alarm protocol ~sw:a.B.Lfa_detector.switch a.B.Lfa_detector.attack)
       ()
   in
+  (* after the detector's classifier, so marks are visible; before the
+     dropper, so policed packets still count as evidence *)
+  Net.add_stage net ~sw:lm.Topology.Fig2.agg
+    {
+      Net.stage_name = "suspect-sketch";
+      process =
+        (fun _ctx pkt ->
+          (match pkt.Packet.payload with
+          | Packet.Data when pkt.Packet.suspicious ->
+            Sketch.add suspect_sketch pkt.Packet.src (float_of_int pkt.Packet.size)
+          | _ -> ());
+          Net.Continue);
+    };
   (* dropping happens where classification happens, before rerouting can
      steer the packet away *)
   let droppers =
@@ -101,7 +140,16 @@ let deploy net ~landmarks ~default_plan ?(config = default_config) () =
       p
   in
   let obfuscator = B.Obfuscator.install net ~virtual_path () in
-  { protocol; detector; reroute; obfuscator; droppers }
+  let t =
+    { protocol; detector; reroute; obfuscator; droppers; suspect_sketch;
+      victim_sketch; state_transfer = None }
+  in
+  self := Some t;
+  t
+
+let suspect_sketch t = t.suspect_sketch
+let victim_sketch t = t.victim_sketch
+let state_transfer t = t.state_transfer
 
 let dropped_packets t =
   List.fold_left (fun acc d -> acc + B.Dropper.dropped d) 0 t.droppers

@@ -26,6 +26,12 @@ type t = {
   reroute : Ff_boosters.Reroute.t;
   obfuscator : Ff_boosters.Obfuscator.t;
   droppers : Ff_boosters.Dropper.t list;
+  suspect_sketch : Ff_dataplane.Sketch.t;
+      (** per-source suspicious bytes accumulated at the [agg] switch *)
+  victim_sketch : Ff_dataplane.Sketch.t;
+      (** the victim-side aggregation switch's copy, filled by in-band
+          state transfer ~2 s after the first LFA alarm *)
+  mutable state_transfer : Ff_scaling.Transfer.t option;
 }
 
 val deploy :
@@ -91,3 +97,10 @@ val wide_dropped : wide -> int
 
 val dropped_packets : t -> int
 val mode_log : t -> (float * int * Ff_dataplane.Packet.attack_kind * bool) list
+
+val suspect_sketch : t -> Ff_dataplane.Sketch.t
+val victim_sketch : t -> Ff_dataplane.Sketch.t
+
+val state_transfer : t -> Ff_scaling.Transfer.t option
+(** The agg -> victim-agg sketch handoff, once the alarm has triggered it
+    ([None] before then). *)

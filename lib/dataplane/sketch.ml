@@ -44,16 +44,19 @@ let heavy_keys t ~candidates ~threshold =
 let rows t = t.rows_n
 let cols t = t.cols_n
 
-let serialize t =
+type snapshot = { cells : (int * float) list; total : float }
+
+let serialize (t : t) =
   let out = ref [] in
   Array.iteri (fun i v -> if v <> 0. then out := (i, v) :: !out) t.cells;
-  List.rev !out
+  { cells = List.rev !out; total = t.total }
 
-let absorb t cells =
+(* [total] travels alongside the cells: summing absorbed cell values into
+   [t.total] would count each key [rows] times (every [add] writes [rows]
+   cells but bumps [total] once), inflating it by ~[rows]x per transfer. *)
+let absorb (t : t) { cells; total } =
   List.iter
     (fun (i, v) ->
-      if i >= 0 && i < Array.length t.cells then begin
-        t.cells.(i) <- t.cells.(i) +. v;
-        t.total <- t.total +. v
-      end)
-    cells
+      if i >= 0 && i < Array.length t.cells then t.cells.(i) <- t.cells.(i) +. v)
+    cells;
+  t.total <- t.total +. total

@@ -30,10 +30,15 @@ val heavy_keys : t -> candidates:int list -> threshold:float -> int list
 val rows : t -> int
 val cols : t -> int
 
-val serialize : t -> (int * float) list
-(** Flat (cell index, value) pairs for non-zero cells — the wire format of
-    sync probes. *)
+type snapshot = { cells : (int * float) list; total : float }
+(** Flat (cell index, value) pairs for non-zero cells plus the source's
+    total — the wire format of sync probes and state transfers. The total
+    must travel with the cells: it cannot be reconstructed from them
+    (each [add] writes [rows] cells but counts once). *)
 
-val absorb : t -> (int * float) list -> unit
-(** Add serialized cells into this sketch (dimensions must admit the
-    indices). *)
+val serialize : t -> snapshot
+
+val absorb : t -> snapshot -> unit
+(** Add a serialized snapshot into this sketch (dimensions must admit the
+    indices). A serialize→absorb round trip into an empty sketch of the
+    same geometry preserves estimates and [total] exactly. *)

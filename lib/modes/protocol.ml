@@ -23,6 +23,7 @@ type t = {
   mutable history : (float * int * attack * bool) list;
   mutable transitions : int;
   flap_times : (attack, float list) Hashtbl.t; (* recent activation times *)
+  max_flap_entries : int;
 }
 
 let mode_var name = "mode:" ^ name
@@ -56,7 +57,15 @@ let refresh_vars t sw =
 
 let record t sw attack activated =
   t.history <- (Net.now t.net, sw, attack, activated) :: t.history;
-  t.transitions <- t.transitions + 1
+  t.transitions <- t.transitions + 1;
+  Net.obs_emit t.net
+    (Ff_obs.Event.Mode_transition
+       { sw; attack = Packet.attack_kind_to_string attack; activated });
+  match Net.metrics t.net with
+  | None -> ()
+  | Some m ->
+    Ff_obs.Metrics.Counter.incr
+      (Ff_obs.Metrics.counter m ~scope:(Ff_obs.Metrics.Switch sw) "mode_transitions")
 
 let current_dwell t attack =
   let now = Net.now t.net in
@@ -69,11 +78,23 @@ let current_dwell t attack =
   if flaps <= 1 then t.min_dwell
   else Float.min t.max_holddown (t.min_dwell *. (2. ** float_of_int (flaps - 1)))
 
+(* Prune on insert: age out entries past the window AND hard-cap the list
+   at the depth where the exponential holddown saturates at [max_holddown]
+   — beyond that extra entries change nothing, so sustained flapping (even
+   many activations within one window) cannot grow the list without
+   bound. *)
 let note_activation t attack =
   let now = Net.now t.net in
   let previous = try Hashtbl.find t.flap_times attack with Not_found -> [] in
-  let recent = List.filter (fun at -> now -. at <= t.flap_window) previous in
+  let recent =
+    List.filteri
+      (fun i at -> i < t.max_flap_entries - 1 && now -. at <= t.flap_window)
+      previous
+  in
   Hashtbl.replace t.flap_times attack (now :: recent)
+
+let flap_entries t attack =
+  List.length (try Hashtbl.find t.flap_times attack with Not_found -> [])
 
 let activate_at t ~sw ~attack ~epoch =
   let st = state t sw in
@@ -134,11 +155,13 @@ let rec deactivate_at t ~sw ~attack ~epoch =
       end
 
 let flood t ~from_sw ~except ~attack ~epoch ~activate ~ttl =
-  if ttl > 0 then
+  if ttl > 0 then begin
+    Net.obs_emit t.net (Ff_obs.Event.Probe { sw = from_sw; kind = "mode" });
     Net.flood_from_switch t.net ~sw:from_sw ~except (fun () ->
         Packet.make ~src:from_sw ~dst:from_sw ~flow:0 ~birth:(Net.now t.net)
           ~payload:(Packet.Mode_probe { attack; epoch; origin = from_sw; activate; region_ttl = ttl })
           ())
+  end
 
 let stage t =
   {
@@ -174,6 +197,9 @@ let create net ?(region_ttl = 8) ?(min_dwell = 1.0) ?(flap_window = 10.) ?(max_h
       history = [];
       transitions = 0;
       flap_times = Hashtbl.create 4;
+      max_flap_entries =
+        (let ratio = Float.max 1. (max_holddown /. Float.max 1e-9 min_dwell) in
+         2 + int_of_float (ceil (log ratio /. log 2.)));
     }
   in
   List.iter (fun sw -> Net.add_stage net ~sw (stage t)) (Net.switch_ids net);

@@ -58,6 +58,12 @@ val epoch : t -> attack -> int
 val current_dwell : t -> attack -> float
 (** The dwell currently enforced for the attack (grows under flapping). *)
 
+val flap_entries : t -> attack -> int
+(** Activation timestamps currently retained for the anti-flapping
+    holddown. Pruned on insert and hard-capped at the depth where the
+    holddown saturates at [max_holddown], so it stays O(1) under
+    sustained flapping. *)
+
 val log : t -> (float * int * attack * bool) list
 (** Mode-change history: (time, switch, attack, activated), oldest first. *)
 

@@ -59,6 +59,7 @@ let advertise t () =
       let entries = List.filter (fun (_, v) -> v >= t.threshold) (t.local_view ~sw) in
       if entries <> [] then begin
         t.probes_sent <- t.probes_sent + 1;
+        Net.obs_emit t.net (Ff_obs.Event.Probe { sw; kind = "sync" });
         Hashtbl.replace (state t sw).seen (sw, t.round) ();
         Net.flood_from_switch t.net ~sw ~except:[] (fun () ->
             Packet.make ~src:sw ~dst:sw ~flow:t.probe_class ~birth:(Net.now t.net)

@@ -1,5 +1,11 @@
 type t = { heap : (unit -> unit) Ff_util.Heap.t; mutable clock : float }
 
+(* Process-wide count of executed events, across every engine instance:
+   the denominator-free "work done" measure the profiler reports even for
+   engines buried inside scenario code. *)
+let global_steps = ref 0
+let total_steps () = !global_steps
+
 let create () = { heap = Ff_util.Heap.create (); clock = 0. }
 
 let now t = t.clock
@@ -31,6 +37,7 @@ let step t =
   | None -> false
   | Some (at, f) ->
     t.clock <- max t.clock at;
+    incr global_steps;
     f ();
     true
 

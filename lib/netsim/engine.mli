@@ -28,3 +28,8 @@ val step : t -> bool
 val pending : t -> int
 
 val clear : t -> unit
+
+val total_steps : unit -> int
+(** Process-wide count of events executed across every engine instance —
+    monotone, never reset. Snapshot it around a run to profile events/s
+    (see [Ff_obs.Profile]). *)

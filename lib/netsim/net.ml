@@ -48,6 +48,8 @@ and t = {
   dirlinks : (int * int, dirlink) Hashtbl.t;
   drop_reasons : (string, int) Hashtbl.t;
   mutable tracer : (trace_event -> unit) option;
+  mutable obs : Ff_obs.Trace.t option;
+  mutable metrics : Ff_obs.Metrics.t option;
 }
 
 and trace_event = {
@@ -66,6 +68,18 @@ and trace_kind =
 let engine t = t.engine
 let topology t = t.topo
 let now t = Engine.now t.engine
+
+(* ---------------- observability ---------------- *)
+
+let attach_obs t tr = t.obs <- tr
+let obs_trace t = t.obs
+let attach_metrics t m = t.metrics <- m
+let metrics t = t.metrics
+
+let obs_emit t event =
+  match t.obs with
+  | None -> ()
+  | Some tr -> Ff_obs.Trace.emit tr ~time:(Engine.now t.engine) event
 
 let switch t id =
   match t.nodes.(id) with
@@ -97,7 +111,13 @@ let emit_trace t ~node ~(pkt : Packet.t) kind =
 
 let drop_packet t ~node (pkt : Packet.t) reason =
   count_drop t reason;
-  emit_trace t ~node ~pkt (Packet_drop reason)
+  emit_trace t ~node ~pkt (Packet_drop reason);
+  obs_emit t (Ff_obs.Event.Drop { node; reason });
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+    Ff_obs.Metrics.Counter.incr
+      (Ff_obs.Metrics.counter m ~scope:(Ff_obs.Metrics.Switch node) "drops")
 
 let drops_by_reason t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.drop_reasons [] |> List.sort compare
@@ -151,6 +171,14 @@ let rec transmit t dl (pkt : Packet.t) =
     dl.busy_until <- start +. tx_time;
     dl.tx_packets <- dl.tx_packets + 1;
     Ff_util.Stats.Window_counter.add dl.tx_window ~now:tnow size;
+    (match t.metrics with
+    | None -> ()
+    | Some m ->
+      Ff_obs.Metrics.Counter.add
+        (Ff_obs.Metrics.counter m
+           ~scope:(Ff_obs.Metrics.Link (dl.from_node, dl.to_node))
+           "tx_bytes")
+        size);
     let arrival = dl.busy_until +. dl.link.Topology.delay in
     Engine.schedule t.engine ~at:arrival (fun () -> receive t ~at:dl.to_node ~from_:dl.from_node pkt)
   end
@@ -217,7 +245,7 @@ and default_forward t sw (pkt : Packet.t) =
     | Some next :: rest -> try_next next || first_ok rest
   in
   if not (first_ok [ pair; primary; backup ]) then
-    count_drop t
+    drop_packet t ~node:sw.sw_id pkt
       (if pair = None && primary = None && backup = None then "no-route" else "next-hop-down")
 
 and handle_at_switch t sw ~in_port pkt =
@@ -302,7 +330,17 @@ let create ?(queue_limit_bytes = 37_500.) engine topo =
       mk l.Topology.b l.Topology.a)
     (Topology.links topo);
   let t =
-    { engine; topo; nodes; dirlinks; drop_reasons = Hashtbl.create 16; tracer = None }
+    {
+      engine;
+      topo;
+      nodes;
+      dirlinks;
+      drop_reasons = Hashtbl.create 16;
+      tracer = None;
+      (* new networks report into whatever ambient sinks the harness set up *)
+      obs = Ff_obs.Trace.ambient ();
+      metrics = Ff_obs.Metrics.ambient ();
+    }
   in
   (* hosts are directly reachable from their access switch *)
   Array.iter

@@ -169,3 +169,21 @@ val set_tracer : t -> (trace_event -> unit) option -> unit
 val trace_flow : t -> flow:int -> trace_event list ref
 (** Convenience: install a tracer that accumulates this flow's events
     (newest first) into the returned ref. Replaces any existing tracer. *)
+
+(** {1 Telemetry}
+
+    The structured observability layer ([Ff_obs]): a typed event trace and
+    a metrics registry every subsystem holding the net can report into.
+    [create] attaches the ambient trace/registry if one is set
+    ({!Ff_obs.Trace.set_ambient}), so harnesses can observe networks built
+    deep inside scenario code. *)
+
+val attach_obs : t -> Ff_obs.Trace.t option -> unit
+val obs_trace : t -> Ff_obs.Trace.t option
+
+val obs_emit : t -> Ff_obs.Event.t -> unit
+(** Emit stamped with the current simulation time; no-op when no trace is
+    attached. *)
+
+val attach_metrics : t -> Ff_obs.Metrics.t option -> unit
+val metrics : t -> Ff_obs.Metrics.t option

@@ -1,0 +1,75 @@
+type transfer_phase =
+  | Xfer_start
+  | Xfer_retransmit
+  | Xfer_complete
+  | Xfer_failed
+
+type t =
+  | Mode_transition of { sw : int; attack : string; activated : bool }
+  | Reroute of { sw : int; dst : int; next_hop : int }
+  | State_transfer of {
+      xfer_id : int;
+      src : int;
+      dst : int;
+      phase : transfer_phase;
+      chunks : int;
+    }
+  | Fec_recovery of { xfer_id : int; group : int }
+  | Drop of { node : int; reason : string }
+  | Probe of { sw : int; kind : string }
+
+let phase_label = function
+  | Xfer_start -> "start"
+  | Xfer_retransmit -> "retransmit"
+  | Xfer_complete -> "complete"
+  | Xfer_failed -> "failed"
+
+let kind = function
+  | Mode_transition _ -> "mode_transition"
+  | Reroute _ -> "reroute"
+  | State_transfer _ -> "state_transfer"
+  | Fec_recovery _ -> "fec_recovery"
+  | Drop _ -> "drop"
+  | Probe _ -> "probe"
+
+let node = function
+  | Mode_transition { sw; _ } | Reroute { sw; _ } | Probe { sw; _ } -> sw
+  | State_transfer { src; _ } -> src
+  | Fec_recovery _ -> -1
+  | Drop { node; _ } -> node
+
+(* minimal JSON rendering: values are pre-rendered strings *)
+let jstr s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let jint i = string_of_int i
+let jbool b = if b then "true" else "false"
+
+let json_fields = function
+  | Mode_transition { sw; attack; activated } ->
+    [ ("sw", jint sw); ("attack", jstr attack); ("activated", jbool activated) ]
+  | Reroute { sw; dst; next_hop } ->
+    [ ("sw", jint sw); ("dst", jint dst); ("next_hop", jint next_hop) ]
+  | State_transfer { xfer_id; src; dst; phase; chunks } ->
+    [ ("xfer_id", jint xfer_id); ("src", jint src); ("dst", jint dst);
+      ("phase", jstr (phase_label phase)); ("chunks", jint chunks) ]
+  | Fec_recovery { xfer_id; group } -> [ ("xfer_id", jint xfer_id); ("group", jint group) ]
+  | Drop { node; reason } -> [ ("node", jint node); ("reason", jstr reason) ]
+  | Probe { sw; kind } -> [ ("sw", jint sw); ("kind", jstr kind) ]
+
+let detail ev =
+  String.concat " "
+    (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) (json_fields ev))

@@ -1,0 +1,45 @@
+(** Typed telemetry events emitted by the simulator and the defense
+    subsystems. Events carry only plain identifiers (switch ids, attack
+    names) so that [ff_obs] sits below every other library and everyone can
+    emit without dependency cycles. *)
+
+type transfer_phase =
+  | Xfer_start  (** sender kicked off a transfer *)
+  | Xfer_retransmit  (** a group timed out and was resent *)
+  | Xfer_complete  (** receiver decoded every group *)
+  | Xfer_failed  (** retries exhausted or no path *)
+
+type t =
+  | Mode_transition of { sw : int; attack : string; activated : bool }
+      (** a switch entered/left the defense modes for [attack] *)
+  | Reroute of { sw : int; dst : int; next_hop : int }
+      (** a packet deviated from the pinned table onto a probe-found detour *)
+  | State_transfer of {
+      xfer_id : int;
+      src : int;
+      dst : int;
+      phase : transfer_phase;
+      chunks : int;  (** cumulative chunks sent at this point *)
+    }
+  | Fec_recovery of { xfer_id : int; group : int }
+      (** parity reconstructed a lost chunk without retransmission *)
+  | Drop of { node : int; reason : string }
+  | Probe of { sw : int; kind : string }
+      (** control-plane-free signalling: mode / sync / reroute probes *)
+
+val kind : t -> string
+(** Stable snake_case tag, also the JSONL ["event"] field. *)
+
+val node : t -> int
+(** Primary switch/node of the event; [-1] when not tied to one. *)
+
+val phase_label : transfer_phase -> string
+
+val json_fields : t -> (string * string) list
+(** Event payload as (key, rendered JSON value) pairs. *)
+
+val detail : t -> string
+(** Compact single-line [k=v] rendering for CSV/debug output. *)
+
+val jstr : string -> string
+(** Escape and quote a string as a JSON value. *)

@@ -1,0 +1,121 @@
+type scope = Global | Switch of int | Link of int * int
+
+let scope_label = function
+  | Global -> "-"
+  | Switch sw -> Printf.sprintf "sw:%d" sw
+  | Link (a, b) -> Printf.sprintf "link:%d->%d" a b
+
+module Counter = struct
+  type t = { mutable v : float }
+
+  let incr t = t.v <- t.v +. 1.
+  let add t x = t.v <- t.v +. x
+  let value t = t.v
+end
+
+module Gauge = struct
+  type t = { mutable v : float }
+
+  let set t x = t.v <- x
+  let value t = t.v
+end
+
+module Histogram = struct
+  (* A sliding-window sample reservoir: observations older than [window]
+     (simulation seconds) age out lazily. Percentiles come from
+     [Ff_util.Stats.percentile] over the live samples. *)
+  type t = { window : float; mutable samples : (float * float) list }
+
+  let prune t ~now =
+    t.samples <- List.filter (fun (at, _) -> now -. at <= t.window) t.samples
+
+  let observe t ~now v =
+    prune t ~now;
+    t.samples <- (now, v) :: t.samples
+
+  let values t ~now =
+    prune t ~now;
+    List.map snd t.samples
+
+  let count t ~now = List.length (values t ~now)
+  let mean t ~now = Ff_util.Stats.mean (values t ~now)
+
+  let percentile t ~now p =
+    match values t ~now with [] -> 0. | vs -> Ff_util.Stats.percentile p vs
+end
+
+type key = { name : string; scope : scope }
+
+type t = {
+  hist_window : float;
+  counters : (key, Counter.t) Hashtbl.t;
+  gauges : (key, Gauge.t) Hashtbl.t;
+  histograms : (key, Histogram.t) Hashtbl.t;
+}
+
+let create ?(hist_window = 10.) () =
+  {
+    hist_window;
+    counters = Hashtbl.create 64;
+    gauges = Hashtbl.create 64;
+    histograms = Hashtbl.create 64;
+  }
+
+let find_or tbl key mk =
+  match Hashtbl.find_opt tbl key with
+  | Some m -> m
+  | None ->
+    let m = mk () in
+    Hashtbl.replace tbl key m;
+    m
+
+let counter t ?(scope = Global) name =
+  find_or t.counters { name; scope } (fun () -> { Counter.v = 0. })
+
+let gauge t ?(scope = Global) name =
+  find_or t.gauges { name; scope } (fun () -> { Gauge.v = 0. })
+
+let histogram t ?(scope = Global) name =
+  find_or t.histograms { name; scope } (fun () ->
+      { Histogram.window = t.hist_window; samples = [] })
+
+let counter_value t ?(scope = Global) name =
+  match Hashtbl.find_opt t.counters { name; scope } with
+  | Some c -> Counter.value c
+  | None -> 0.
+
+let sum_counters t name =
+  Hashtbl.fold
+    (fun k c acc -> if k.name = name then acc +. Counter.value c else acc)
+    t.counters 0.
+
+let rows t ~now =
+  let collect tbl typ render =
+    Hashtbl.fold
+      (fun key m acc -> (key.name, scope_label key.scope, typ, render m) :: acc)
+      tbl []
+  in
+  let all =
+    collect t.counters "counter" (fun c -> Printf.sprintf "%.0f" (Counter.value c))
+    @ collect t.gauges "gauge" (fun g -> Printf.sprintf "%g" (Gauge.value g))
+    @ collect t.histograms "histogram" (fun h ->
+          Printf.sprintf "n=%d mean=%.3g p50=%.3g p99=%.3g" (Histogram.count h ~now)
+            (Histogram.mean h ~now)
+            (Histogram.percentile h ~now 50.)
+            (Histogram.percentile h ~now 99.))
+  in
+  List.sort compare (List.map (fun (a, b, c, d) -> [ a; b; c; d ]) all)
+
+let output_csv t ~now oc =
+  output_string oc "metric,scope,type,value\n";
+  List.iter
+    (fun row -> Printf.fprintf oc "%s\n" (String.concat "," (List.map (Printf.sprintf "%S") row)))
+    (rows t ~now)
+
+let write_csv t ~now path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_csv t ~now oc)
+
+let ambient_metrics : t option ref = ref None
+let set_ambient m = ambient_metrics := m
+let ambient () = !ambient_metrics

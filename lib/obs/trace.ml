@@ -1,0 +1,124 @@
+type entry = { seq : int; time : float; event : Event.t }
+
+type t = {
+  capacity : int;
+  mutable buf : entry array;
+  mutable len : int;
+  mutable seq : int;
+  mutable dropped : int;
+  mutable epoch_base : float;  (* offset applied when raw sim time regresses *)
+  mutable last_raw : float;
+  mutable last_time : float;
+  counts : (string, int) Hashtbl.t;
+  mutable sinks : (entry -> unit) list;
+}
+
+let sentinel = { seq = -1; time = 0.; event = Event.Drop { node = -1; reason = "" } }
+
+let create ?(capacity = 1 lsl 20) () =
+  {
+    capacity;
+    buf = Array.make 1024 sentinel;
+    len = 0;
+    seq = 0;
+    dropped = 0;
+    epoch_base = 0.;
+    last_raw = 0.;
+    last_time = 0.;
+    counts = Hashtbl.create 16;
+    sinks = [];
+  }
+
+let on_event t f = t.sinks <- f :: t.sinks
+
+let bump t kind = Hashtbl.replace t.counts kind (1 + (try Hashtbl.find t.counts kind with Not_found -> 0))
+
+let push t e =
+  if t.len >= t.capacity then t.dropped <- t.dropped + 1
+  else begin
+    if t.len = Array.length t.buf then begin
+      let bigger = Array.make (min t.capacity (2 * Array.length t.buf)) sentinel in
+      Array.blit t.buf 0 bigger 0 t.len;
+      t.buf <- bigger
+    end;
+    t.buf.(t.len) <- e;
+    t.len <- t.len + 1
+  end
+
+let emit t ~time event =
+  (* One trace often spans several simulation runs (each with its own
+     engine starting at t=0). When raw time regresses, a new run began:
+     rebase so the trace timeline stays monotone, continuing from the last
+     stamped time. *)
+  if time < t.last_raw then t.epoch_base <- t.last_time;
+  t.last_raw <- time;
+  let time = t.epoch_base +. time in
+  t.last_time <- time;
+  let e = { seq = t.seq; time; event } in
+  t.seq <- t.seq + 1;
+  bump t (Event.kind event);
+  push t e;
+  List.iter (fun f -> f e) t.sinks
+
+let length t = t.len
+let count t = t.seq
+let dropped t = t.dropped
+let count_kind t kind = try Hashtbl.find t.counts kind with Not_found -> 0
+
+let events t = Array.to_list (Array.sub t.buf 0 t.len)
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.buf.(i)
+  done
+
+let clear t =
+  t.len <- 0;
+  t.seq <- 0;
+  t.dropped <- 0;
+  t.epoch_base <- 0.;
+  t.last_raw <- 0.;
+  t.last_time <- 0.;
+  Hashtbl.reset t.counts
+
+let entry_to_json (e : entry) =
+  let fields =
+    ("seq", string_of_int e.seq)
+    :: ("time", Printf.sprintf "%.6f" e.time)
+    :: ("event", Event.jstr (Event.kind e.event))
+    :: Event.json_fields e.event
+  in
+  "{"
+  ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
+  ^ "}"
+
+let output_jsonl t oc =
+  iter t (fun e ->
+      output_string oc (entry_to_json e);
+      output_char oc '\n')
+
+let write_jsonl t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_jsonl t oc)
+
+let output_csv t oc =
+  output_string oc "seq,time,event,node,detail\n";
+  iter t (fun e ->
+      Printf.fprintf oc "%d,%.6f,%s,%d,%S\n" e.seq e.time (Event.kind e.event)
+        (Event.node e.event) (Event.detail e.event))
+
+let write_csv t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_csv t oc)
+
+(* The ambient trace: the process-wide default sink that [Ff_netsim.Net]
+   picks up at creation, so experiment harnesses can trace scenarios whose
+   networks are built deep inside library code. *)
+let ambient_trace : t option ref = ref None
+let set_ambient tr = ambient_trace := tr
+let ambient () = !ambient_trace
+
+let with_ambient tr f =
+  let saved = !ambient_trace in
+  ambient_trace := Some tr;
+  Fun.protect ~finally:(fun () -> ambient_trace := saved) f

@@ -34,6 +34,12 @@ let registry : (int, t) Hashtbl.t = Hashtbl.create 16
 
 let stage_name = "state-transfer"
 
+let emit_phase t phase =
+  Net.obs_emit t.net
+    (Ff_obs.Event.State_transfer
+       { xfer_id = t.xfer_id; src = t.src_sw; dst = t.dst_sw; phase;
+         chunks = t.chunks_sent })
+
 let group_complete t g =
   match Hashtbl.find_opt t.chunks_by_group g with
   | None -> false
@@ -59,7 +65,11 @@ let try_decode_group t g =
       let data_present =
         List.length (List.filter (fun c -> not c.Fec.parity) members)
       in
-      if data_present < n then t.fec_recoveries <- t.fec_recoveries + 1;
+      if data_present < n then begin
+        t.fec_recoveries <- t.fec_recoveries + 1;
+        Net.obs_emit t.net
+          (Ff_obs.Event.Fec_recovery { xfer_id = t.xfer_id; group = g })
+      end;
       Hashtbl.replace t.decoded g entries;
       true
     | None -> false
@@ -77,6 +87,7 @@ let send_ack t ~group =
 let finish_if_done t =
   if (not t.complete) && Hashtbl.length t.decoded = t.total_groups then begin
     t.complete <- true;
+    emit_phase t Ff_obs.Event.Xfer_complete;
     let all =
       List.concat_map
         (fun g -> Hashtbl.find t.decoded g)
@@ -144,10 +155,16 @@ let send_group t g =
 let rec watch_group t g =
   if (not t.failed) && not (Hashtbl.mem t.acked g) then begin
     let tries = try Hashtbl.find t.retries g with Not_found -> 0 in
-    if tries >= t.max_retries then t.failed <- true
+    if tries >= t.max_retries then begin
+      t.failed <- true;
+      emit_phase t Ff_obs.Event.Xfer_failed
+    end
     else begin
       Hashtbl.replace t.retries g (tries + 1);
-      if tries > 0 then t.retransmitted_groups <- t.retransmitted_groups + 1;
+      if tries > 0 then begin
+        t.retransmitted_groups <- t.retransmitted_groups + 1;
+        emit_phase t Ff_obs.Event.Xfer_retransmit
+      end;
       send_group t g;
       Engine.after (Net.engine t.net) ~delay:t.retransmit_timeout (fun () -> watch_group t g)
     end
@@ -190,6 +207,7 @@ let send net ~src_sw ~dst_sw ~entries ?(group_size = 4) ?(per_chunk = 8) ?(fec =
   in
   if t.complete then on_complete [];
   Hashtbl.replace registry t.xfer_id t;
+  emit_phase t Ff_obs.Event.Xfer_start;
   (* endpoints and routes over the current topology *)
   List.iter (fun sw -> ensure_stage net sw) (Net.switch_ids net);
   let topo = Net.topology net in
@@ -199,9 +217,42 @@ let send net ~src_sw ~dst_sw ~entries ?(group_size = 4) ?(per_chunk = 8) ?(fec =
   (match Topology.shortest_path topo ~src:dst_sw ~dst:src_sw with
   | Some p -> Net.install_path net ~dst:src_sw p
   | None -> t.failed <- true);
-  if not t.failed then
-    List.iter (fun g -> watch_group t g) (List.init total_groups Fun.id);
+  if t.failed then emit_phase t Ff_obs.Event.Xfer_failed
+  else List.iter (fun g -> watch_group t g) (List.init total_groups Fun.id);
   t
+
+(* Sketch snapshots ride the generic entry format: one ["cell:<i>"] entry
+   per non-zero cell plus a ["total"] entry, so the receiver's total is the
+   sender's — not a per-cell re-sum (see Sketch.absorb). *)
+let sketch_wire_entries (snap : Ff_dataplane.Sketch.snapshot) =
+  ("total", snap.Ff_dataplane.Sketch.total)
+  :: List.map
+       (fun (i, v) -> (Printf.sprintf "cell:%d" i, v))
+       snap.Ff_dataplane.Sketch.cells
+
+let sketch_snapshot_of_entries entries =
+  let cells, total =
+    List.fold_left
+      (fun (cells, total) (k, v) ->
+        match String.index_opt k ':' with
+        | Some i when String.sub k 0 i = "cell" -> (
+          match int_of_string_opt (String.sub k (i + 1) (String.length k - i - 1)) with
+          | Some idx -> ((idx, v) :: cells, total)
+          | None -> (cells, total))
+        | _ -> if k = "total" then (cells, total +. v) else (cells, total))
+      ([], 0.) entries
+  in
+  { Ff_dataplane.Sketch.cells = List.rev cells; total }
+
+let send_sketch net ~src_sw ~dst_sw ~sketch ~into ?group_size ?per_chunk ?fec
+    ?retransmit_timeout ?max_retries ?(on_complete = fun () -> ()) () =
+  let entries = sketch_wire_entries (Ff_dataplane.Sketch.serialize sketch) in
+  send net ~src_sw ~dst_sw ~entries ?group_size ?per_chunk ?fec
+    ?retransmit_timeout ?max_retries
+    ~on_complete:(fun entries ->
+      Ff_dataplane.Sketch.absorb into (sketch_snapshot_of_entries entries);
+      on_complete ())
+    ()
 
 let chunks_sent t = t.chunks_sent
 let retransmitted_groups t = t.retransmitted_groups

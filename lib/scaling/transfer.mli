@@ -29,6 +29,26 @@ val send :
     to retransmission alone. Defaults: groups of 4 data chunks, 8 entries
     per chunk, 80 ms retransmit timer, 10 retries per group. *)
 
+val send_sketch :
+  Ff_netsim.Net.t ->
+  src_sw:int ->
+  dst_sw:int ->
+  sketch:Ff_dataplane.Sketch.t ->
+  into:Ff_dataplane.Sketch.t ->
+  ?group_size:int ->
+  ?per_chunk:int ->
+  ?fec:bool ->
+  ?retransmit_timeout:float ->
+  ?max_retries:int ->
+  ?on_complete:(unit -> unit) ->
+  unit ->
+  t
+(** Ship a snapshot of [sketch] from [src_sw] to [dst_sw] and absorb it
+    into [into] on completion. The snapshot's [total] travels with the
+    cells, so the receiving sketch's total matches the sender's exactly
+    (summing cells would overcount by the row count). Both sketches must
+    share geometry for the cell indices to be meaningful. *)
+
 val chunks_sent : t -> int
 val retransmitted_groups : t -> int
 val fec_recoveries : t -> int

@@ -15,10 +15,27 @@ let int64 t =
 
 let split t = { state = int64 t }
 
+(* Uniform via rejection sampling: plain [rem] over the 63-bit draw favors
+   small residues when the bound does not divide 2^63. Draws from the
+   incomplete top interval are rejected and retried; [bits - v + (bound-1)]
+   wraps negative exactly for those draws. Power-of-two bounds divide 2^63,
+   so masking is exact and keeps the historical value stream; non-power
+   bounds also keep the stream for every accepted draw (rejection odds are
+   [bound / 2^63] per draw). *)
 let int t bound =
   assert (bound > 0);
-  let mask = Int64.shift_right_logical (int64 t) 1 in
-  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+  let b = Int64.of_int bound in
+  if bound land (bound - 1) = 0 then
+    Int64.to_int (Int64.logand (Int64.shift_right_logical (int64 t) 1) (Int64.sub b 1L))
+  else begin
+    let rec draw () =
+      let bits = Int64.shift_right_logical (int64 t) 1 in
+      let v = Int64.rem bits b in
+      if Int64.compare (Int64.add (Int64.sub bits v) (Int64.sub b 1L)) 0L < 0 then draw ()
+      else Int64.to_int v
+    in
+    draw ()
+  end
 
 let float t bound =
   assert (bound > 0.);

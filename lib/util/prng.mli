@@ -17,7 +17,9 @@ val int64 : t -> int64
 (** Next raw 64-bit value. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+(** [int t bound] is uniform in [\[0, bound)] — exactly, not just
+    approximately: biased draws are rejected and retried rather than
+    folded in by modulo. Requires [bound > 0]. *)
 
 val float : t -> float -> float
 (** [float t bound] is uniform in [\[0, bound)]. Requires [bound > 0.]. *)

@@ -137,10 +137,25 @@ let test_sketch_merge_incompatible () =
 let test_sketch_serialize_absorb () =
   let a = Sketch.create ~rows:3 ~cols:128 () in
   Sketch.add a 5 9.;
-  let cells = Sketch.serialize a in
+  let snap = Sketch.serialize a in
   let b = Sketch.create ~rows:3 ~cols:128 () in
-  Sketch.absorb b cells;
+  Sketch.absorb b snap;
   Alcotest.(check bool) "absorbed" true (Sketch.estimate b 5 >= 9.)
+
+let test_sketch_roundtrip_total_exact () =
+  (* regression: absorb used to re-sum cell values into [total], inflating
+     it by a factor of [rows] on every serialize->absorb round trip *)
+  let a = Sketch.create ~rows:4 ~cols:64 () in
+  for key = 0 to 49 do
+    Sketch.add a key (float_of_int key +. 0.5)
+  done;
+  let b = Sketch.create ~rows:4 ~cols:64 () in
+  Sketch.absorb b (Sketch.serialize a);
+  Alcotest.(check (float 0.)) "total survives exactly" (Sketch.total a) (Sketch.total b);
+  (* absorbing into a non-empty sketch adds, not replaces *)
+  Sketch.absorb b (Sketch.serialize a);
+  Alcotest.(check (float 0.)) "second absorb accumulates" (2. *. Sketch.total a)
+    (Sketch.total b)
 
 let prop_sketch_upper_bound =
   QCheck.Test.make ~name:"count-min estimate always >= true count" ~count:100
@@ -318,6 +333,8 @@ let () =
           Alcotest.test_case "merge" `Quick test_sketch_merge;
           Alcotest.test_case "merge incompatible" `Quick test_sketch_merge_incompatible;
           Alcotest.test_case "serialize/absorb" `Quick test_sketch_serialize_absorb;
+          Alcotest.test_case "roundtrip total exact" `Quick
+            test_sketch_roundtrip_total_exact;
         ] );
       ( "bloom",
         [

@@ -109,6 +109,30 @@ let test_flap_holddown_grows () =
   Alcotest.(check bool) "hold-down escalated" true (Protocol.current_dwell p Packet.Lfa > 0.2);
   Alcotest.(check bool) "epochs advanced" true (Protocol.epoch p Packet.Lfa >= 8)
 
+let test_flap_list_bounded () =
+  (* regression: with a very long flap window, sustained oscillation used
+     to grow the activation-timestamp list without bound. It is now capped
+     at the depth where the holddown saturates at max_holddown. *)
+  let _, engine, net = ring_net 4 in
+  let p =
+    Protocol.create net ~min_dwell:0.2 ~flap_window:1e9 ~max_holddown:16. ~modes_for ()
+  in
+  ignore net;
+  for _ = 1 to 40 do
+    Protocol.raise_alarm p ~sw:0 Packet.Lfa;
+    let t = Engine.now engine +. 0.3 in
+    Engine.schedule engine ~at:t (fun () -> Protocol.clear_alarm p ~sw:0 Packet.Lfa);
+    Engine.run engine ~until:(t +. 20.)
+  done;
+  (* 2 + ceil(log2(16/0.2)) = 9 *)
+  let entries = Protocol.flap_entries p Packet.Lfa in
+  Alcotest.(check bool)
+    (Printf.sprintf "flap list capped (%d <= 9)" entries)
+    true
+    (entries <= 9);
+  Alcotest.(check bool) "holddown saturated" true
+    (Protocol.current_dwell p Packet.Lfa = 16.)
+
 let test_overlapping_attacks_share_mode () =
   (* Lfa and Pulsing both map to "reroute": clearing one must keep it *)
   let _, engine, net = ring_net 4 in
@@ -316,6 +340,7 @@ let () =
           Alcotest.test_case "stale epoch ignored" `Quick test_stale_epoch_ignored;
           Alcotest.test_case "coexisting modes" `Quick test_coexisting_modes;
           Alcotest.test_case "flap hold-down grows" `Quick test_flap_holddown_grows;
+          Alcotest.test_case "flap list bounded" `Quick test_flap_list_bounded;
           Alcotest.test_case "overlapping attacks share mode" `Quick
             test_overlapping_attacks_share_mode;
         ] );

@@ -49,6 +49,39 @@ let test_prng_uniformity () =
         (abs (c - expected) < expected * 15 / 100))
     buckets
 
+let test_prng_int_unbiased_small_bound () =
+  (* regression: [int] used plain modulo, which biases small residues when
+     the bound does not divide 2^63. With rejection sampling a chi-square
+     test over bound 3 must stay under the p=0.001 critical value. *)
+  let rng = Prng.create ~seed:17 in
+  let n = 30_000 in
+  let buckets = Array.make 3 0 in
+  for _ = 1 to n do
+    let i = Prng.int rng 3 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  let expected = float_of_int n /. 3. in
+  let chi2 =
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0. buckets
+  in
+  (* 2 degrees of freedom: critical value 13.82 at p=0.001 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "chi-square %.2f < 13.82" chi2)
+    true (chi2 < 13.82)
+
+let test_prng_pow2_stream_unchanged () =
+  (* power-of-two bounds take the masking fast path; it must agree with
+     the uniform draw (and historically, with the old modulo stream) *)
+  let a = Prng.create ~seed:23 and b = Prng.create ~seed:23 in
+  for _ = 1 to 200 do
+    let expected = Int64.to_int (Int64.rem (Int64.shift_right_logical (Prng.int64 a) 1) 16L) in
+    Alcotest.(check int) "mask = rem for pow2" expected (Prng.int b 16)
+  done
+
 let test_prng_split_independent () =
   let parent = Prng.create ~seed:3 in
   let child = Prng.split parent in
@@ -213,6 +246,8 @@ let () =
           Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
           Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
           Alcotest.test_case "uniformity" `Quick test_prng_uniformity;
+          Alcotest.test_case "unbiased small bound" `Quick test_prng_int_unbiased_small_bound;
+          Alcotest.test_case "pow2 stream unchanged" `Quick test_prng_pow2_stream_unchanged;
           Alcotest.test_case "split independence" `Quick test_prng_split_independent;
           Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;
           Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
