@@ -8,7 +8,12 @@
      dune exec bench/main.exe -- micro     # Bechamel micro-benchmarks
 
    Experiments: fig1 fig2 fig3 abl-te abl-probe abl-sharing abl-fec
-                abl-scaling micro *)
+                abl-scaling micro perf
+
+   [perf] is the end-to-end hot-path regression harness: it replays a
+   fixed fat-tree + rolling-LFA scenario, measures packets/s, events/s
+   and GC words per packet, and rewrites BENCH_netsim.json (preserving
+   the committed "before" entry for comparison). *)
 
 module T = Ff_topology.Topology
 module Scenario = Fastflex.Scenario
@@ -688,6 +693,176 @@ let abl_vol () =
   print_endline " discards the spoofed packets without touching the real address owners)"
 
 (* ------------------------------------------------------------------ *)
+(* perf: the hot-path regression benchmark (BENCH_netsim.json)         *)
+(* ------------------------------------------------------------------ *)
+
+(* A fixed, deterministic scenario that saturates the per-packet path:
+   fat-tree(4), pervasive FastFlex deployment (so every packet crosses the
+   booster stage pipeline), heavy CBR load plus TCP normal flows, and a
+   rolling LFA. The measured numbers go to BENCH_netsim.json; the "before"
+   entry of an existing file is preserved so the trajectory keeps the
+   pre-optimization baseline from the same machine. *)
+
+let perf_scenario () =
+  let topo = T.fat_tree ~k:4 () in
+  let engine = Ff_netsim.Engine.create () in
+  let net = Ff_netsim.Net.create engine topo in
+  let id name = (T.node_by_name topo name).T.id in
+  let hosts = T.hosts topo in
+  List.iter
+    (fun (h1 : T.node) ->
+      List.iter
+        (fun (h2 : T.node) ->
+          if h1.T.id <> h2.T.id then
+            match T.shortest_path topo ~src:h1.T.id ~dst:h2.T.id with
+            | Some p -> Ff_netsim.Net.install_path net ~dst:h2.T.id p
+            | None -> ())
+        hosts)
+    hosts;
+  let victim = id "h0_0_0" in
+  let decoy1 = id "h0_1_0" and decoy2 = id "h0_1_1" in
+  ignore (Orchestrator.deploy_wide net ~protect:[ victim; decoy1; decoy2 ] ());
+  (* open-loop load from every other pod: the constant-rate senders that
+     exercise the batched emission path *)
+  List.iteri
+    (fun i src_name ->
+      ignore
+        (Ff_netsim.Flow.Cbr.start net ~src:(id src_name) ~dst:victim ~rate_pps:1200.
+           ~packet_size:(400 + (100 * (i mod 3))) ~at:0.1 ()))
+    [ "h1_0_0"; "h1_1_0"; "h2_0_0"; "h2_1_0"; "h3_0_0"; "h3_1_0" ];
+  (* closed-loop normal flows (ack traffic doubles the hop count) *)
+  let _tcp =
+    List.map
+      (fun src_name -> Ff_netsim.Flow.Tcp.start net ~src:(id src_name) ~dst:victim ~at:0.5 ())
+      [ "h1_0_1"; "h2_0_1"; "h3_0_1" ]
+  in
+  let bots =
+    List.map id [ "h1_1_1"; "h2_1_1"; "h3_1_1"; "h1_0_1"; "h2_0_1"; "h3_0_1" ]
+  in
+  let _atk =
+    Ff_attacks.Lfa.launch net ~bots ~decoy_groups:[ [ decoy1 ]; [ decoy2 ] ] ~start:5.
+      ~roll_schedule:[ 12.; 19.; 26. ] ()
+  in
+  Ff_netsim.Engine.run engine ~until:30.;
+  net
+
+type perf_sample = {
+  packets : int;
+  events : int;
+  wall_s : float;
+  packets_per_sec : float;
+  events_per_sec : float;
+  alloc_words_per_packet : float;
+  drops : int;
+}
+
+let measure_perf () =
+  Gc.compact ();
+  let bytes0 = Gc.allocated_bytes () in
+  let steps0 = Ff_netsim.Engine.total_steps () in
+  let t0 = Unix.gettimeofday () in
+  let net = perf_scenario () in
+  let wall_s = Float.max 1e-9 (Unix.gettimeofday () -. t0) in
+  let packets = Ff_netsim.Net.total_tx_packets net in
+  let events = Ff_netsim.Engine.total_steps () - steps0 in
+  let alloc_words = (Gc.allocated_bytes () -. bytes0) /. float_of_int (Sys.word_size / 8) in
+  let drops =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 (Ff_netsim.Net.drops_by_reason net)
+  in
+  {
+    packets;
+    events;
+    wall_s;
+    packets_per_sec = float_of_int packets /. wall_s;
+    events_per_sec = float_of_int events /. wall_s;
+    alloc_words_per_packet = alloc_words /. float_of_int (max 1 packets);
+    drops;
+  }
+
+let perf_json_file = "BENCH_netsim.json"
+
+let sample_to_json s =
+  Printf.sprintf
+    "{ \"packets\": %d, \"events\": %d, \"wall_s\": %.3f, \"packets_per_sec\": %.0f, \
+     \"events_per_sec\": %.0f, \"alloc_words_per_packet\": %.1f, \"drops\": %d }"
+    s.packets s.events s.wall_s s.packets_per_sec s.events_per_sec s.alloc_words_per_packet
+    s.drops
+
+(* Extract the balanced-brace object following "key": from a JSON text.
+   Enough for the file this benchmark itself writes; no JSON dependency. *)
+let extract_object text key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  match
+    (* find the pattern *)
+    let plen = String.length pat and tlen = String.length text in
+    let rec find i =
+      if i + plen > tlen then None
+      else if String.sub text i plen = pat then Some (i + plen)
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> None
+  | Some start -> (
+    let tlen = String.length text in
+    let rec skip i = if i < tlen && text.[i] <> '{' then skip (i + 1) else i in
+    let open_ = skip start in
+    if open_ >= tlen then None
+    else
+      let rec scan i depth =
+        if i >= tlen then None
+        else
+          match text.[i] with
+          | '{' -> scan (i + 1) (depth + 1)
+          | '}' -> if depth = 1 then Some (String.sub text open_ (i + 1 - open_)) else scan (i + 1) (depth - 1)
+          | _ -> scan (i + 1) depth
+      in
+      scan open_ 0)
+
+let read_file path =
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  end
+  else None
+
+let perf () =
+  banner "perf" "per-packet hot path: fat-tree(4) + rolling LFA, 30 simulated seconds";
+  let s = measure_perf () in
+  let current = sample_to_json s in
+  let before =
+    match read_file perf_json_file with
+    | Some text -> ( match extract_object text "before" with Some b -> b | None -> current)
+    | None -> current
+  in
+  let oc = open_out perf_json_file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"fastflex-netsim-perf/1\",\n\
+    \  \"scenario\": \"fat-tree(4), deploy_wide defense, 6 CBR + 3 TCP flows, rolling LFA, \
+     30 sim seconds\",\n\
+    \  \"note\": \"before = first run recorded on this machine (preserved across reruns); \
+     after = latest run\",\n\
+    \  \"before\": %s,\n\
+    \  \"after\": %s\n\
+     }\n"
+    before current;
+  close_out oc;
+  Table.print
+    ~header:[ "metric"; "value" ]
+    ~rows:
+      [ [ "hop transmissions"; string_of_int s.packets ];
+        [ "sim events"; string_of_int s.events ];
+        [ "wall (s)"; Printf.sprintf "%.3f" s.wall_s ];
+        [ "packets/s"; Printf.sprintf "%.0f" s.packets_per_sec ];
+        [ "events/s"; Printf.sprintf "%.0f" s.events_per_sec ];
+        [ "alloc words/packet"; Printf.sprintf "%.1f" s.alloc_words_per_packet ];
+        [ "drops"; string_of_int s.drops ] ];
+  Printf.printf "\n[perf] wrote %s\n" perf_json_file
+
+(* ------------------------------------------------------------------ *)
 (* micro: Bechamel micro-benchmarks of the primitives                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -772,6 +947,7 @@ let experiments =
     ("abl-sync", abl_sync);
     ("abl-topo", abl_topo);
     ("abl-vol", abl_vol);
+    ("perf", perf);
     ("micro", micro);
   ]
 

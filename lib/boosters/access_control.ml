@@ -11,13 +11,14 @@ type t = {
 let allowed t ~src ~dst = if Hashtbl.mem t.policy (src, dst) then true else t.default_allow
 
 let stage t =
+  let mode_key = Common.mode_key t.mode in
   {
     Net.stage_name = "access-control";
     process =
       (fun ctx pkt ->
         match pkt.Packet.payload with
         | Packet.Data
-          when Common.mode_active ctx.Net.sw t.mode
+          when Common.mode_on ctx.Net.sw mode_key
                && not (allowed t ~src:pkt.Packet.src ~dst:pkt.Packet.dst) ->
           t.violations <- t.violations + 1;
           Net.Drop "acl-violation"

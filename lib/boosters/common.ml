@@ -1,10 +1,20 @@
-let mode_active (sw : Ff_netsim.Net.switch) name =
-  match Hashtbl.find_opt sw.Ff_netsim.Net.vars ("mode:" ^ name) with
-  | Some v -> v > 0.
-  | None -> false
+(* Mode flags live in the switch's [vars] table under "mode:NAME" keys (the
+   contract shared with Ff_modes.Protocol.refresh_vars). Composing that key
+   with [^] on every packet was the single hottest allocation of the whole
+   simulator, so the per-packet read path is [mode_on] over a key built once
+   by [mode_key] at booster-install time. *)
+
+let mode_key name = "mode:" ^ name
+
+let mode_on (sw : Ff_netsim.Net.switch) key =
+  match Hashtbl.find sw.Ff_netsim.Net.vars key with
+  | v -> v > 0.
+  | exception Not_found -> false
+
+let mode_active (sw : Ff_netsim.Net.switch) name = mode_on sw (mode_key name)
 
 let set_mode (sw : Ff_netsim.Net.switch) name on =
-  Hashtbl.replace sw.Ff_netsim.Net.vars ("mode:" ^ name) (if on then 1. else 0.)
+  Hashtbl.replace sw.Ff_netsim.Net.vars (mode_key name) (if on then 1. else 0.)
 
 let mode_classify = "classify"
 let mode_reroute = "reroute"

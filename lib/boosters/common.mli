@@ -7,6 +7,16 @@
     memory gates a table. *)
 
 val mode_active : Ff_netsim.Net.switch -> string -> bool
+(** [mode_active sw name] composes the var key on every call; fine off the
+    hot path (tests, periodic checks). Per-packet code should build the key
+    once with {!mode_key} and test it with {!mode_on}. *)
+
+val mode_key : string -> string
+(** ["mode:" ^ name], composed once at booster-install time. *)
+
+val mode_on : Ff_netsim.Net.switch -> string -> bool
+(** Allocation-free flag test over a key from {!mode_key} — the per-packet
+    read path. *)
 
 val set_mode : Ff_netsim.Net.switch -> string -> bool -> unit
 (** Directly toggle a mode var (tests and standalone examples; production

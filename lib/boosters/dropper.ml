@@ -13,20 +13,21 @@ type t = {
 }
 
 let meter t flow =
-  match Hashtbl.find_opt t.meters flow with
-  | Some m -> m
-  | None ->
+  match Hashtbl.find t.meters flow with
+  | m -> m
+  | exception Not_found ->
     let m = Meter.create ~rate:(t.rate_limit /. 8.) ~burst:t.burst in
     Hashtbl.replace t.meters flow m;
     m
 
 let stage t =
+  let mode_key = Common.mode_key t.mode in
   {
     Net.stage_name = "dropper";
     process =
       (fun ctx pkt ->
         match pkt.Packet.payload with
-        | Packet.Data when pkt.Packet.suspicious && Common.mode_active ctx.Net.sw t.mode ->
+        | Packet.Data when pkt.Packet.suspicious && Common.mode_on ctx.Net.sw mode_key ->
           let m = meter t pkt.Packet.flow in
           if not (Meter.allow m ~now:ctx.Net.now ~bytes:(float_of_int pkt.Packet.size)) then begin
             t.dropped <- t.dropped + 1;

@@ -55,6 +55,7 @@ let global_rate t ~sw ~tenant =
   remote +. local_rate t ~sw ~tenant
 
 let stage t =
+  let mode_key = Common.mode_key t.mode in
   {
     Net.stage_name = "global-rate-limit";
     process =
@@ -84,7 +85,7 @@ let stage t =
             Ff_util.Stats.Window_counter.add (local_counter t sw tenant) ~now:ctx.Net.now
               (float_of_int pkt.Packet.size);
             match Hashtbl.find_opt t.limits tenant with
-            | Some limit when Common.mode_active ctx.Net.sw t.mode ->
+            | Some limit when Common.mode_on ctx.Net.sw mode_key ->
               let global = global_rate t ~sw ~tenant in
               if global > limit then begin
                 let drop_p = 1. -. (limit /. global) in

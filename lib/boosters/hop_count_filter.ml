@@ -10,6 +10,7 @@ type t = {
 }
 
 let stage t =
+  let mode_key = Common.mode_key t.mode in
   {
     Net.stage_name = "hop-count-filter";
     process =
@@ -24,7 +25,7 @@ let stage t =
           | Some exp_ttl ->
             let deviates = Float.abs (ttl -. exp_ttl) > float_of_int t.tolerance in
             if deviates then
-              if Common.mode_active ctx.Net.sw t.mode then begin
+              if Common.mode_on ctx.Net.sw mode_key then begin
                 t.filtered <- t.filtered + 1;
                 Net.Drop "hcf-spoofed"
               end

@@ -2,15 +2,18 @@ module Net = Ff_netsim.Net
 module Engine = Ff_netsim.Engine
 module Packet = Ff_dataplane.Packet
 
+(* All fields float so the record gets OCaml's flat-float layout: the
+   mutable stores in [update_flow] run on every data packet at every
+   detector switch, and a mixed record would box a fresh float per store.
+   [dst] carries an int node id, [suspicious] is a 0./1. flag. *)
 type flow_rec = {
   mutable first_seen : float;
   mutable last_seen : float;
   mutable rate : float; (* bits/s over the last completed window *)
   mutable window_start : float;
   mutable window_bytes : float;
-  mutable src : int;
-  mutable dst : int;
-  mutable suspicious : bool;
+  mutable dst : float;
+  mutable suspicious : float;
 }
 
 type alarm = { switch : int; attack : Packet.attack_kind }
@@ -42,12 +45,12 @@ let rate_window = 0.5
 
 let update_flow t now (pkt : Packet.t) =
   let rec_ =
-    match Hashtbl.find_opt t.flows pkt.flow with
-    | Some r -> r
-    | None ->
+    match Hashtbl.find t.flows pkt.flow with
+    | r -> r
+    | exception Not_found ->
       let r =
         { first_seen = now; last_seen = now; rate = 0.; window_start = now; window_bytes = 0.;
-          src = pkt.src; dst = pkt.dst; suspicious = false }
+          dst = float_of_int pkt.dst; suspicious = 0. }
       in
       Hashtbl.replace t.flows pkt.flow r;
       r
@@ -67,15 +70,15 @@ let classify t now rec_ (pkt : Packet.t) =
      flows, many of them converging on the same destination — legitimate
      flows congested down to a low rate do not share the fan-in. *)
   let age = now -. rec_.first_seen in
-  let fanout = try Hashtbl.find t.dst_fanout rec_.dst with Not_found -> 0 in
+  let fanout = try Hashtbl.find t.dst_fanout (int_of_float rec_.dst) with Not_found -> 0 in
   if
     age >= t.min_age && rec_.rate > 0. && rec_.rate < t.suspicious_rate
     && fanout >= t.dst_flows_min
   then begin
-    rec_.suspicious <- true;
+    rec_.suspicious <- 1.;
     Hashtbl.replace t.suspicious_srcs pkt.src ()
   end;
-  if rec_.suspicious then begin
+  if rec_.suspicious > 0. then begin
     pkt.Packet.suspicious <- true;
     t.marks <- t.marks + 1
   end
@@ -84,7 +87,8 @@ let classify t now rec_ (pkt : Packet.t) =
    the distributed "classify" mode reached this switch (an alarm elsewhere,
    propagated by mode probes): upstream switches with path diversity must
    mark flows even though their own links are calm. *)
-let classifying t ctx = t.alarmed || Common.mode_active ctx.Net.sw Common.mode_classify
+let classify_key = Common.mode_key Common.mode_classify
+let classifying t ctx = t.alarmed || Common.mode_on ctx.Net.sw classify_key
 
 let stage t =
   {
@@ -121,16 +125,18 @@ let watched_capacity t =
 let suspicious_aggregate_rate t now =
   Hashtbl.fold
     (fun _ r acc ->
-      if r.suspicious && now -. r.last_seen < 1.0 then acc +. r.rate else acc)
+      if r.suspicious > 0. && now -. r.last_seen < 1.0 then acc +. r.rate else acc)
     t.flows 0.
 
 let refresh_fanout t now =
   Hashtbl.reset t.dst_fanout;
   Hashtbl.iter
     (fun _ r ->
-      if now -. r.last_seen < 2.0 then
-        Hashtbl.replace t.dst_fanout r.dst
-          (1 + (try Hashtbl.find t.dst_fanout r.dst with Not_found -> 0)))
+      if now -. r.last_seen < 2.0 then begin
+        let dst = int_of_float r.dst in
+        Hashtbl.replace t.dst_fanout dst
+          (1 + (try Hashtbl.find t.dst_fanout dst with Not_found -> 0))
+      end)
     t.flows
 
 let check t () =
@@ -156,7 +162,7 @@ let check t () =
       if now -. since >= t.clear_hold then begin
         t.alarmed <- false;
         t.calm_since <- None;
-        Hashtbl.iter (fun _ r -> r.suspicious <- false) t.flows;
+        Hashtbl.iter (fun _ r -> r.suspicious <- 0.) t.flows;
         Hashtbl.reset t.suspicious_srcs;
         t.on_clear { switch = t.sw; attack = Packet.Lfa }
       end
@@ -193,11 +199,11 @@ let install net ~sw ~watched ?(check_period = 0.05) ?(high_threshold = 0.85)
 let alarmed t = t.alarmed
 
 let suspicious_flows t =
-  Hashtbl.fold (fun f r acc -> if r.suspicious then f :: acc else acc) t.flows []
+  Hashtbl.fold (fun f r acc -> if r.suspicious > 0. then f :: acc else acc) t.flows []
   |> List.sort compare
 
 let is_suspicious_flow t f =
-  match Hashtbl.find_opt t.flows f with Some r -> r.suspicious | None -> false
+  match Hashtbl.find_opt t.flows f with Some r -> r.suspicious > 0. | None -> false
 
 let is_suspicious_source t s = Hashtbl.mem t.suspicious_srcs s
 

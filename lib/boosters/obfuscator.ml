@@ -8,13 +8,14 @@ type t = {
 }
 
 let stage t =
+  let mode_key = Common.mode_key t.mode in
   {
     Net.stage_name = "obfuscator";
     process =
       (fun ctx pkt ->
         (match pkt.Packet.payload with
         | Packet.Traceroute_probe { probe_ttl; _ }
-          when pkt.Packet.ttl = 1 && Common.mode_active ctx.Net.sw t.mode -> (
+          when pkt.Packet.ttl = 1 && Common.mode_on ctx.Net.sw mode_key -> (
           (* the probe dies here: pre-compute the virtual responder the TTL
              stage will put in the time-exceeded reply *)
           match t.virtual_path ~src:pkt.Packet.src ~dst:pkt.Packet.dst with

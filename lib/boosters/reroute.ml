@@ -24,9 +24,9 @@ type t = {
 }
 
 let table t sw =
-  match Hashtbl.find_opt t.tables sw with
-  | Some tbl -> tbl
-  | None ->
+  match Hashtbl.find t.tables sw with
+  | tbl -> tbl
+  | exception Not_found ->
     let tbl = Hashtbl.create 8 in
     Hashtbl.replace t.tables sw tbl;
     tbl
@@ -81,6 +81,29 @@ let fresh_entry t ~sw ~dst =
   | _ -> None
 
 let stage t =
+  let mode_key = Common.mode_key t.mode in
+  (* Per-switch "reroutes" metric handles: the registry lookup allocates a
+     string+scope key record, too costly per rerouted packet. Handles are
+     cached against the metrics registry they came from ([==] check), so a
+     re-attached registry invalidates them naturally. *)
+  let ctrs : (int, Ff_obs.Metrics.t * Ff_obs.Metrics.Counter.t) Hashtbl.t = Hashtbl.create 8 in
+  let resolve_ctr m sw =
+    let c = Ff_obs.Metrics.counter m ~scope:(Ff_obs.Metrics.Switch sw) "reroutes" in
+    Hashtbl.replace ctrs sw (m, c);
+    c
+  in
+  let bump_reroutes sw =
+    match Net.metrics t.net with
+    | None -> ()
+    | Some m ->
+      let c =
+        match Hashtbl.find ctrs sw with
+        | m', c when m' == m -> c
+        | _ -> resolve_ctr m sw
+        | exception Not_found -> resolve_ctr m sw
+      in
+      Ff_obs.Metrics.Counter.incr c
+  in
   {
     Net.stage_name = "reroute";
     process =
@@ -91,26 +114,30 @@ let stage t =
         | Packet.Data | Packet.Traceroute_probe _ ->
           let sw = ctx.Net.sw in
           if
-            Common.mode_active sw t.mode
+            Common.mode_on sw mode_key
             && (t.reroute_all || pkt.Packet.suspicious)
           then begin
-            match fresh_entry t ~sw:sw.Net.sw_id ~dst:pkt.Packet.dst with
-            | Some e when e.next_hop <> ctx.Net.in_port ->
-              (* deviate from the pinned table only if the probe metric is
-                 actually better than nothing; always prefer probe path for
-                 marked traffic *)
-              t.reroutes <- t.reroutes + 1;
-              Net.obs_emit t.net
-                (Ff_obs.Event.Reroute
-                   { sw = sw.Net.sw_id; dst = pkt.Packet.dst; next_hop = e.next_hop });
-              (match Net.metrics t.net with
-              | Some m ->
-                Ff_obs.Metrics.Counter.incr
-                  (Ff_obs.Metrics.counter m
-                     ~scope:(Ff_obs.Metrics.Switch sw.Net.sw_id) "reroutes")
-              | None -> ());
-              Net.Forward e.next_hop
-            | _ -> Net.Continue
+            (* inlined [fresh_entry], exception-based so the steady state
+               allocates nothing *)
+            match Hashtbl.find t.tables sw.Net.sw_id with
+            | exception Not_found -> Net.Continue
+            | tbl -> (
+              match Hashtbl.find tbl pkt.Packet.dst with
+              | exception Not_found -> Net.Continue
+              | e
+                when ctx.Net.now -. e.updated <= t.entry_timeout
+                     && e.next_hop <> ctx.Net.in_port ->
+                (* deviate from the pinned table only if the probe metric is
+                   actually better than nothing; always prefer probe path for
+                   marked traffic *)
+                t.reroutes <- t.reroutes + 1;
+                if Net.obs_active t.net then
+                  Net.obs_emit t.net
+                    (Ff_obs.Event.Reroute
+                       { sw = sw.Net.sw_id; dst = pkt.Packet.dst; next_hop = e.next_hop });
+                bump_reroutes sw.Net.sw_id;
+                Net.Forward e.next_hop
+              | _ -> Net.Continue)
           end
           else Net.Continue
         | _ -> Net.Continue);

@@ -72,13 +72,14 @@ module Reactive_acl = struct
            misses = 0 })
     in
     let a = Lazy.force acl in
+    let mode_key = Common.mode_key a.mode in
     Net.add_stage net ~sw
       {
         Net.stage_name = "reactive-acl";
         process =
           (fun ctx pkt ->
             match pkt.Packet.payload with
-            | Packet.Data when Common.mode_active ctx.Net.sw a.mode -> (
+            | Packet.Data when Common.mode_on ctx.Net.sw mode_key -> (
               let key = (pkt.Packet.src, pkt.Packet.dst) in
               match Hashtbl.find_opt a.cache key with
               | Some true ->

@@ -242,7 +242,20 @@ let deploy_wide net ~protect ?(config = default_config) () =
             (Net.host_ids net))
       ~probe_class:9 ()
   in
+  let classify_key = B.Common.mode_key B.Common.mode_classify in
+  (* Per-packet equivalent of [Sync.global_value ... > 0.]: the local view's
+     entries are exactly this switch's suspicious sources (value 1.), so the
+     local half collapses to a set-membership test on the detector instead
+     of materializing the whole (host, 1.) list on every packet; remote
+     advertisements are all >= 0, so the sum is positive iff either half is. *)
   let marker_stage sw =
+    let det = List.assoc_opt sw detectors in
+    let marked_somewhere src =
+      (match det with
+      | Some d -> B.Lfa_detector.is_suspicious_source d src
+      | None -> false)
+      || Ff_modes.Sync.remote_contribution source_sync ~sw ~key:src > 0.
+    in
     {
       Net.stage_name = "suspicious-source-marker";
       process =
@@ -251,8 +264,8 @@ let deploy_wide net ~protect ?(config = default_config) () =
           | Packet.Data | Packet.Traceroute_probe _ ->
             if
               (not pkt.Packet.suspicious)
-              && B.Common.mode_active ctx.Net.sw B.Common.mode_classify
-              && Ff_modes.Sync.global_value source_sync ~sw ~key:pkt.Packet.src > 0.
+              && B.Common.mode_on ctx.Net.sw classify_key
+              && marked_somewhere pkt.Packet.src
             then pkt.Packet.suspicious <- true
           | _ -> ());
           Net.Continue);

@@ -2,8 +2,13 @@ module Net = Ff_netsim.Net
 module Engine = Ff_netsim.Engine
 module Packet = Ff_dataplane.Packet
 
+(* Remote advertisements are nested key-first: [global_value] runs per
+   packet in marker stages, and a flat [(origin, key)]-keyed table would
+   make every query scan every advertisement in the network instead of
+   just the few origins that mentioned this key. *)
 type sw_state = {
-  remote : (int * int, float * float) Hashtbl.t; (* (origin, key) -> value, at *)
+  remote : (int, (int, float * float) Hashtbl.t) Hashtbl.t;
+      (* key -> origin -> (value, at) *)
   seen : (int * int, unit) Hashtbl.t; (* (origin, round) flood dedup *)
 }
 
@@ -21,9 +26,9 @@ type t = {
 }
 
 let state t sw =
-  match Hashtbl.find_opt t.states sw with
-  | Some s -> s
-  | None ->
+  match Hashtbl.find t.states sw with
+  | s -> s
+  | exception Not_found ->
     let s = { remote = Hashtbl.create 32; seen = Hashtbl.create 64 } in
     Hashtbl.replace t.states sw s;
     s
@@ -41,7 +46,16 @@ let stage t =
           else begin
             Hashtbl.replace st.seen (origin, round) ();
             List.iter
-              (fun (key, v) -> Hashtbl.replace st.remote (origin, key) (v, ctx.Net.now))
+              (fun (key, v) ->
+                let per_key =
+                  match Hashtbl.find st.remote key with
+                  | h -> h
+                  | exception Not_found ->
+                    let h = Hashtbl.create 8 in
+                    Hashtbl.replace st.remote key h;
+                    h
+                in
+                Hashtbl.replace per_key origin (v, ctx.Net.now))
               entries;
             Net.flood_from_switch t.net ~sw ~except:[ ctx.Net.in_port ] (fun () ->
                 Packet.make ~src:origin ~dst:origin ~flow:t.probe_class ~birth:ctx.Net.now
@@ -88,13 +102,23 @@ let create net ~participants ~period ~local_view ?(threshold = 0.) ?staleness
   Engine.every (Net.engine net) ~period (advertise t);
   t
 
+(* All-float single-field record: the accumulating store stays unboxed,
+   unlike a [float ref] or a polymorphic [Hashtbl.fold] accumulator which
+   box on every step — this runs per packet in marker stages. *)
+type acc = { mutable sum : float }
+
 let remote_contribution t ~sw ~key =
   let st = state t sw in
-  let now = Net.now t.net in
-  Hashtbl.fold
-    (fun (origin, k) (v, at) acc ->
-      if k = key && origin <> sw && now -. at <= t.staleness then acc +. v else acc)
-    st.remote 0.
+  match Hashtbl.find st.remote key with
+  | exception Not_found -> 0.
+  | per_key ->
+    let now = Net.now t.net in
+    let a = { sum = 0. } in
+    Hashtbl.iter
+      (fun origin (v, at) ->
+        if origin <> sw && now -. at <= t.staleness then a.sum <- a.sum +. v)
+      per_key;
+    a.sum
 
 let local_value t ~sw ~key =
   if List.mem sw t.participants then
@@ -108,8 +132,11 @@ let global_view t ~sw =
   let st = state t sw in
   let now = Net.now t.net in
   Hashtbl.iter
-    (fun (origin, k) (_, at) ->
-      if origin <> sw && now -. at <= t.staleness then Hashtbl.replace keys k ())
+    (fun k per_key ->
+      Hashtbl.iter
+        (fun origin (_, at) ->
+          if origin <> sw && now -. at <= t.staleness then Hashtbl.replace keys k ())
+        per_key)
     st.remote;
   if List.mem sw t.participants then
     List.iter (fun (k, _) -> Hashtbl.replace keys k ()) (t.local_view ~sw);

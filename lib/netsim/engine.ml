@@ -23,33 +23,55 @@ let after t ~delay f =
 let every t ?start ?until ~period f =
   assert (period > 0.);
   let start = match start with Some s -> s | None -> t.clock +. period in
-  let rec tick at () =
+  (* one closure for the whole series; [next] carries the tick's own time *)
+  let next = ref start in
+  let rec tick () =
     match until with
-    | Some u when at > u +. 1e-12 -> ()
+    | Some u when !next > u +. 1e-12 -> ()
     | _ ->
       f ();
-      schedule t ~at:(at +. period) (tick (at +. period))
+      next := !next +. period;
+      schedule t ~at:!next tick
   in
-  schedule t ~at:start (tick start)
+  schedule t ~at:start tick
+
+let schedule_burst t ~start ~period ~count f =
+  assert (period >= 0.);
+  if count > 0 then begin
+    if start < t.clock -. 1e-12 then
+      invalid_arg
+        (Printf.sprintf "Engine.schedule_burst: start=%.9f is before now=%.9f" start t.clock);
+    (* a single self-rescheduling closure with one live heap slot: the
+       burst costs one allocation total instead of one closure per tick *)
+    let at = ref (max start t.clock) in
+    let k = ref 0 in
+    let rec tick () =
+      let continue = f !k in
+      incr k;
+      if continue && !k < count then begin
+        at := !at +. period;
+        Ff_util.Heap.push t.heap ~prio:!at tick
+      end
+    in
+    Ff_util.Heap.push t.heap ~prio:!at tick
+  end
 
 let step t =
-  match Ff_util.Heap.pop t.heap with
-  | None -> false
-  | Some (at, f) ->
+  if Ff_util.Heap.is_empty t.heap then false
+  else begin
+    let at = Ff_util.Heap.min_prio t.heap in
+    let f = Ff_util.Heap.pop_min t.heap in
     t.clock <- max t.clock at;
     incr global_steps;
     f ();
     true
+  end
 
 let run t ~until =
-  let rec loop () =
-    match Ff_util.Heap.peek t.heap with
-    | Some (at, _) when at <= until ->
-      ignore (step t);
-      loop ()
-    | _ -> ()
-  in
-  loop ();
+  let heap = t.heap in
+  while (not (Ff_util.Heap.is_empty heap)) && Ff_util.Heap.min_prio heap <= until do
+    ignore (step t)
+  done;
   t.clock <- max t.clock until
 
 let pending t = Ff_util.Heap.size t.heap

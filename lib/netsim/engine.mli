@@ -18,6 +18,17 @@ val every : t -> ?start:float -> ?until:float -> period:float -> (unit -> unit) 
 (** Recurring event starting at [start] (default one period from now) until
     [until] (default forever) or [cancel_recurring]. *)
 
+val schedule_burst :
+  t -> start:float -> period:float -> count:int -> (int -> bool) -> unit
+(** Batched emission: call [f k] at [start +. k *. period] for
+    [k = 0 .. count - 1], stopping early as soon as [f] returns [false].
+    The whole burst shares a single self-rescheduling closure and occupies
+    one heap slot at a time, so constant-rate traffic sources pay one
+    allocation per burst instead of one per packet. Tick times accumulate
+    ([at +. period] each step) exactly like a chain of {!after} calls, so
+    replacing a self-scheduling loop with a burst is behavior-preserving.
+    Raises [Invalid_argument] when [start] is in the past. *)
+
 val run : t -> until:float -> unit
 (** Pop and execute events until the heap drains or the clock passes
     [until]; afterwards [now t = until]. *)

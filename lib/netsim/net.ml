@@ -37,6 +37,8 @@ and dirlink = {
   tx_window : Ff_util.Stats.Window_counter.t;
   mutable drops : int;
   mutable tx_packets : int;
+  (* registry handle resolved once per metrics attachment, not per packet *)
+  mutable tx_bytes_ctr : Ff_obs.Metrics.Counter.t option;
 }
 
 and node_entry = Sw of switch | Ho of host
@@ -45,7 +47,13 @@ and t = {
   engine : Engine.t;
   topo : Topology.t;
   nodes : node_entry array;
-  dirlinks : (int * int, dirlink) Hashtbl.t;
+  adj : dirlink array array;
+      (* outgoing directed links indexed by source node, in
+         [Topology.neighbors] order — the per-packet lookup structure *)
+  stage_cache : stage array array;
+      (* per node id; rebuilt by add_stage/remove_stage so the per-packet
+         pipeline walk reads an array, not cons cells *)
+  drop_ctrs : Ff_obs.Metrics.Counter.t option array; (* per node id *)
   drop_reasons : (string, int) Hashtbl.t;
   mutable tracer : (trace_event -> unit) option;
   mutable obs : Ff_obs.Trace.t option;
@@ -73,13 +81,23 @@ let now t = Engine.now t.engine
 
 let attach_obs t tr = t.obs <- tr
 let obs_trace t = t.obs
-let attach_metrics t m = t.metrics <- m
+
+let attach_metrics t m =
+  t.metrics <- m;
+  (* the cached handles point into the old registry: drop them *)
+  Array.fill t.drop_ctrs 0 (Array.length t.drop_ctrs) None;
+  Array.iter (fun links -> Array.iter (fun dl -> dl.tx_bytes_ctr <- None) links) t.adj
+
 let metrics t = t.metrics
 
 let obs_emit t event =
   match t.obs with
   | None -> ()
   | Some tr -> Ff_obs.Trace.emit tr ~time:(Engine.now t.engine) event
+
+(* Hot-path callers check this before constructing an event value, so an
+   unattached trace costs nothing — not even the event record. *)
+let obs_active t = t.obs <> None
 
 let switch t id =
   match t.nodes.(id) with
@@ -111,18 +129,43 @@ let emit_trace t ~node ~(pkt : Packet.t) kind =
 
 let drop_packet t ~node (pkt : Packet.t) reason =
   count_drop t reason;
-  emit_trace t ~node ~pkt (Packet_drop reason);
-  obs_emit t (Ff_obs.Event.Drop { node; reason });
+  (* the [Packet_drop] argument itself allocates: build it only when traced *)
+  (match t.tracer with None -> () | Some _ -> emit_trace t ~node ~pkt (Packet_drop reason));
+  if obs_active t then obs_emit t (Ff_obs.Event.Drop { node; reason });
   match t.metrics with
   | None -> ()
   | Some m ->
-    Ff_obs.Metrics.Counter.incr
-      (Ff_obs.Metrics.counter m ~scope:(Ff_obs.Metrics.Switch node) "drops")
+    (* [node] can be a spoofed (out-of-range) source id on an access-link
+       drop; such drops stay visible in drop_reasons and the trace *)
+    if node >= 0 && node < Array.length t.drop_ctrs then begin
+      let ctr =
+        match t.drop_ctrs.(node) with
+        | Some c -> c
+        | None ->
+          let c = Ff_obs.Metrics.counter m ~scope:(Ff_obs.Metrics.Switch node) "drops" in
+          t.drop_ctrs.(node) <- Some c;
+          c
+      in
+      Ff_obs.Metrics.Counter.incr ctr
+    end
 
 let drops_by_reason t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.drop_reasons [] |> List.sort compare
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.drop_reasons []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let dirlink_opt t ~from_ ~to_ = Hashtbl.find_opt t.dirlinks (from_, to_)
+let dirlink_opt t ~from_ ~to_ =
+  if from_ < 0 || from_ >= Array.length t.adj then None
+  else begin
+    let links = t.adj.(from_) in
+    let n = Array.length links in
+    let rec go i =
+      if i >= n then None
+      else
+        let dl = links.(i) in
+        if dl.to_node = to_ then Some dl else go (i + 1)
+    in
+    go 0
+  end
 
 let utilization t ~from_ ~to_ =
   match dirlink_opt t ~from_ ~to_ with
@@ -136,6 +179,11 @@ let link_drops t ~from_ ~to_ =
 
 let link_tx_packets t ~from_ ~to_ =
   match dirlink_opt t ~from_ ~to_ with None -> 0 | Some dl -> dl.tx_packets
+
+let total_tx_packets t =
+  Array.fold_left
+    (fun acc links -> Array.fold_left (fun acc dl -> acc + dl.tx_packets) acc links)
+    0 t.adj
 
 let neighbors_of t sw_id =
   Topology.neighbors t.topo sw_id
@@ -174,11 +222,19 @@ let rec transmit t dl (pkt : Packet.t) =
     (match t.metrics with
     | None -> ()
     | Some m ->
-      Ff_obs.Metrics.Counter.add
-        (Ff_obs.Metrics.counter m
-           ~scope:(Ff_obs.Metrics.Link (dl.from_node, dl.to_node))
-           "tx_bytes")
-        size);
+      let ctr =
+        match dl.tx_bytes_ctr with
+        | Some c -> c
+        | None ->
+          let c =
+            Ff_obs.Metrics.counter m
+              ~scope:(Ff_obs.Metrics.Link (dl.from_node, dl.to_node))
+              "tx_bytes"
+          in
+          dl.tx_bytes_ctr <- Some c;
+          c
+      in
+      Ff_obs.Metrics.Counter.add ctr size);
     let arrival = dl.busy_until +. dl.link.Topology.delay in
     Engine.schedule t.engine ~at:arrival (fun () -> receive t ~at:dl.to_node ~from_:dl.from_node pkt)
   end
@@ -207,59 +263,86 @@ and receive t ~at ~from_ pkt =
     else drop_packet t ~node:at pkt "switch-down"
 
 and deliver_host h (pkt : Packet.t) =
-  match Hashtbl.find_opt h.receivers pkt.flow with
-  | Some f -> f pkt
-  | None -> (match h.fallback_rx with Some f -> f pkt | None -> ())
+  match Hashtbl.find h.receivers pkt.flow with
+  | f -> f pkt
+  | exception Not_found -> (match h.fallback_rx with Some f -> f pkt | None -> ())
 
-and send_from_host t (pkt : Packet.t) =
-  match Topology.neighbors t.topo pkt.Packet.src with
-  | (sw, _) :: _ -> (
-    match dirlink_opt t ~from_:pkt.Packet.src ~to_:sw with
-    | Some dl -> transmit t dl pkt
-    | None -> count_drop t "no-access-link")
-  | [] -> count_drop t "no-access-link"
+and send_from_host t (pkt : Packet.t) = send_on_access_link t ~host:pkt.Packet.src pkt
+
+and send_on_access_link t ~host pkt =
+  (* the access link is the host's first adjacency (Topology.neighbors
+     order), matching access_switch; a spoofed source id may be out of
+     range entirely *)
+  if host >= 0 && host < Array.length t.adj && Array.length t.adj.(host) > 0 then
+    transmit t t.adj.(host).(0) pkt
+  else drop_packet t ~node:host pkt "no-access-link"
 
 and send_toward t sw next pkt =
-  match dirlink_opt t ~from_:sw.sw_id ~to_:next with
-  | Some dl -> transmit t dl pkt
-  | None -> count_drop t "no-link"
+  let links = t.adj.(sw.sw_id) in
+  let n = Array.length links in
+  let rec go i =
+    if i >= n then drop_packet t ~node:sw.sw_id pkt "no-link"
+    else
+      let dl = Array.unsafe_get links i in
+      if dl.to_node = next then transmit t dl pkt else go (i + 1)
+  in
+  go 0
+
+(* fast reroute: skip a next hop that is a downed switch. 0 = entry whose
+   next hop is down, 1 = sent. A top-level joint function rather than a
+   local closure — this runs once per hop and a closure capturing
+   [t]/[sw]/[pkt] would be a fresh heap block each time. *)
+and forward_via t sw pkt next =
+  match t.nodes.(next) with
+  | Sw s when not s.up -> 0
+  | _ ->
+    send_toward t sw next pkt;
+    1
 
 and default_forward t sw (pkt : Packet.t) =
-  let try_next next =
-    (* fast reroute: skip a next hop that is a downed switch *)
-    let next_ok =
-      match t.nodes.(next) with Sw s -> s.up | Ho _ -> true
+  (* pair, then primary, then backup — lazily, without building the option
+     list the old code allocated per packet. -1 = no entry. *)
+  let pair =
+    if Hashtbl.length sw.pair_routes = 0 then -1
+    else
+      match Hashtbl.find sw.pair_routes (pkt.src, pkt.dst) with
+      | next -> forward_via t sw pkt next
+      | exception Not_found -> -1
+  in
+  if pair <> 1 then begin
+    let primary =
+      match Hashtbl.find sw.routes pkt.dst with
+      | next -> forward_via t sw pkt next
+      | exception Not_found -> -1
     in
-    if next_ok then begin
-      send_toward t sw next pkt;
-      true
+    if primary <> 1 then begin
+      let backup =
+        if Hashtbl.length sw.backup_routes = 0 then -1
+        else
+          match Hashtbl.find sw.backup_routes pkt.dst with
+          | next -> forward_via t sw pkt next
+          | exception Not_found -> -1
+      in
+      if backup <> 1 then
+        drop_packet t ~node:sw.sw_id pkt
+          (if pair = -1 && primary = -1 && backup = -1 then "no-route" else "next-hop-down")
     end
-    else false
-  in
-  let pair = Hashtbl.find_opt sw.pair_routes (pkt.src, pkt.dst) in
-  let primary = Hashtbl.find_opt sw.routes pkt.dst in
-  let backup = Hashtbl.find_opt sw.backup_routes pkt.dst in
-  let rec first_ok = function
-    | [] -> false
-    | None :: rest -> first_ok rest
-    | Some next :: rest -> try_next next || first_ok rest
-  in
-  if not (first_ok [ pair; primary; backup ]) then
-    drop_packet t ~node:sw.sw_id pkt
-      (if pair = None && primary = None && backup = None then "no-route" else "next-hop-down")
+  end
 
 and handle_at_switch t sw ~in_port pkt =
   let ctx = { net = t; sw; in_port; now = now t } in
-  let rec run = function
-    | [] -> default_forward t sw pkt
-    | st :: rest -> (
-      match st.process ctx pkt with
-      | Continue -> run rest
+  let stages = t.stage_cache.(sw.sw_id) in
+  let n = Array.length stages in
+  let rec run i =
+    if i >= n then default_forward t sw pkt
+    else
+      match (Array.unsafe_get stages i).process ctx pkt with
+      | Continue -> run (i + 1)
       | Forward next -> send_toward t sw next pkt
       | Drop reason -> drop_packet t ~node:sw.sw_id pkt reason
-      | Absorb -> ())
+      | Absorb -> ()
   in
-  run sw.stages
+  run 0
 
 (* The default first stage: TTL decrement and traceroute expiry. *)
 let ttl_stage =
@@ -292,8 +375,9 @@ let ttl_stage =
   }
 
 let create ?(queue_limit_bytes = 37_500.) engine topo =
+  let num_nodes = Topology.num_nodes topo in
   let nodes =
-    Array.init (Topology.num_nodes topo) (fun id ->
+    Array.init num_nodes (fun id ->
         match (Topology.node topo id).Topology.kind with
         | Topology.Switch ->
           Sw
@@ -309,32 +393,35 @@ let create ?(queue_limit_bytes = 37_500.) engine topo =
         | Topology.Host ->
           Ho { host_id = id; receivers = Hashtbl.create 16; fallback_rx = None })
   in
-  let dirlinks = Hashtbl.create 64 in
-  List.iter
-    (fun (l : Topology.link) ->
-      let mk from_node to_node =
-        Hashtbl.replace dirlinks (from_node, to_node)
-          {
-            link = l;
-            from_node;
-            to_node;
-            link_up = true;
-            busy_until = 0.;
-            queue_limit = queue_limit_bytes;
-            tx_window = Ff_util.Stats.Window_counter.create ~width:0.2;
-            drops = 0;
-            tx_packets = 0;
-          }
-      in
-      mk l.Topology.a l.Topology.b;
-      mk l.Topology.b l.Topology.a)
-    (Topology.links topo);
+  let adj =
+    Array.init num_nodes (fun id ->
+        Topology.neighbors topo id
+        |> List.map (fun (peer, (l : Topology.link)) ->
+               {
+                 link = l;
+                 from_node = id;
+                 to_node = peer;
+                 link_up = true;
+                 busy_until = 0.;
+                 queue_limit = queue_limit_bytes;
+                 tx_window = Ff_util.Stats.Window_counter.create ~width:0.2;
+                 drops = 0;
+                 tx_packets = 0;
+                 tx_bytes_ctr = None;
+               })
+        |> Array.of_list)
+  in
+  let stage_cache =
+    Array.map (function Sw s -> Array.of_list s.stages | Ho _ -> [||]) nodes
+  in
   let t =
     {
       engine;
       topo;
       nodes;
-      dirlinks;
+      adj;
+      stage_cache;
+      drop_ctrs = Array.make num_nodes None;
       drop_reasons = Hashtbl.create 16;
       tracer = None;
       (* new networks report into whatever ambient sinks the harness set up *)
@@ -356,14 +443,18 @@ let create ?(queue_limit_bytes = 37_500.) engine topo =
 
 (* ---------------- stage management ---------------- *)
 
+let refresh_stage_cache t (s : switch) = t.stage_cache.(s.sw_id) <- Array.of_list s.stages
+
 let add_stage ?(front = false) t ~sw stage =
   let s = switch t sw in
   let others = List.filter (fun st -> st.stage_name <> stage.stage_name) s.stages in
-  s.stages <- (if front then stage :: others else others @ [ stage ])
+  s.stages <- (if front then stage :: others else others @ [ stage ]);
+  refresh_stage_cache t s
 
 let remove_stage t ~sw ~name =
   let s = switch t sw in
-  s.stages <- List.filter (fun st -> st.stage_name <> name) s.stages
+  s.stages <- List.filter (fun st -> st.stage_name <> name) s.stages;
+  refresh_stage_cache t s
 
 let has_stage t ~sw ~name =
   List.exists (fun st -> st.stage_name = name) (switch t sw).stages
@@ -429,13 +520,7 @@ let current_path t ~src ~dst =
 
 let send_from_host = send_from_host
 
-let send_from_host_via t ~via pkt =
-  match Topology.neighbors t.topo via with
-  | (sw, _) :: _ -> (
-    match dirlink_opt t ~from_:via ~to_:sw with
-    | Some dl -> transmit t dl pkt
-    | None -> count_drop t "no-access-link")
-  | [] -> count_drop t "no-access-link"
+let send_from_host_via t ~via pkt = send_on_access_link t ~host:via pkt
 
 let emit_from_switch t ~sw ~next pkt = send_toward t (switch t sw) next pkt
 

@@ -122,6 +122,11 @@ val utilization : t -> from_:int -> to_:int -> float
 
 val link_drops : t -> from_:int -> to_:int -> int
 val link_tx_packets : t -> from_:int -> to_:int -> int
+
+val total_tx_packets : t -> int
+(** Sum of per-hop transmissions over every directed link: the
+    denominator of the packets/s figure the [perf] benchmark reports. *)
+
 val drops_by_reason : t -> (string * int) list
 val count_drop : t -> string -> unit
 (** Account a drop decided outside a stage (e.g. transport-level). *)
@@ -184,6 +189,11 @@ val obs_trace : t -> Ff_obs.Trace.t option
 val obs_emit : t -> Ff_obs.Event.t -> unit
 (** Emit stamped with the current simulation time; no-op when no trace is
     attached. *)
+
+val obs_active : t -> bool
+(** Whether a trace is attached. Per-packet emitters should test this
+    before constructing an event value, so an unattached trace costs no
+    allocation at all. *)
 
 val attach_metrics : t -> Ff_obs.Metrics.t option -> unit
 val metrics : t -> Ff_obs.Metrics.t option

@@ -23,21 +23,54 @@ end
 module Histogram = struct
   (* A sliding-window sample reservoir: observations older than [window]
      (simulation seconds) age out lazily. Percentiles come from
-     [Ff_util.Stats.percentile] over the live samples. *)
-  type t = { window : float; mutable samples : (float * float) list }
+     [Ff_util.Stats.percentile] over the live samples.
+
+     Pruning is amortized: a full filter pass on every [observe] made a
+     hot recording site quadratic in its own rate. Instead the filter runs
+     when queried, when half a window has passed since the last sweep, or
+     when the reservoir outgrows [max_samples] — which also hard-bounds
+     retained memory under observation storms (the newest samples win,
+     matching what a window query would keep anyway). *)
+  type t = {
+    window : float;
+    mutable samples : (float * float) list; (* newest first *)
+    mutable n : int; (* List.length samples, tracked incrementally *)
+    mutable last_prune : float;
+  }
+
+  let max_samples = 4096
 
   let prune t ~now =
-    t.samples <- List.filter (fun (at, _) -> now -. at <= t.window) t.samples
+    let kept = List.filter (fun (at, _) -> now -. at <= t.window) t.samples in
+    t.samples <- kept;
+    t.n <- List.length kept;
+    t.last_prune <- now
+
+  let truncate_newest t =
+    let rec take i = function
+      | x :: tl when i > 0 -> x :: take (i - 1) tl
+      | _ -> []
+    in
+    t.samples <- take max_samples t.samples;
+    t.n <- max_samples
 
   let observe t ~now v =
-    prune t ~now;
-    t.samples <- (now, v) :: t.samples
+    if now -. t.last_prune > 0.5 *. t.window then prune t ~now;
+    t.samples <- (now, v) :: t.samples;
+    t.n <- t.n + 1;
+    if t.n > max_samples then begin
+      prune t ~now;
+      if t.n > max_samples then truncate_newest t
+    end
 
   let values t ~now =
     prune t ~now;
     List.map snd t.samples
 
-  let count t ~now = List.length (values t ~now)
+  let count t ~now =
+    prune t ~now;
+    t.n
+
   let mean t ~now = Ff_util.Stats.mean (values t ~now)
 
   let percentile t ~now p =
@@ -77,7 +110,7 @@ let gauge t ?(scope = Global) name =
 
 let histogram t ?(scope = Global) name =
   find_or t.histograms { name; scope } (fun () ->
-      { Histogram.window = t.hist_window; samples = [] })
+      { Histogram.window = t.hist_window; samples = []; n = 0; last_prune = 0. })
 
 let counter_value t ?(scope = Global) name =
   match Hashtbl.find_opt t.counters { name; scope } with
@@ -104,7 +137,10 @@ let rows t ~now =
             (Histogram.percentile h ~now 50.)
             (Histogram.percentile h ~now 99.))
   in
-  List.sort compare (List.map (fun (a, b, c, d) -> [ a; b; c; d ]) all)
+  (* explicit comparator: polymorphic [compare] on string lists walks the
+     generic comparison path and would break on any future non-string cell *)
+  List.sort (List.compare String.compare)
+    (List.map (fun (a, b, c, d) -> [ a; b; c; d ]) all)
 
 let output_csv t ~now oc =
   output_string oc "metric,scope,type,value\n";

@@ -1,79 +1,110 @@
-type 'a entry = { prio : float; seq : int; value : 'a }
-
+(* Parallel-array storage: priorities live in a bare [float array] (unboxed
+   by the runtime), sequence numbers and values in their own arrays. Pushing
+   therefore allocates nothing — the old per-push entry record was the single
+   biggest allocation of the event loop. *)
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable prios : float array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
   mutable len : int;
   mutable next_seq : int;
 }
 
-let create () = { data = [||]; len = 0; next_seq = 0 }
+let create () = { prios = [||]; seqs = [||]; vals = [||]; len = 0; next_seq = 0 }
 
 let is_empty t = t.len = 0
 let size t = t.len
 
-let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
-
-let grow t e =
-  let cap = Array.length t.data in
+let grow t filler =
+  let cap = Array.length t.prios in
   if t.len = cap then begin
     let ncap = max 16 (2 * cap) in
-    let nd = Array.make ncap e in
-    Array.blit t.data 0 nd 0 t.len;
-    t.data <- nd
+    let np = Array.make ncap 0. in
+    let ns = Array.make ncap 0 in
+    let nv = Array.make ncap filler in
+    Array.blit t.prios 0 np 0 t.len;
+    Array.blit t.seqs 0 ns 0 t.len;
+    Array.blit t.vals 0 nv 0 t.len;
+    t.prios <- np;
+    t.seqs <- ns;
+    t.vals <- nv
   end
 
 let push t ~prio value =
-  let e = { prio; seq = t.next_seq; value } in
-  t.next_seq <- t.next_seq + 1;
-  grow t e;
-  let d = t.data in
+  grow t value;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let p = t.prios and s = t.seqs and v = t.vals in
+  (* hole-based sift up: shift larger parents down, place the new element
+     once *)
   let i = ref t.len in
   t.len <- t.len + 1;
-  d.(!i) <- e;
-  (* sift up *)
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if less d.(!i) d.(parent) then begin
-      let tmp = d.(parent) in
-      d.(parent) <- d.(!i);
-      d.(!i) <- tmp;
+    if prio < p.(parent) || (prio = p.(parent) && seq < s.(parent)) then begin
+      p.(!i) <- p.(parent);
+      s.(!i) <- s.(parent);
+      v.(!i) <- v.(parent);
       i := parent
     end
     else continue := false
-  done
+  done;
+  p.(!i) <- prio;
+  s.(!i) <- seq;
+  v.(!i) <- value
 
 let sift_down t =
-  let d = t.data in
+  let p = t.prios and s = t.seqs and v = t.vals in
+  let less a b = p.(a) < p.(b) || (p.(a) = p.(b) && s.(a) < s.(b)) in
   let i = ref 0 in
   let continue = ref true in
   while !continue do
     let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
     let smallest = ref !i in
-    if l < t.len && less d.(l) d.(!smallest) then smallest := l;
-    if r < t.len && less d.(r) d.(!smallest) then smallest := r;
+    if l < t.len && less l !smallest then smallest := l;
+    if r < t.len && less r !smallest then smallest := r;
     if !smallest <> !i then begin
-      let tmp = d.(!smallest) in
-      d.(!smallest) <- d.(!i);
-      d.(!i) <- tmp;
+      let tp = p.(!smallest) and ts = s.(!smallest) and tv = v.(!smallest) in
+      p.(!smallest) <- p.(!i);
+      s.(!smallest) <- s.(!i);
+      v.(!smallest) <- v.(!i);
+      p.(!i) <- tp;
+      s.(!i) <- ts;
+      v.(!i) <- tv;
       i := !smallest
     end
     else continue := false
   done
 
+let remove_min t =
+  t.len <- t.len - 1;
+  if t.len > 0 then begin
+    t.prios.(0) <- t.prios.(t.len);
+    t.seqs.(0) <- t.seqs.(t.len);
+    t.vals.(0) <- t.vals.(t.len);
+    sift_down t
+  end
+
 let pop t =
   if t.len = 0 then None
   else begin
-    let top = t.data.(0) in
-    t.len <- t.len - 1;
-    if t.len > 0 then begin
-      t.data.(0) <- t.data.(t.len);
-      sift_down t
-    end;
-    Some (top.prio, top.value)
+    let prio = t.prios.(0) and value = t.vals.(0) in
+    remove_min t;
+    Some (prio, value)
   end
 
-let peek t = if t.len = 0 then None else Some (t.data.(0).prio, t.data.(0).value)
+let min_prio t =
+  if t.len = 0 then invalid_arg "Heap.min_prio: empty heap";
+  t.prios.(0)
+
+let pop_min t =
+  if t.len = 0 then invalid_arg "Heap.pop_min: empty heap";
+  let value = t.vals.(0) in
+  remove_min t;
+  value
+
+let peek t = if t.len = 0 then None else Some (t.prios.(0), t.vals.(0))
 
 let clear t =
   t.len <- 0;

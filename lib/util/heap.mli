@@ -2,7 +2,12 @@
 
     Elements are ordered by a float priority with an integer tiebreaker so
     that events scheduled at the same instant pop in insertion order
-    (deterministic simulation). *)
+    (deterministic simulation).
+
+    Storage is three parallel arrays (unboxed float priorities, int
+    sequence numbers, values), so [push] allocates nothing; the
+    [min_prio]/[pop_min] pair lets callers drain the heap without the
+    option/tuple boxing of [pop]. *)
 
 type 'a t
 
@@ -16,6 +21,14 @@ val push : 'a t -> prio:float -> 'a -> unit
 
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the minimum, or [None] when empty. *)
+
+val min_prio : 'a t -> float
+(** Priority of the minimum, without boxing. Raises [Invalid_argument]
+    when empty — check {!is_empty} first. *)
+
+val pop_min : 'a t -> 'a
+(** Remove the minimum and return its value, without boxing. Raises
+    [Invalid_argument] when empty. *)
 
 val peek : 'a t -> (float * 'a) option
 

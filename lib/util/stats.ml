@@ -15,7 +15,9 @@ let stddev xs = sqrt (variance xs)
 let percentile p xs =
   if xs = [] then invalid_arg "Stats.percentile: empty sample";
   let a = Array.of_list xs in
-  Array.sort compare a;
+  (* [Float.compare], not polymorphic [compare]: same order on the floats
+     that occur here, without the generic-comparison dispatch per element *)
+  Array.sort Float.compare a;
   let n = Array.length a in
   if n = 1 then a.(0)
   else begin

@@ -194,6 +194,26 @@ let test_current_path () =
     Alcotest.(check int) "ends at dst" dst (List.nth p (List.length p - 1))
   | None -> Alcotest.fail "current_path failed"
 
+let test_current_path_cycle () =
+  let topo = T.create () in
+  let src = T.add_node topo ~kind:T.Host ~name:"src" in
+  let dst = T.add_node topo ~kind:T.Host ~name:"dst" in
+  let a = T.add_node topo ~kind:T.Switch ~name:"a" in
+  let b = T.add_node topo ~kind:T.Switch ~name:"b" in
+  let c = T.add_node topo ~kind:T.Switch ~name:"c" in
+  List.iter (fun (x, y) -> ignore (T.add_link topo x y))
+    [ (src, a); (a, b); (b, c); (c, a); (c, dst) ];
+  let engine = Engine.create () in
+  let net = Net.create engine topo in
+  (* a -> b -> c -> a: the table walk must detect the loop and give up
+     rather than spin or fabricate a path *)
+  Net.set_route net ~sw:a ~dst ~next_hop:b;
+  Net.set_route net ~sw:b ~dst ~next_hop:c;
+  Net.set_route net ~sw:c ~dst ~next_hop:a;
+  Alcotest.(check (option (list int)))
+    "routing cycle yields no path" None
+    (Net.current_path net ~src ~dst)
+
 let test_switch_down_and_backup () =
   let topo = T.create () in
   let src = T.add_node topo ~kind:T.Host ~name:"src" in
@@ -503,6 +523,7 @@ let () =
           Alcotest.test_case "drop stage" `Quick test_drop_stage;
           Alcotest.test_case "pair routes override" `Quick test_pair_routes_override;
           Alcotest.test_case "current path" `Quick test_current_path;
+          Alcotest.test_case "current path cycle" `Quick test_current_path_cycle;
           Alcotest.test_case "switch down + backup" `Quick test_switch_down_and_backup;
           Alcotest.test_case "link failure" `Quick test_link_failure;
           Alcotest.test_case "link failure validation" `Quick

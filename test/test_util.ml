@@ -145,6 +145,19 @@ let test_window_counter () =
   (* after the window passes, old samples age out *)
   check_float_loose "rate after window" 0. (Stats.Window_counter.rate w ~now:5.0)
 
+let test_window_counter_long_gap () =
+  let w = Stats.Window_counter.create ~width:1.0 in
+  Stats.Window_counter.add w ~now:0.2 100.;
+  (* a gap many windows long: advance must zero every bucket, not just
+     (gap mod window) of them, or the stale 100. would leak back in *)
+  check_float_loose "rate after long gap" 0. (Stats.Window_counter.rate w ~now:57.3);
+  Stats.Window_counter.add w ~now:57.4 300.;
+  check_float_loose "counts again after gap" 300. (Stats.Window_counter.rate w ~now:57.6);
+  (* a second long gap where [add] itself (not [rate]) does the advancing *)
+  Stats.Window_counter.add w ~now:123.0 500.;
+  check_float_loose "only the fresh sample survives" 500.
+    (Stats.Window_counter.rate w ~now:123.1)
+
 (* ---------------- Heap ---------------- *)
 
 let test_heap_ordering () =
@@ -260,6 +273,7 @@ let () =
           Alcotest.test_case "percentile empty" `Quick test_percentile_empty;
           Alcotest.test_case "ewma" `Quick test_ewma;
           Alcotest.test_case "window counter" `Quick test_window_counter;
+          Alcotest.test_case "window counter long gap" `Quick test_window_counter_long_gap;
         ] );
       ( "heap",
         [
