@@ -760,9 +760,12 @@ let measure_perf () =
   Gc.compact ();
   let bytes0 = Gc.allocated_bytes () in
   let steps0 = Ff_netsim.Engine.total_steps () in
+  let created0 = Ff_dataplane.Packet.created () in
   let t0 = Unix.gettimeofday () in
   let net = perf_scenario () in
   let wall_s = Float.max 1e-9 (Unix.gettimeofday () -. t0) in
+  Printf.printf "[perf] packets created: %d\n%!" (Ff_dataplane.Packet.created () - created0);
+
   let packets = Ff_netsim.Net.total_tx_packets net in
   let events = Ff_netsim.Engine.total_steps () - steps0 in
   let alloc_words = (Gc.allocated_bytes () -. bytes0) /. float_of_int (Sys.word_size / 8) in
@@ -828,6 +831,39 @@ let read_file path =
   end
   else None
 
+(* The allocation guardrail: bench/ALLOC_BUDGET holds the maximum
+   alloc_words_per_packet the perf run may report ('#'-prefixed lines are
+   comments). Unlike throughput, the allocation figure is deterministic
+   across machines, so CI can assert it. *)
+let alloc_budget_file = "bench/ALLOC_BUDGET"
+
+let read_alloc_budget () =
+  match read_file alloc_budget_file with
+  | None -> None
+  | Some text ->
+    String.split_on_char '\n' text
+    |> List.find_map (fun line ->
+           let line = String.trim line in
+           if line = "" || line.[0] = '#' then None else float_of_string_opt line)
+
+let check_alloc_budget s =
+  match read_alloc_budget () with
+  | None ->
+    Printf.printf
+      "[perf] no %s file found (or no numeric line in it); skipping allocation check\n"
+      alloc_budget_file
+  | Some budget ->
+    if s.alloc_words_per_packet > budget then begin
+      Printf.printf
+        "[perf] FAIL: alloc_words_per_packet %.1f exceeds budget %.1f (%s)\n\
+         [perf] a change has reintroduced per-packet allocation on the hot path\n"
+        s.alloc_words_per_packet budget alloc_budget_file;
+      exit 1
+    end
+    else
+      Printf.printf "[perf] allocation check ok: %.1f <= budget %.1f words/packet\n"
+        s.alloc_words_per_packet budget
+
 let perf () =
   banner "perf" "per-packet hot path: fat-tree(4) + rolling LFA, 30 simulated seconds";
   let s = measure_perf () in
@@ -860,7 +896,8 @@ let perf () =
         [ "events/s"; Printf.sprintf "%.0f" s.events_per_sec ];
         [ "alloc words/packet"; Printf.sprintf "%.1f" s.alloc_words_per_packet ];
         [ "drops"; string_of_int s.drops ] ];
-  Printf.printf "\n[perf] wrote %s\n" perf_json_file
+  Printf.printf "\n[perf] wrote %s\n" perf_json_file;
+  check_alloc_budget s
 
 (* ------------------------------------------------------------------ *)
 (* micro: Bechamel micro-benchmarks of the primitives                  *)

@@ -4,23 +4,27 @@
     ["mode:<name>"] (written by [Ff_modes.Protocol], read here), keeping
     boosters free of a dependency on the mode-protocol library — exactly
     the loose coupling a real data plane has, where a mode bit in switch
-    memory gates a table. *)
+    memory gates a table. The vars entry is mirrored into the switch's
+    interned flag bits ({!Ff_netsim.Net.flag_mask}), which is what the
+    per-packet read path tests. *)
 
 val mode_active : Ff_netsim.Net.switch -> string -> bool
-(** [mode_active sw name] composes the var key on every call; fine off the
+(** [mode_active sw name] interns the name on every call; fine off the
     hot path (tests, periodic checks). Per-packet code should build the key
     once with {!mode_key} and test it with {!mode_on}. *)
 
-val mode_key : string -> string
-(** ["mode:" ^ name], composed once at booster-install time. *)
+val mode_key : string -> int
+(** One-hot flag mask for mode [name], interned once at booster-install
+    time. *)
 
-val mode_on : Ff_netsim.Net.switch -> string -> bool
-(** Allocation-free flag test over a key from {!mode_key} — the per-packet
+val mode_on : Ff_netsim.Net.switch -> int -> bool
+(** Single-[land] flag test over a key from {!mode_key} — the per-packet
     read path. *)
 
 val set_mode : Ff_netsim.Net.switch -> string -> bool -> unit
-(** Directly toggle a mode var (tests and standalone examples; production
-    paths go through the mode protocol). *)
+(** Directly toggle a mode (tests and standalone examples; production
+    paths go through the mode protocol). Updates both the [vars] mirror
+    and the flag bit. *)
 
 (** Standard mode names used by the shipped boosters. *)
 

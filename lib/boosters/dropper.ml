@@ -29,7 +29,7 @@ let stage t =
         match pkt.Packet.payload with
         | Packet.Data when pkt.Packet.suspicious && Common.mode_on ctx.Net.sw mode_key ->
           let m = meter t pkt.Packet.flow in
-          if not (Meter.allow m ~now:ctx.Net.now ~bytes:(float_of_int pkt.Packet.size)) then begin
+          if not (Meter.allow m ~now:(Net.now ctx.Net.net) ~bytes:(float_of_int pkt.Packet.size)) then begin
             t.dropped <- t.dropped + 1;
             Net.Drop "suspicious-rate-limit"
           end

@@ -70,10 +70,10 @@ let stage t =
           else begin
             Hashtbl.replace st.seen (origin, round) ();
             List.iter
-              (fun (tenant, rate) -> Hashtbl.replace st.remote (origin, tenant) (rate, ctx.Net.now))
+              (fun (tenant, rate) -> Hashtbl.replace st.remote (origin, tenant) (rate, Net.now t.net))
               entries;
             Net.flood_from_switch t.net ~sw ~except:[ ctx.Net.in_port ] (fun () ->
-                Packet.make ~src:origin ~dst:origin ~flow:0 ~birth:ctx.Net.now
+                Packet.make ~src:origin ~dst:origin ~flow:0 ~birth:(Net.now t.net)
                   ~payload:(Packet.Sync_probe { origin; round; entries })
                   ());
             Net.Absorb
@@ -82,7 +82,7 @@ let stage t =
           match Hashtbl.find_opt t.tenants pkt.Packet.src with
           | Some tenant when List.mem sw t.participants
                              && Net.access_switch t.net ~host:pkt.Packet.src = sw -> (
-            Ff_util.Stats.Window_counter.add (local_counter t sw tenant) ~now:ctx.Net.now
+            Ff_util.Stats.Window_counter.add (local_counter t sw tenant) ~now:(Net.now t.net)
               (float_of_int pkt.Packet.size);
             match Hashtbl.find_opt t.limits tenant with
             | Some limit when Common.mode_on ctx.Net.sw mode_key ->

@@ -97,8 +97,9 @@ let stage t =
       (fun ctx pkt ->
         (match pkt.Packet.payload with
         | Packet.Data ->
-          let rec_ = update_flow t ctx.Net.now pkt in
-          if classifying t ctx then classify t ctx.Net.now rec_ pkt
+          let tnow = Net.now ctx.Net.net in
+          let rec_ = update_flow t tnow pkt in
+          if classifying t ctx then classify t tnow rec_ pkt
         | Packet.Traceroute_probe _ ->
           (* a suspicious source's reconnaissance probes are forwarded like
              its data (Crossfire probes are TTL-limited data packets), so

@@ -49,7 +49,7 @@ let counting_stage t =
             List.mem sw t.ingresses
             && Net.access_switch t.net ~host:pkt.Packet.src = sw
           then
-            Ff_util.Stats.Window_counter.add (counter t sw pkt.Packet.dst) ~now:ctx.Net.now
+            Ff_util.Stats.Window_counter.add (counter t sw pkt.Packet.dst) ~now:(Net.now t.net)
               (float_of_int pkt.Packet.size)
         | _ -> ());
         Net.Continue);

@@ -1,14 +1,14 @@
 module Net = Ff_netsim.Net
 module Engine = Ff_netsim.Engine
 module Packet = Ff_dataplane.Packet
+module Int_table = Ff_util.Int_table
 
-type entry = {
-  mutable round : int;
-  mutable metric : float;
-  mutable next_hop : int;
-  mutable updated : float;
-}
-
+(* Entries live in a struct-of-arrays store indexed through an Int_table
+   keyed [sw * n_nodes + dst]: the per-packet lookup is one integer-keyed
+   probe plus flat array reads, where the old sw->(dst->entry) Hashtbl
+   nesting cost two polymorphic-hash probes and a mixed record whose
+   float fields boxed on every probe update. Entries are never deleted
+   (matching the old tables); staleness is judged by [e_updated]. *)
 type t = {
   net : Net.t;
   roots : int list;
@@ -17,57 +17,84 @@ type t = {
   entry_timeout : float;
   mode : string;
   reroute_all : bool;
-  tables : (int, (int, entry) Hashtbl.t) Hashtbl.t; (* sw -> dst -> entry *)
+  n_nodes : int;
+  slots : Int_table.t; (* sw * n_nodes + dst -> index into the arrays *)
+  mutable e_round : int array;
+  mutable e_next : int array;
+  mutable e_metric : float array;
+  mutable e_updated : float array;
+  mutable e_len : int;
   mutable round : int;
   mutable probes_sent : int;
   mutable reroutes : int;
 }
 
-let table t sw =
-  match Hashtbl.find t.tables sw with
-  | tbl -> tbl
-  | exception Not_found ->
-    let tbl = Hashtbl.create 8 in
-    Hashtbl.replace t.tables sw tbl;
-    tbl
+let alloc_entry t =
+  let i = t.e_len in
+  if i = Array.length t.e_round then begin
+    let ncap = max 16 (2 * i) in
+    let grow_i a =
+      let n = Array.make ncap 0 in
+      Array.blit a 0 n 0 i;
+      n
+    in
+    let grow_f a =
+      let n = Array.make ncap 0. in
+      Array.blit a 0 n 0 i;
+      n
+    in
+    t.e_round <- grow_i t.e_round;
+    t.e_next <- grow_i t.e_next;
+    t.e_metric <- grow_f t.e_metric;
+    t.e_updated <- grow_f t.e_updated
+  end;
+  t.e_len <- i + 1;
+  i
+
+let entry_index t ~sw ~dst =
+  if dst < 0 || dst >= t.n_nodes then -1
+  else Int_table.get t.slots ((sw * t.n_nodes) + dst) ~default:(-1)
 
 let make_probe t ~dst ~round ~max_util ~hops =
   t.probes_sent <- t.probes_sent + 1;
-  Packet.make ~src:dst ~dst ~flow:0 ~birth:(Net.now t.net)
+  Packet.make_control ~src:dst ~dst ~flow:0 ~birth:(Net.now t.net)
     ~payload:(Packet.Util_probe { dst; round; max_util; hops })
-    ()
 
 (* Probe handling at a switch: fold in the utilization of the reverse link
    the probe just crossed, update the table, and re-flood improvements. *)
 let handle_probe t ctx ~dst ~round ~max_util ~hops =
   let sw = ctx.Net.sw.Net.sw_id in
   let from_neighbor = ctx.Net.in_port in
-  if from_neighbor < 0 then Net.Absorb
+  if from_neighbor < 0 || dst < 0 || dst >= t.n_nodes then Net.Absorb
   else begin
     let here_util = Net.utilization t.net ~from_:sw ~to_:from_neighbor in
     let metric = Float.max max_util here_util in
-    let tbl = table t sw in
-    let now = ctx.Net.now in
+    let now = Net.now ctx.Net.net in
+    let idx = entry_index t ~sw ~dst in
     let improved =
-      match Hashtbl.find_opt tbl dst with
-      | None ->
-        Hashtbl.replace tbl dst { round; metric; next_hop = from_neighbor; updated = now };
+      if idx < 0 then begin
+        let i = alloc_entry t in
+        Int_table.set t.slots ((sw * t.n_nodes) + dst) i;
+        t.e_round.(i) <- round;
+        t.e_metric.(i) <- metric;
+        t.e_next.(i) <- from_neighbor;
+        t.e_updated.(i) <- now;
         true
-      | Some e ->
-        if round > e.round then begin
-          e.round <- round;
-          e.metric <- metric;
-          e.next_hop <- from_neighbor;
-          e.updated <- now;
-          true
-        end
-        else if round = e.round && metric < e.metric -. 1e-9 then begin
-          e.metric <- metric;
-          e.next_hop <- from_neighbor;
-          e.updated <- now;
-          true
-        end
-        else false
+      end
+      else if round > t.e_round.(idx) then begin
+        t.e_round.(idx) <- round;
+        t.e_metric.(idx) <- metric;
+        t.e_next.(idx) <- from_neighbor;
+        t.e_updated.(idx) <- now;
+        true
+      end
+      else if round = t.e_round.(idx) && metric < t.e_metric.(idx) -. 1e-9 then begin
+        t.e_metric.(idx) <- metric;
+        t.e_next.(idx) <- from_neighbor;
+        t.e_updated.(idx) <- now;
+        true
+      end
+      else false
     in
     if improved && hops < t.probe_ttl then
       Net.flood_from_switch t.net ~sw ~except:[ from_neighbor ] (fun () ->
@@ -75,10 +102,11 @@ let handle_probe t ctx ~dst ~round ~max_util ~hops =
     Net.Absorb
   end
 
-let fresh_entry t ~sw ~dst =
-  match Hashtbl.find_opt (table t sw) dst with
-  | Some e when Net.now t.net -. e.updated <= t.entry_timeout -> Some e
-  | _ -> None
+(* Index of a live (non-timed-out) entry, or -1. *)
+let fresh_index t ~sw ~dst =
+  let idx = entry_index t ~sw ~dst in
+  if idx >= 0 && Net.now t.net -. t.e_updated.(idx) <= t.entry_timeout then idx
+  else -1
 
 let stage t =
   let mode_key = Common.mode_key t.mode in
@@ -117,27 +145,24 @@ let stage t =
             Common.mode_on sw mode_key
             && (t.reroute_all || pkt.Packet.suspicious)
           then begin
-            (* inlined [fresh_entry], exception-based so the steady state
-               allocates nothing *)
-            match Hashtbl.find t.tables sw.Net.sw_id with
-            | exception Not_found -> Net.Continue
-            | tbl -> (
-              match Hashtbl.find tbl pkt.Packet.dst with
-              | exception Not_found -> Net.Continue
-              | e
-                when ctx.Net.now -. e.updated <= t.entry_timeout
-                     && e.next_hop <> ctx.Net.in_port ->
-                (* deviate from the pinned table only if the probe metric is
-                   actually better than nothing; always prefer probe path for
-                   marked traffic *)
-                t.reroutes <- t.reroutes + 1;
-                if Net.obs_active t.net then
-                  Net.obs_emit t.net
-                    (Ff_obs.Event.Reroute
-                       { sw = sw.Net.sw_id; dst = pkt.Packet.dst; next_hop = e.next_hop });
-                bump_reroutes sw.Net.sw_id;
-                Net.Forward e.next_hop
-              | _ -> Net.Continue)
+            let idx = entry_index t ~sw:sw.Net.sw_id ~dst:pkt.Packet.dst in
+            if
+              idx >= 0
+              && Net.now ctx.Net.net -. t.e_updated.(idx) <= t.entry_timeout
+              && t.e_next.(idx) <> ctx.Net.in_port
+            then begin
+              (* deviate from the pinned table only if the probe metric is
+                 actually better than nothing; always prefer probe path for
+                 marked traffic *)
+              t.reroutes <- t.reroutes + 1;
+              if Net.obs_active t.net then
+                Net.obs_emit t.net
+                  (Ff_obs.Event.Reroute
+                     { sw = sw.Net.sw_id; dst = pkt.Packet.dst; next_hop = t.e_next.(idx) });
+              bump_reroutes sw.Net.sw_id;
+              Net.Forward t.e_next.(idx)
+            end
+            else Net.Continue
           end
           else Net.Continue
         | _ -> Net.Continue);
@@ -152,8 +177,18 @@ let start_probing t =
           if Common.mode_active (Net.switch t.net access) t.mode then begin
             t.round <- t.round + 1;
             (* seed the access switch's own entry so hosts behind it work *)
-            Hashtbl.replace (table t access) root
-              { round = t.round; metric = 0.; next_hop = root; updated = Net.now t.net };
+            let idx =
+              match entry_index t ~sw:access ~dst:root with
+              | -1 ->
+                let i = alloc_entry t in
+                Int_table.set t.slots ((access * t.n_nodes) + root) i;
+                i
+              | i -> i
+            in
+            t.e_round.(idx) <- t.round;
+            t.e_metric.(idx) <- 0.;
+            t.e_next.(idx) <- root;
+            t.e_updated.(idx) <- Net.now t.net;
             Net.flood_from_switch t.net ~sw:access ~except:[] (fun () ->
                 make_probe t ~dst:root ~round:t.round ~max_util:0. ~hops:1)
           end))
@@ -170,7 +205,13 @@ let install net ~roots ?(probe_interval = 0.05) ?(probe_ttl = 8) ?(entry_timeout
       entry_timeout;
       mode;
       reroute_all;
-      tables = Hashtbl.create 16;
+      n_nodes = Ff_topology.Topology.num_nodes (Net.topology net);
+      slots = Int_table.create ~capacity:64 ();
+      e_round = [||];
+      e_next = [||];
+      e_metric = [||];
+      e_updated = [||];
+      e_len = 0;
       round = 0;
       probes_sent = 0;
       reroutes = 0;
@@ -181,9 +222,12 @@ let install net ~roots ?(probe_interval = 0.05) ?(probe_ttl = 8) ?(entry_timeout
   t
 
 let best_next_hop t ~sw ~dst =
-  Option.map (fun e -> e.next_hop) (fresh_entry t ~sw ~dst)
+  let idx = fresh_index t ~sw ~dst in
+  if idx < 0 then None else Some t.e_next.(idx)
 
-let best_metric t ~sw ~dst = Option.map (fun e -> e.metric) (fresh_entry t ~sw ~dst)
+let best_metric t ~sw ~dst =
+  let idx = fresh_index t ~sw ~dst in
+  if idx < 0 then None else Some t.e_metric.(idx)
 
 let probes_sent t = t.probes_sent
 let reroutes t = t.reroutes

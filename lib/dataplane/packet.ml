@@ -36,6 +36,7 @@ type t = {
 }
 
 let next_uid = ref 0
+let created () = !next_uid
 
 let control_size = 64
 
@@ -49,9 +50,36 @@ let make ?size ?(seq = 0) ?(ttl = 64) ?(payload = Data) ~src ~dst ~flow ~birth (
   { uid = !next_uid; src; dst; flow; size; seq; payload; birth; ttl; suspicious = false;
     tags = [] }
 
+(* Hot-path constructors: [make]'s optional arguments cost a [Some] block
+   per supplied argument at every call site (no flambda to elide them), so
+   the per-packet senders use these fixed-shape variants. Each is exactly
+   [make] with the corresponding arguments — same uid draw, same defaults. *)
+
+let make_data ~size ~seq ~ttl ~src ~dst ~flow ~birth =
+  incr next_uid;
+  { uid = !next_uid; src; dst; flow; size; seq; payload = Data; birth; ttl; suspicious = false;
+    tags = [] }
+
+let make_ack ~acked ~src ~dst ~flow ~birth =
+  incr next_uid;
+  { uid = !next_uid; src; dst; flow; size = control_size; seq = 0; payload = Ack { acked };
+    birth; ttl = 64; suspicious = false; tags = [] }
+
+let make_control ~payload ~src ~dst ~flow ~birth =
+  let size = match payload with Data -> 1000 | _ -> control_size in
+  incr next_uid;
+  { uid = !next_uid; src; dst; flow; size; seq = 0; payload; birth; ttl = 64;
+    suspicious = false; tags = [] }
+
 let is_control p = match p.payload with Data | Ack _ -> false | _ -> true
 
-let tag p key v = p.tags <- (key, v) :: List.remove_assoc key p.tags
+let tag p key v =
+  (* [List.remove_assoc] copies the list even when the key is absent —
+     the common case on the hot path; rebuild only on an actual retag *)
+  let rest =
+    if List.mem_assoc key p.tags then List.remove_assoc key p.tags else p.tags
+  in
+  p.tags <- (key, v) :: rest
 
 let tag_value p key = List.assoc_opt key p.tags
 

@@ -54,6 +54,23 @@ val make :
 val control_size : int
 (** Wire size of probe/control packets, bytes. *)
 
+val make_data : size:int -> seq:int -> ttl:int -> src:int -> dst:int -> flow:int ->
+  birth:float -> t
+(** [make] specialized for [Data] payloads with every field supplied: no
+    optional-argument [Some] blocks on per-packet sender paths. *)
+
+val make_ack : acked:int -> src:int -> dst:int -> flow:int -> birth:float -> t
+(** [make ~size:control_size ~payload:(Ack { acked })] without the option
+    blocks — one ack per received data packet makes this a hot path. *)
+
+val make_control : payload:payload -> src:int -> dst:int -> flow:int -> birth:float -> t
+(** [make ~payload] with default size/seq/ttl: probe floods (utilization,
+    mode, sync) construct thousands of these per simulated second. *)
+
+val created : unit -> int
+(** Process-wide count of packets ever constructed — monotone; snapshot it
+    around a run to relate per-hop costs to per-packet ones. *)
+
 val is_control : t -> bool
 (** True for every payload other than [Data] and [Ack]. *)
 

@@ -44,15 +44,19 @@ let state t sw =
 
 let refresh_vars t sw =
   let st = state t sw in
-  let vars = (Net.switch t.net sw).Net.vars in
-  (* recompute every mode var from the set of active attacks *)
+  let sw_rec = Net.switch t.net sw in
+  let vars = sw_rec.Net.vars in
+  (* recompute every mode var from the set of active attacks; the interned
+     flag bit is the copy per-packet booster stages actually read *)
+  let write m on =
+    Hashtbl.replace vars (mode_var m) (if on then 1. else 0.);
+    Net.set_flag sw_rec ~mask:(Net.flag_mask (mode_var m)) on
+  in
   List.iter
-    (fun attack ->
-      List.iter (fun m -> Hashtbl.replace vars (mode_var m) 0.) (t.modes_for attack))
+    (fun attack -> List.iter (fun m -> write m false) (t.modes_for attack))
     Packet.all_attack_kinds;
   Hashtbl.iter
-    (fun attack _ ->
-      List.iter (fun m -> Hashtbl.replace vars (mode_var m) 1.) (t.modes_for attack))
+    (fun attack _ -> List.iter (fun m -> write m true) (t.modes_for attack))
     st.active_attacks
 
 let record t sw attack activated =

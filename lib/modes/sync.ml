@@ -55,12 +55,12 @@ let stage t =
                     Hashtbl.replace st.remote key h;
                     h
                 in
-                Hashtbl.replace per_key origin (v, ctx.Net.now))
+                Hashtbl.replace per_key origin (v, Net.now t.net))
               entries;
             Net.flood_from_switch t.net ~sw ~except:[ ctx.Net.in_port ] (fun () ->
-                Packet.make ~src:origin ~dst:origin ~flow:t.probe_class ~birth:ctx.Net.now
-                  ~payload:(Packet.Sync_probe { origin; round; entries })
-                  ());
+                Packet.make_control ~src:origin ~dst:origin ~flow:t.probe_class
+                  ~birth:(Net.now t.net)
+                  ~payload:(Packet.Sync_probe { origin; round; entries }));
             Net.Absorb
           end
         | _ -> Net.Continue);
@@ -76,9 +76,8 @@ let advertise t () =
         Net.obs_emit t.net (Ff_obs.Event.Probe { sw; kind = "sync" });
         Hashtbl.replace (state t sw).seen (sw, t.round) ();
         Net.flood_from_switch t.net ~sw ~except:[] (fun () ->
-            Packet.make ~src:sw ~dst:sw ~flow:t.probe_class ~birth:(Net.now t.net)
-              ~payload:(Packet.Sync_probe { origin = sw; round = t.round; entries })
-              ())
+            Packet.make_control ~src:sw ~dst:sw ~flow:t.probe_class ~birth:(Net.now t.net)
+              ~payload:(Packet.Sync_probe { origin = sw; round = t.round; entries }))
       end)
     t.participants
 

@@ -1,4 +1,30 @@
-type t = { heap : (unit -> unit) Ff_util.Heap.t; mutable clock : float }
+(* Two typed event lanes share one clock and one sequence counter.
+
+   The packet lane exists because packet arrivals are the dominant event
+   class (one per link hop; ~1.5M per bench run): storing them as
+   (time, seq, to_node, from_node, pkt) heap columns instead of a
+   [fun () -> receive ...] thunk removes the last per-hop closure
+   allocation. Everything rare — timers, bursts, the mode protocol —
+   stays on the thunk lane.
+
+   Ordering: every schedule, on either lane, draws the next value of the
+   engine-wide [next_seq] counter, and dispatch always picks the lane
+   whose top has the smaller (time, seq). That is exactly the order the
+   old single-heap engine produced, so runs are bit-identical. *)
+
+type packet_handler = to_node:int -> from_node:int -> Ff_dataplane.Packet.t -> unit
+
+let no_handler ~to_node:_ ~from_node:_ _ =
+  failwith "Engine.schedule_packet: no packet handler registered"
+
+type t = {
+  thunks : (unit -> unit) Ff_util.Heap.t;
+  packets : Ff_dataplane.Packet.t Ff_util.Heap.t;
+      (* tag1 = to_node, tag2 = from_node *)
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable on_packet : packet_handler;
+}
 
 (* Process-wide count of executed events, across every engine instance:
    the denominator-free "work done" measure the profiler reports even for
@@ -6,32 +32,62 @@ type t = { heap : (unit -> unit) Ff_util.Heap.t; mutable clock : float }
 let global_steps = ref 0
 let total_steps () = !global_steps
 
-let create () = { heap = Ff_util.Heap.create (); clock = 0. }
+let create () =
+  {
+    thunks = Ff_util.Heap.create ();
+    packets = Ff_util.Heap.create ();
+    clock = 0.;
+    next_seq = 0;
+    on_packet = no_handler;
+  }
 
 let now t = t.clock
+
+let set_packet_handler t h = t.on_packet <- h
+
+let push_thunk t ~prio f =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Ff_util.Heap.push_seq t.thunks ~prio ~seq f
 
 let schedule t ~at f =
   if at < t.clock -. 1e-12 then
     invalid_arg
       (Printf.sprintf "Engine.schedule: at=%.9f is before now=%.9f" at t.clock);
-  Ff_util.Heap.push t.heap ~prio:(max at t.clock) f
+  push_thunk t ~prio:(max at t.clock) f
+
+let schedule_packet t ~at ~to_node ~from_node pkt =
+  if at < t.clock -. 1e-12 then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_packet: at=%.9f is before now=%.9f" at
+         t.clock);
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  (* pass one of the two already-boxed floats instead of [max at t.clock],
+     which would box a fresh result per call *)
+  let prio = if at >= t.clock then at else t.clock in
+  Ff_util.Heap.push_tagged t.packets ~prio ~seq ~tag1:to_node ~tag2:from_node pkt
 
 let after t ~delay f =
   assert (delay >= 0.);
   schedule t ~at:(t.clock +. delay) f
 
+(* Single-float record for tick-time accumulators: a [float ref]'s [:=]
+   boxes a fresh float per tick, a flat record field stores it unboxed. *)
+type fcell = { mutable fv : float }
+
 let every t ?start ?until ~period f =
   assert (period > 0.);
   let start = match start with Some s -> s | None -> t.clock +. period in
   (* one closure for the whole series; [next] carries the tick's own time *)
-  let next = ref start in
+  let next = { fv = start } in
   let rec tick () =
     match until with
-    | Some u when !next > u +. 1e-12 -> ()
+    | Some u when next.fv > u +. 1e-12 -> ()
     | _ ->
       f ();
-      next := !next +. period;
-      schedule t ~at:!next tick
+      next.fv <- next.fv +. period;
+      schedule t ~at:next.fv tick
   in
   schedule t ~at:start tick
 
@@ -43,37 +99,64 @@ let schedule_burst t ~start ~period ~count f =
         (Printf.sprintf "Engine.schedule_burst: start=%.9f is before now=%.9f" start t.clock);
     (* a single self-rescheduling closure with one live heap slot: the
        burst costs one allocation total instead of one closure per tick *)
-    let at = ref (max start t.clock) in
+    let at = { fv = max start t.clock } in
     let k = ref 0 in
     let rec tick () =
       let continue = f !k in
       incr k;
       if continue && !k < count then begin
-        at := !at +. period;
-        Ff_util.Heap.push t.heap ~prio:!at tick
+        at.fv <- at.fv +. period;
+        push_thunk t ~prio:at.fv tick
       end
     in
-    Ff_util.Heap.push t.heap ~prio:!at tick
+    push_thunk t ~prio:at.fv tick
   end
+
+(* Lane dispatchers: each costs one boxed float (min_prio's return, which
+   then lives on as the clock's box) — the same per-event price the old
+   single-heap engine paid. *)
+let dispatch_packet t =
+  let at = Ff_util.Heap.min_prio t.packets in
+  let to_node = Ff_util.Heap.top_tag1 t.packets
+  and from_node = Ff_util.Heap.top_tag2 t.packets in
+  let pkt = Ff_util.Heap.pop_min t.packets in
+  t.clock <- (if at > t.clock then at else t.clock);
+  incr global_steps;
+  t.on_packet ~to_node ~from_node pkt
+
+let dispatch_thunk t =
+  let at = Ff_util.Heap.min_prio t.thunks in
+  let f = Ff_util.Heap.pop_min t.thunks in
+  t.clock <- (if at > t.clock then at else t.clock);
+  incr global_steps;
+  f ()
 
 let step t =
-  if Ff_util.Heap.is_empty t.heap then false
-  else begin
-    let at = Ff_util.Heap.min_prio t.heap in
-    let f = Ff_util.Heap.pop_min t.heap in
-    t.clock <- max t.clock at;
-    incr global_steps;
-    f ();
+  if Ff_util.Heap.top_before t.packets t.thunks then begin
+    dispatch_packet t;
     true
   end
+  else if not (Ff_util.Heap.is_empty t.thunks) then begin
+    dispatch_thunk t;
+    true
+  end
+  else false
 
 let run t ~until =
-  let heap = t.heap in
-  while (not (Ff_util.Heap.is_empty heap)) && Ff_util.Heap.min_prio heap <= until do
-    ignore (step t)
+  let thunks = t.thunks and packets = t.packets in
+  let continue = ref true in
+  while !continue do
+    if Ff_util.Heap.top_before packets thunks then
+      if Ff_util.Heap.top_at_most packets until then dispatch_packet t
+      else continue := false
+    else if Ff_util.Heap.top_at_most thunks until then dispatch_thunk t
+    else (* both lanes drained or next event past [until] *) continue := false
   done;
   t.clock <- max t.clock until
 
-let pending t = Ff_util.Heap.size t.heap
+let pending t = Ff_util.Heap.size t.thunks + Ff_util.Heap.size t.packets
 
-let clear t = Ff_util.Heap.clear t.heap
+let clear t =
+  Ff_util.Heap.clear t.thunks;
+  Ff_util.Heap.clear t.packets;
+  t.next_seq <- 0

@@ -1,6 +1,17 @@
-(** Discrete-event simulation engine: a monotonic clock and an event heap.
-    Events scheduled for the same instant fire in scheduling order, so runs
-    are deterministic. *)
+(** Discrete-event simulation engine: a monotonic clock and two typed
+    event lanes sharing one sequence counter.
+
+    The {e thunk lane} holds arbitrary [unit -> unit] events (timers,
+    bursts, protocol steps). The {e packet lane} holds packet arrivals —
+    the dominant event class, one per link hop — as unboxed heap columns
+    [(time, to_node, from_node, pkt)] dispatched through a single
+    registered handler, so scheduling a hop allocates no closure.
+
+    Both lanes draw sequence numbers from one engine-wide counter and
+    dispatch always picks the lane whose top has the smaller
+    [(time, seq)], so events across the two lanes fire in global
+    scheduling order: same-instant events pop FIFO exactly as with a
+    single heap, and runs are deterministic. *)
 
 type t
 
@@ -11,6 +22,21 @@ val now : t -> float
 
 val schedule : t -> at:float -> (unit -> unit) -> unit
 (** Raises [Invalid_argument] when [at] is in the past. *)
+
+val set_packet_handler :
+  t -> (to_node:int -> from_node:int -> Ff_dataplane.Packet.t -> unit) -> unit
+(** Register the packet-lane dispatcher. One handler per engine —
+    registering again replaces it ([Net.create] owns it; the repo runs
+    one net per engine). Until one is registered, dispatching a packet
+    event fails. *)
+
+val schedule_packet :
+  t -> at:float -> to_node:int -> from_node:int -> Ff_dataplane.Packet.t -> unit
+(** Schedule a packet arrival on the packet lane: at time [at] the
+    registered handler runs as [h ~to_node ~from_node pkt]. Ordered
+    against thunk events by the shared [(time, seq)] key. Allocation-free
+    past heap growth. Raises [Invalid_argument] when [at] is in the
+    past. *)
 
 val after : t -> delay:float -> (unit -> unit) -> unit
 
@@ -30,13 +56,15 @@ val schedule_burst :
     Raises [Invalid_argument] when [start] is in the past. *)
 
 val run : t -> until:float -> unit
-(** Pop and execute events until the heap drains or the clock passes
+(** Pop and execute events until both lanes drain or the clock passes
     [until]; afterwards [now t = until]. *)
 
 val step : t -> bool
-(** Execute one event; [false] when the heap is empty. *)
+(** Execute one event (from whichever lane holds the global minimum);
+    [false] when both lanes are empty. *)
 
 val pending : t -> int
+(** Events waiting across both lanes. *)
 
 val clear : t -> unit
 

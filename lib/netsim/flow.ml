@@ -7,6 +7,18 @@ let fresh_flow_id () =
   !flow_counter
 
 module Tcp = struct
+  (* All-float record: flat layout, so the per-ack congestion-control and
+     RTT-estimator stores stay unboxed (a mixed record boxes every float
+     field write). *)
+  type cc = {
+    mutable cwnd : float;
+    mutable ssthresh : float;
+    mutable srtt : float;
+    mutable rttvar : float;
+    mutable last_cut : float; (* last multiplicative decrease, for once-per-RTT *)
+    mutable delivered : float; (* receiver-side bytes *)
+  }
+
   type t = {
     net : Net.t;
     flow : int;
@@ -15,125 +27,195 @@ module Tcp = struct
     packet_size : int;
     max_cwnd : float;
     stop : float option;
-    mutable cwnd : float;
-    mutable ssthresh : float;
+    cc : cc;
     mutable next_seq : int;
-    outstanding : (int, float) Hashtbl.t; (* seq -> send time *)
-    deadlines : (int, float) Hashtbl.t; (* seq -> current retransmit deadline *)
-    mutable retx_queue : int list;
-    mutable srtt : float;
-    mutable rttvar : float;
+    (* The outstanding window as parallel slots ([o_seqs.(i) = -1] free):
+       in-flight count is bounded by the cwnd cap, so a linear scan over
+       the slots beats a Hashtbl probe whose float values would box on
+       every insert — this runs once per data packet sent and acked. *)
+    mutable o_seqs : int array;
+    mutable o_sent : float array; (* send time, by slot *)
+    mutable o_dead : float array; (* current retransmit deadline, by slot *)
+    mutable o_live : int;
+    (* FIFO retransmit queue as an int ring: the list version re-appended
+       with [@], O(n) conses per timeout *)
+    mutable retx : int array;
+    mutable retx_head : int;
+    mutable retx_len : int;
     mutable sent_packets : int;
     mutable retransmissions : int;
     mutable running : bool;
-    mutable last_cut : float; (* last multiplicative decrease, for once-per-RTT *)
-    (* receiver side *)
-    received : (int, unit) Hashtbl.t;
-    mutable delivered_bytes : float;
+    (* receiver side: seqs are dense from 0, so delivery dedup is a bitset
+       rather than a Hashtbl that conses per received packet *)
+    mutable received : Bytes.t;
     rx_window : Ff_util.Stats.Window_counter.t;
   }
 
   let flow_id t = t.flow
   let src t = t.src
   let dst t = t.dst
-  let delivered_bytes t = t.delivered_bytes
+  let delivered_bytes t = t.cc.delivered
   let sent_packets t = t.sent_packets
   let retransmissions t = t.retransmissions
-  let cwnd t = t.cwnd
-  let srtt t = t.srtt
+  let cwnd t = t.cc.cwnd
+  let srtt t = t.cc.srtt
 
   let goodput t ~now = Ff_util.Stats.Window_counter.rate t.rx_window ~now
 
   let rto t =
-    if t.srtt = 0. then 0.2
-    else Float.min 1.0 (Float.max 0.05 (t.srtt +. (4. *. t.rttvar)))
+    if t.cc.srtt = 0. then 0.2
+    else Float.min 1.0 (Float.max 0.05 (t.cc.srtt +. (4. *. t.cc.rttvar)))
 
   let update_rtt t sample =
-    if t.srtt = 0. then begin
-      t.srtt <- sample;
-      t.rttvar <- sample /. 2.
+    let cc = t.cc in
+    if cc.srtt = 0. then begin
+      cc.srtt <- sample;
+      cc.rttvar <- sample /. 2.
     end
     else begin
-      t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs (t.srtt -. sample));
-      t.srtt <- (0.875 *. t.srtt) +. (0.125 *. sample)
+      cc.rttvar <- (0.75 *. cc.rttvar) +. (0.25 *. Float.abs (cc.srtt -. sample));
+      cc.srtt <- (0.875 *. cc.srtt) +. (0.125 *. sample)
     end
 
   let stopped t now = match t.stop with Some s -> now >= s | None -> false
 
+  (* ---- outstanding-window slots ---- *)
+
+  let slot_of_seq t seq =
+    let a = t.o_seqs in
+    let n = Array.length a in
+    let rec go i = if i >= n then -1 else if Array.unsafe_get a i = seq then i else go (i + 1) in
+    go 0
+
+  let free_slot t =
+    let i = slot_of_seq t (-1) in
+    if i >= 0 then i
+    else begin
+      let cap = Array.length t.o_seqs in
+      let ncap = max 64 (2 * cap) in
+      let ns = Array.make ncap (-1) in
+      Array.blit t.o_seqs 0 ns 0 cap;
+      let grow_f a =
+        let n = Array.make ncap 0. in
+        Array.blit a 0 n 0 cap;
+        n
+      in
+      t.o_sent <- grow_f t.o_sent;
+      t.o_dead <- grow_f t.o_dead;
+      t.o_seqs <- ns;
+      cap
+    end
+
+  (* ---- retransmit ring ---- *)
+
+  let retx_push t seq =
+    let cap = Array.length t.retx in
+    if t.retx_len = cap then begin
+      let ncap = max 16 (2 * cap) in
+      let nr = Array.make ncap 0 in
+      for k = 0 to t.retx_len - 1 do
+        nr.(k) <- t.retx.((t.retx_head + k) mod cap)
+      done;
+      t.retx <- nr;
+      t.retx_head <- 0
+    end;
+    t.retx.((t.retx_head + t.retx_len) mod Array.length t.retx) <- seq;
+    t.retx_len <- t.retx_len + 1
+
+  let retx_pop t =
+    let s = t.retx.(t.retx_head) in
+    t.retx_head <- (t.retx_head + 1) mod Array.length t.retx;
+    t.retx_len <- t.retx_len - 1;
+    s
+
   let rec try_send t =
     let now = Net.now t.net in
     if t.running && not (stopped t now) then begin
-      let in_flight = Hashtbl.length t.outstanding in
-      if float_of_int in_flight < t.cwnd then begin
+      if float_of_int t.o_live < t.cc.cwnd then begin
         let seq, is_retx =
-          match t.retx_queue with
-          | s :: rest ->
-            t.retx_queue <- rest;
-            (s, true)
-          | [] ->
+          if t.retx_len > 0 then (retx_pop t, true)
+          else begin
             let s = t.next_seq in
             t.next_seq <- s + 1;
             (s, false)
+          end
         in
         let pkt =
-          Packet.make ~size:t.packet_size ~seq ~src:t.src ~dst:t.dst ~flow:t.flow ~birth:now ()
+          Packet.make_data ~size:t.packet_size ~seq ~ttl:64 ~src:t.src ~dst:t.dst ~flow:t.flow
+            ~birth:now
         in
-        Hashtbl.replace t.outstanding seq now;
+        let slot = free_slot t in
+        t.o_seqs.(slot) <- seq;
+        t.o_sent.(slot) <- now;
+        t.o_live <- t.o_live + 1;
         t.sent_packets <- t.sent_packets + 1;
         if is_retx then t.retransmissions <- t.retransmissions + 1;
         Net.send_from_host t.net pkt;
         let deadline = now +. rto t in
-        Hashtbl.replace t.deadlines seq deadline;
+        t.o_dead.(slot) <- deadline;
         Engine.schedule (Net.engine t.net) ~at:deadline (fun () -> on_timeout t seq);
         try_send t
       end
     end
 
   and on_timeout t seq =
-    match Hashtbl.find_opt t.outstanding seq with
-    | None -> ()
-    | Some _ ->
-      let deadline = try Hashtbl.find t.deadlines seq with Not_found -> 0. in
+    let slot = slot_of_seq t seq in
+    if slot >= 0 then begin
+      let deadline = t.o_dead.(slot) in
       let now = Net.now t.net in
       if now >= deadline -. 1e-9 then begin
         (* unacked past its deadline: treat as loss *)
-        Hashtbl.remove t.outstanding seq;
-        t.retx_queue <- t.retx_queue @ [ seq ];
-        if now -. t.last_cut > Float.max t.srtt 0.05 then begin
-          t.ssthresh <- Float.max 2. (t.cwnd /. 2.);
-          t.cwnd <- Float.max 1. (t.cwnd /. 2.);
-          t.last_cut <- now
+        t.o_seqs.(slot) <- -1;
+        t.o_live <- t.o_live - 1;
+        retx_push t seq;
+        let cc = t.cc in
+        if now -. cc.last_cut > Float.max cc.srtt 0.05 then begin
+          cc.ssthresh <- Float.max 2. (cc.cwnd /. 2.);
+          cc.cwnd <- Float.max 1. (cc.cwnd /. 2.);
+          cc.last_cut <- now
         end;
         try_send t
       end
       else
         (* the deadline moved (retransmission with a fresher RTO): re-arm *)
         Engine.schedule (Net.engine t.net) ~at:deadline (fun () -> on_timeout t seq)
+    end
 
   let on_ack t seq =
-    match Hashtbl.find_opt t.outstanding seq with
-    | None -> () (* duplicate or late ack *)
-    | Some sent_at ->
-      Hashtbl.remove t.outstanding seq;
-      Hashtbl.remove t.deadlines seq;
+    let slot = slot_of_seq t seq in
+    if slot >= 0 (* else duplicate or late ack *) then begin
+      let sent_at = t.o_sent.(slot) in
+      t.o_seqs.(slot) <- -1;
+      t.o_live <- t.o_live - 1;
       let now = Net.now t.net in
       update_rtt t (now -. sent_at);
-      if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. 1. (* slow start *)
-      else t.cwnd <- t.cwnd +. (1. /. t.cwnd);
-      t.cwnd <- Float.min t.max_cwnd t.cwnd;
+      let cc = t.cc in
+      if cc.cwnd < cc.ssthresh then cc.cwnd <- cc.cwnd +. 1. (* slow start *)
+      else cc.cwnd <- cc.cwnd +. (1. /. cc.cwnd);
+      cc.cwnd <- Float.min t.max_cwnd cc.cwnd;
       try_send t
+    end
+
+  let seq_received t seq = (Char.code (Bytes.get t.received (seq lsr 3)) lsr (seq land 7)) land 1 = 1
+
+  let mark_received t seq =
+    if seq lsr 3 >= Bytes.length t.received then begin
+      let nlen = max (2 * Bytes.length t.received) ((seq lsr 3) + 1) in
+      let nb = Bytes.make nlen '\000' in
+      Bytes.blit t.received 0 nb 0 (Bytes.length t.received);
+      t.received <- nb
+    end;
+    let b = seq lsr 3 in
+    Bytes.set t.received b (Char.chr (Char.code (Bytes.get t.received b) lor (1 lsl (seq land 7))))
 
   let on_data t (pkt : Packet.t) =
     let now = Net.now t.net in
-    if not (Hashtbl.mem t.received pkt.seq) then begin
-      Hashtbl.replace t.received pkt.seq ();
-      t.delivered_bytes <- t.delivered_bytes +. float_of_int pkt.size;
+    if pkt.seq lsr 3 >= Bytes.length t.received || not (seq_received t pkt.seq) then begin
+      mark_received t pkt.seq;
+      t.cc.delivered <- t.cc.delivered +. float_of_int pkt.size;
       Ff_util.Stats.Window_counter.add t.rx_window ~now (float_of_int pkt.size)
     end;
-    let ack =
-      Packet.make ~src:t.dst ~dst:t.src ~flow:t.flow ~birth:now ~size:Packet.control_size
-        ~payload:(Packet.Ack { acked = pkt.seq }) ()
-    in
+    let ack = Packet.make_ack ~acked:pkt.seq ~src:t.dst ~dst:t.src ~flow:t.flow ~birth:now in
     Net.send_from_host t.net ack
 
   let start net ~src ~dst ?at ?stop ?(packet_size = 1000) ?(max_cwnd = 64.)
@@ -148,20 +230,21 @@ module Tcp = struct
         packet_size;
         max_cwnd;
         stop;
-        cwnd = initial_cwnd;
-        ssthresh = 32.;
+        cc =
+          { cwnd = initial_cwnd; ssthresh = 32.; srtt = 0.; rttvar = 0.; last_cut = -1.;
+            delivered = 0. };
         next_seq = 0;
-        outstanding = Hashtbl.create 64;
-        deadlines = Hashtbl.create 64;
-        retx_queue = [];
-        srtt = 0.;
-        rttvar = 0.;
+        o_seqs = Array.make 64 (-1);
+        o_sent = Array.make 64 0.;
+        o_dead = Array.make 64 0.;
+        o_live = 0;
+        retx = Array.make 16 0;
+        retx_head = 0;
+        retx_len = 0;
         sent_packets = 0;
         retransmissions = 0;
         running = true;
-        last_cut = -1.;
-        received = Hashtbl.create 256;
-        delivered_bytes = 0.;
+        received = Bytes.make 256 '\000';
         rx_window = Ff_util.Stats.Window_counter.create ~width:1.0;
       }
     in
@@ -225,8 +308,8 @@ module Cbr = struct
     if t.running && not stopped then begin
       if in_duty t now then begin
         let pkt =
-          Packet.make ~size:t.packet_size ~seq:t.seq ~ttl:t.ttl ~src:t.src ~dst:t.dst
-            ~flow:t.flow ~birth:now ()
+          Packet.make_data ~size:t.packet_size ~seq:t.seq ~ttl:t.ttl ~src:t.src ~dst:t.dst
+            ~flow:t.flow ~birth:now
         in
         t.seq <- t.seq + 1;
         t.sent_packets <- t.sent_packets + 1;

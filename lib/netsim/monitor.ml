@@ -1,4 +1,7 @@
-let sample engine ~period ?(start = 0.) ?until ~name probe =
+let sample engine ~period ?start ?until ~name probe =
+  (* default to the current clock, not 0.: a monitor attached mid-run used
+     to make Engine.every reject the first tick as scheduled in the past *)
+  let start = match start with Some s -> s | None -> Engine.now engine in
   let series = Ff_util.Series.create ~name in
   Engine.every engine ~start ?until ~period (fun () ->
       let now = Engine.now engine in

@@ -5,7 +5,9 @@ val sample :
   Engine.t -> period:float -> ?start:float -> ?until:float -> name:string ->
   (float -> float) -> Ff_util.Series.t
 (** Every [period] seconds evaluate the probe function on the current time
-    and append the result to a fresh series (returned immediately). *)
+    and append the result to a fresh series (returned immediately).
+    [start] defaults to the current simulation time, so a monitor can be
+    attached mid-run. *)
 
 val link_utilization :
   Net.t -> from_:int -> to_:int -> period:float -> ?until:float -> unit -> Ff_util.Series.t

@@ -10,14 +10,22 @@ type decision =
 type switch = {
   sw_id : int;
   mutable stages : stage list;
-  routes : (int, int) Hashtbl.t;
-  pair_routes : (int * int, int) Hashtbl.t;
-  backup_routes : (int, int) Hashtbl.t;
+  routes : int array; (* indexed by destination node id; -1 = no entry *)
+  backup_routes : int array;
+  mutable backup_count : int;
+      (* live backup entries — keeps the no-backups case a single int
+         test, as the Hashtbl.length = 0 check used to *)
+  pair_routes : Ff_util.Int_table.t; (* keyed src * num_nodes + dst *)
   mutable up : bool;
   vars : (string, float) Hashtbl.t;
+  mutable flags : int;
+      (* interned boolean vars (see [flag_mask]): per-packet stages test a
+         bit here instead of hashing a string key into [vars] *)
+  mutable sctx : ctx option;
+      (* the switch's reusable pipeline context (internal) *)
 }
 
-and ctx = { net : t; sw : switch; in_port : int; now : float }
+and ctx = { net : t; sw : switch; mutable in_port : int }
 
 and stage = { stage_name : string; process : ctx -> Packet.t -> decision }
 
@@ -32,7 +40,7 @@ and dirlink = {
   from_node : int;
   to_node : int;
   mutable link_up : bool;
-  mutable busy_until : float;
+  busy : busy; (* single-float record: flat layout, unboxed writes *)
   queue_limit : float; (* bytes *)
   tx_window : Ff_util.Stats.Window_counter.t;
   mutable drops : int;
@@ -40,6 +48,8 @@ and dirlink = {
   (* registry handle resolved once per metrics attachment, not per packet *)
   mutable tx_bytes_ctr : Ff_obs.Metrics.Counter.t option;
 }
+
+and busy = { mutable busy_until : float }
 
 and node_entry = Sw of switch | Ho of host
 
@@ -54,6 +64,10 @@ and t = {
       (* per node id; rebuilt by add_stage/remove_stage so the per-packet
          pipeline walk reads an array, not cons cells *)
   drop_ctrs : Ff_obs.Metrics.Counter.t option array; (* per node id *)
+  sw_peers : int list array;
+      (* switch neighbors per node id, [Topology.neighbors] order — probe
+         floods walk this list on every improved probe, so it is built once
+         instead of filtered out of the topology per flood *)
   drop_reasons : (string, int) Hashtbl.t;
   mutable tracer : (trace_event -> unit) option;
   mutable obs : Ff_obs.Trace.t option;
@@ -76,6 +90,30 @@ and trace_kind =
 let engine t = t.engine
 let topology t = t.topo
 let now t = Engine.now t.engine
+
+(* ---------------- interned switch flags ---------------- *)
+
+(* Boolean switch state read on the per-packet path (mode gates, mostly)
+   pays a string hash per stage per hop if kept in [vars]. Flag names are
+   interned process-wide into one-hot masks; the per-switch state is a
+   single int, so the hot-path test is one [land]. Writers keep mirroring
+   the value into [vars] for introspection. *)
+let flag_ids : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let flag_mask name =
+  match Hashtbl.find_opt flag_ids name with
+  | Some m -> m
+  | None ->
+    let i = Hashtbl.length flag_ids in
+    if i >= Sys.int_size - 1 then invalid_arg "Net.flag_mask: flag space exhausted";
+    let m = 1 lsl i in
+    Hashtbl.replace flag_ids name m;
+    m
+
+let set_flag (sw : switch) ~mask on =
+  sw.flags <- (if on then sw.flags lor mask else sw.flags land lnot mask)
+
+let flag_on (sw : switch) ~mask = sw.flags land mask <> 0
 
 (* ---------------- observability ---------------- *)
 
@@ -167,12 +205,25 @@ let dirlink_opt t ~from_ ~to_ =
     go 0
   end
 
+(* Open-coded [dirlink_opt]: this runs once per probe arrival (congestion-
+   aware rerouting folds in the reverse link's utilization), where the
+   [Some dl] wrapper would be a per-probe allocation. *)
 let utilization t ~from_ ~to_ =
-  match dirlink_opt t ~from_ ~to_ with
-  | None -> 0.
-  | Some dl ->
-    let rate = Ff_util.Stats.Window_counter.rate dl.tx_window ~now:(now t) in
-    Float.min 1. (rate *. 8. /. dl.link.Topology.capacity)
+  if from_ < 0 || from_ >= Array.length t.adj then 0.
+  else begin
+    let links = t.adj.(from_) in
+    let n = Array.length links in
+    let rec go i =
+      if i >= n then 0.
+      else
+        let dl = Array.unsafe_get links i in
+        if dl.to_node = to_ then
+          let rate = Ff_util.Stats.Window_counter.rate dl.tx_window ~now:(now t) in
+          Float.min 1. (rate *. 8. /. dl.link.Topology.capacity)
+        else go (i + 1)
+    in
+    go 0
+  end
 
 let link_drops t ~from_ ~to_ =
   match dirlink_opt t ~from_ ~to_ with None -> 0 | Some dl -> dl.drops
@@ -185,10 +236,7 @@ let total_tx_packets t =
     (fun acc links -> Array.fold_left (fun acc dl -> acc + dl.tx_packets) acc links)
     0 t.adj
 
-let neighbors_of t sw_id =
-  Topology.neighbors t.topo sw_id
-  |> List.filter_map (fun (peer, _) ->
-         match t.nodes.(peer) with Sw _ -> Some peer | Ho _ -> None)
+let neighbors_of t sw_id = t.sw_peers.(sw_id)
 
 let attached_hosts t ~sw =
   Topology.neighbors t.topo sw
@@ -206,7 +254,10 @@ let access_switch t ~host:h =
 let rec transmit t dl (pkt : Packet.t) =
   let tnow = now t in
   let cap = dl.link.Topology.capacity in
-  let backlog_bytes = Float.max 0. (dl.busy_until -. tnow) *. cap /. 8. in
+  (* open-coded max: [Float.max] is a cross-module call on the per-hop
+     path, and its NaN handling is irrelevant for simulation clocks *)
+  let waiting = dl.busy.busy_until -. tnow in
+  let backlog_bytes = (if waiting > 0. then waiting else 0.) *. cap /. 8. in
   let size = float_of_int pkt.size in
   if not dl.link_up then drop_packet t ~node:dl.from_node pkt "link-down"
   else if backlog_bytes +. size > dl.queue_limit then begin
@@ -214,9 +265,9 @@ let rec transmit t dl (pkt : Packet.t) =
     drop_packet t ~node:dl.from_node pkt "queue-overflow"
   end
   else begin
-    let start = Float.max tnow dl.busy_until in
+    let start = if tnow > dl.busy.busy_until then tnow else dl.busy.busy_until in
     let tx_time = size *. 8. /. cap in
-    dl.busy_until <- start +. tx_time;
+    dl.busy.busy_until <- start +. tx_time;
     dl.tx_packets <- dl.tx_packets + 1;
     Ff_util.Stats.Window_counter.add dl.tx_window ~now:tnow size;
     (match t.metrics with
@@ -235,8 +286,10 @@ let rec transmit t dl (pkt : Packet.t) =
           c
       in
       Ff_obs.Metrics.Counter.add ctr size);
-    let arrival = dl.busy_until +. dl.link.Topology.delay in
-    Engine.schedule t.engine ~at:arrival (fun () -> receive t ~at:dl.to_node ~from_:dl.from_node pkt)
+    let arrival = dl.busy.busy_until +. dl.link.Topology.delay in
+    (* packet lane: the arrival is four unboxed heap columns, no closure *)
+    Engine.schedule_packet t.engine ~at:arrival ~to_node:dl.to_node
+      ~from_node:dl.from_node pkt
   end
 
 and receive t ~at ~from_ pkt =
@@ -247,9 +300,9 @@ and receive t ~at ~from_ pkt =
     (match pkt.Packet.payload with
     | Packet.Traceroute_probe { probe_id; probe_ttl } ->
       let reply =
-        Packet.make ~src:h.host_id ~dst:pkt.Packet.src ~flow:pkt.Packet.flow ~birth:(now t)
+        Packet.make_control ~src:h.host_id ~dst:pkt.Packet.src ~flow:pkt.Packet.flow
+          ~birth:(now t)
           ~payload:(Packet.Traceroute_reply { probe_id; hop = probe_ttl; responder = h.host_id })
-          ()
       in
       send_from_host t reply
     | _ ->
@@ -278,15 +331,20 @@ and send_on_access_link t ~host pkt =
   else drop_packet t ~node:host pkt "no-access-link"
 
 and send_toward t sw next pkt =
+  (* plain loop: a local [rec go] closure here cost a block per hop *)
   let links = t.adj.(sw.sw_id) in
   let n = Array.length links in
-  let rec go i =
-    if i >= n then drop_packet t ~node:sw.sw_id pkt "no-link"
-    else
-      let dl = Array.unsafe_get links i in
-      if dl.to_node = next then transmit t dl pkt else go (i + 1)
-  in
-  go 0
+  let i = ref 0 in
+  let found = ref false in
+  while (not !found) && !i < n do
+    let dl = Array.unsafe_get links !i in
+    if dl.to_node = next then begin
+      found := true;
+      transmit t dl pkt
+    end
+    else incr i
+  done;
+  if not !found then drop_packet t ~node:sw.sw_id pkt "no-link"
 
 (* fast reroute: skip a next hop that is a downed switch. 0 = entry whose
    next hop is down, 1 = sent. A top-level joint function rather than a
@@ -300,28 +358,33 @@ and forward_via t sw pkt next =
     1
 
 and default_forward t sw (pkt : Packet.t) =
-  (* pair, then primary, then backup — lazily, without building the option
-     list the old code allocated per packet. -1 = no entry. *)
+  (* pair, then primary, then backup — three dense probes, no hashing.
+     -1 = no entry; spoofed packets can carry out-of-range src/dst ids,
+     which the old Hashtbl keys absorbed silently, so range checks stand
+     in for "not found". *)
+  let n = Array.length t.nodes in
+  let src = pkt.src and dst = pkt.dst in
+  let dst_ok = dst >= 0 && dst < n in
   let pair =
-    if Hashtbl.length sw.pair_routes = 0 then -1
+    if Ff_util.Int_table.length sw.pair_routes = 0 then -1
+    else if (not dst_ok) || src < 0 || src >= n then -1
     else
-      match Hashtbl.find sw.pair_routes (pkt.src, pkt.dst) with
-      | next -> forward_via t sw pkt next
-      | exception Not_found -> -1
+      let next = Ff_util.Int_table.get sw.pair_routes ((src * n) + dst) ~default:(-1) in
+      if next < 0 then -1 else forward_via t sw pkt next
   in
   if pair <> 1 then begin
     let primary =
-      match Hashtbl.find sw.routes pkt.dst with
-      | next -> forward_via t sw pkt next
-      | exception Not_found -> -1
+      if not dst_ok then -1
+      else
+        let next = Array.unsafe_get sw.routes dst in
+        if next < 0 then -1 else forward_via t sw pkt next
     in
     if primary <> 1 then begin
       let backup =
-        if Hashtbl.length sw.backup_routes = 0 then -1
+        if sw.backup_count = 0 || not dst_ok then -1
         else
-          match Hashtbl.find sw.backup_routes pkt.dst with
-          | next -> forward_via t sw pkt next
-          | exception Not_found -> -1
+          let next = Array.unsafe_get sw.backup_routes dst in
+          if next < 0 then -1 else forward_via t sw pkt next
       in
       if backup <> 1 then
         drop_packet t ~node:sw.sw_id pkt
@@ -329,20 +392,33 @@ and default_forward t sw (pkt : Packet.t) =
     end
   end
 
+and switch_ctx t sw =
+  match sw.sctx with
+  | Some c -> c
+  | None ->
+    let c = { net = t; sw; in_port = -1 } in
+    sw.sctx <- Some c;
+    c
+
 and handle_at_switch t sw ~in_port pkt =
-  let ctx = { net = t; sw; in_port; now = now t } in
-  let stages = t.stage_cache.(sw.sw_id) in
-  let n = Array.length stages in
-  let rec run i =
-    if i >= n then default_forward t sw pkt
-    else
-      match (Array.unsafe_get stages i).process ctx pkt with
-      | Continue -> run (i + 1)
-      | Forward next -> send_toward t sw next pkt
-      | Drop reason -> drop_packet t ~node:sw.sw_id pkt reason
-      | Absorb -> ()
-  in
-  run 0
+  run_stages t sw (switch_ctx t sw) t.stage_cache.(sw.sw_id) ~in_port pkt 0
+
+(* The stage loop is a top-level joint function: written as a local [rec
+   run] closure inside [handle_at_switch] it captured the whole pipeline
+   state — a fresh ~10-word block on every switch arrival. *)
+and run_stages t sw ctx stages ~in_port pkt i =
+  if i >= Array.length stages then default_forward t sw pkt
+  else begin
+    (* a stage can re-enter this switch's pipeline (ttl_stage routes its
+       ICMP reply through handle_at_switch), clobbering the shared ctx —
+       restore in_port before every stage call *)
+    ctx.in_port <- in_port;
+    match (Array.unsafe_get stages i).process ctx pkt with
+    | Continue -> run_stages t sw ctx stages ~in_port pkt (i + 1)
+    | Forward next -> send_toward t sw next pkt
+    | Drop reason -> drop_packet t ~node:sw.sw_id pkt reason
+    | Absorb -> ()
+  end
 
 (* The default first stage: TTL decrement and traceroute expiry. *)
 let ttl_stage =
@@ -363,10 +439,9 @@ let ttl_stage =
               | None -> ctx.sw.sw_id
             in
             let reply =
-              Packet.make ~src:pkt.Packet.dst ~dst:pkt.Packet.src ~flow:pkt.Packet.flow
-                ~birth:ctx.now
+              Packet.make_control ~src:pkt.Packet.dst ~dst:pkt.Packet.src ~flow:pkt.Packet.flow
+                ~birth:(now ctx.net)
                 ~payload:(Packet.Traceroute_reply { probe_id; hop = probe_ttl; responder })
-                ()
             in
             handle_at_switch ctx.net ctx.sw ~in_port:(-1) reply
           | _ -> ());
@@ -384,11 +459,14 @@ let create ?(queue_limit_bytes = 37_500.) engine topo =
             {
               sw_id = id;
               stages = [ ttl_stage ];
-              routes = Hashtbl.create 32;
-              pair_routes = Hashtbl.create 32;
-              backup_routes = Hashtbl.create 8;
+              routes = Array.make num_nodes (-1);
+              backup_routes = Array.make num_nodes (-1);
+              backup_count = 0;
+              pair_routes = Ff_util.Int_table.create ~capacity:32 ();
               up = true;
               vars = Hashtbl.create 8;
+              flags = 0;
+              sctx = None;
             }
         | Topology.Host ->
           Ho { host_id = id; receivers = Hashtbl.create 16; fallback_rx = None })
@@ -402,7 +480,7 @@ let create ?(queue_limit_bytes = 37_500.) engine topo =
                  from_node = id;
                  to_node = peer;
                  link_up = true;
-                 busy_until = 0.;
+                 busy = { busy_until = 0. };
                  queue_limit = queue_limit_bytes;
                  tx_window = Ff_util.Stats.Window_counter.create ~width:0.2;
                  drops = 0;
@@ -422,6 +500,11 @@ let create ?(queue_limit_bytes = 37_500.) engine topo =
       adj;
       stage_cache;
       drop_ctrs = Array.make num_nodes None;
+      sw_peers =
+        Array.init num_nodes (fun id ->
+            Topology.neighbors topo id
+            |> List.filter_map (fun (peer, _) ->
+                   match nodes.(peer) with Sw _ -> Some peer | Ho _ -> None));
       drop_reasons = Hashtbl.create 16;
       tracer = None;
       (* new networks report into whatever ambient sinks the harness set up *)
@@ -435,10 +518,14 @@ let create ?(queue_limit_bytes = 37_500.) engine topo =
       | Ho h ->
         let sw_id = access_switch t ~host:h.host_id in
         (match t.nodes.(sw_id) with
-        | Sw sw -> Hashtbl.replace sw.routes h.host_id h.host_id
+        | Sw sw -> sw.routes.(h.host_id) <- h.host_id
         | Ho _ -> ())
       | Sw _ -> ())
     nodes;
+  (* this net owns the engine's packet lane (the repo runs one net per
+     engine; a second create on the same engine would steal the lane) *)
+  Engine.set_packet_handler engine (fun ~to_node ~from_node pkt ->
+      receive t ~at:to_node ~from_:from_node pkt);
   t
 
 (* ---------------- stage management ---------------- *)
@@ -461,21 +548,67 @@ let has_stage t ~sw ~name =
 
 (* ---------------- routing ---------------- *)
 
-let set_route t ~sw ~dst ~next_hop = Hashtbl.replace (switch t sw).routes dst next_hop
+let check_node t what id =
+  if id < 0 || id >= Array.length t.nodes then
+    invalid_arg (Printf.sprintf "Net.%s: node %d out of range" what id)
+
+let set_route t ~sw ~dst ~next_hop =
+  check_node t "set_route" dst;
+  (switch t sw).routes.(dst) <- next_hop
+
+let pair_key t ~src ~dst = (src * Array.length t.nodes) + dst
 
 let set_pair_route t ~sw ~src ~dst ~next_hop =
-  Hashtbl.replace (switch t sw).pair_routes (src, dst) next_hop
+  check_node t "set_pair_route" src;
+  check_node t "set_pair_route" dst;
+  Ff_util.Int_table.set (switch t sw).pair_routes (pair_key t ~src ~dst) next_hop
 
-let set_backup_route t ~sw ~dst ~next_hop = Hashtbl.replace (switch t sw).backup_routes dst next_hop
-let route_lookup t ~sw ~dst = Hashtbl.find_opt (switch t sw).routes dst
-let pair_route_lookup t ~sw ~src ~dst = Hashtbl.find_opt (switch t sw).pair_routes (src, dst)
+let set_backup_route t ~sw ~dst ~next_hop =
+  check_node t "set_backup_route" dst;
+  let s = switch t sw in
+  let prev = s.backup_routes.(dst) in
+  if prev < 0 && next_hop >= 0 then s.backup_count <- s.backup_count + 1
+  else if prev >= 0 && next_hop < 0 then s.backup_count <- s.backup_count - 1;
+  s.backup_routes.(dst) <- next_hop
+
+let dense_lookup routes dst =
+  if dst < 0 || dst >= Array.length routes then None
+  else
+    let next = routes.(dst) in
+    if next < 0 then None else Some next
+
+let route_lookup t ~sw ~dst = dense_lookup (switch t sw).routes dst
+let backup_route_lookup t ~sw ~dst = dense_lookup (switch t sw).backup_routes dst
+
+let pair_route_lookup t ~sw ~src ~dst =
+  let n = Array.length t.nodes in
+  if src < 0 || src >= n || dst < 0 || dst >= n then None
+  else
+    let next =
+      Ff_util.Int_table.get (switch t sw).pair_routes (pair_key t ~src ~dst) ~default:(-1)
+    in
+    if next < 0 then None else Some next
+
+let route_entries t ~sw =
+  let s = switch t sw in
+  let acc = ref [] in
+  for dst = Array.length s.routes - 1 downto 0 do
+    if s.routes.(dst) >= 0 then acc := (dst, s.routes.(dst)) :: !acc
+  done;
+  !acc
+
+let pair_route_entries t ~sw =
+  let n = Array.length t.nodes in
+  Ff_util.Int_table.fold
+    (fun key next acc -> ((key / n, key mod n), next) :: acc)
+    (switch t sw).pair_routes []
 
 let clear_routes t ~sw =
   let s = switch t sw in
-  Hashtbl.reset s.routes;
-  Hashtbl.reset s.pair_routes;
+  Array.fill s.routes 0 (Array.length s.routes) (-1);
+  Ff_util.Int_table.clear s.pair_routes;
   (* restore direct host attachment entries *)
-  List.iter (fun h -> Hashtbl.replace s.routes h h) (attached_hosts t ~sw)
+  List.iter (fun h -> s.routes.(h) <- h) (attached_hosts t ~sw)
 
 let iter_path_switches t path ~f =
   let rec go = function
@@ -506,9 +639,9 @@ let current_path t ~src ~dst =
         | [] -> None)
       | Sw sw -> (
         let next =
-          match Hashtbl.find_opt sw.pair_routes (src, dst) with
-          | Some n -> Some n
-          | None -> Hashtbl.find_opt sw.routes dst
+          match pair_route_lookup t ~sw:sw.sw_id ~src ~dst with
+          | Some _ as p -> p
+          | None -> dense_lookup sw.routes dst
         in
         match next with
         | Some n when not (List.mem n acc) -> walk (node :: acc) n (hops + 1)

@@ -5,7 +5,15 @@
     PPMs). A stage inspects/mutates the packet and either lets it continue,
     forwards it explicitly, absorbs it (probes), or drops it. When every
     stage says [Continue], the default forwarding stage routes by the
-    switch's table (with a backup table for fast reroute, paper section 3.4). *)
+    switch's table (with a backup table for fast reroute, paper section 3.4).
+
+    Routing state is dense: next-hop tables are [int array]s indexed by
+    destination node id ([-1] = no entry) and per-pair overrides live in an
+    open-addressed {!Ff_util.Int_table} keyed [src * num_nodes + dst], so a
+    forwarding decision is array probes — no hashing, no tuple boxing.
+    Prefer the [set_route]/[route_lookup]/[route_entries] functions over
+    poking the raw fields; the setters keep the invariants (range checks,
+    backup entry count). *)
 
 type t
 
@@ -18,20 +26,32 @@ type decision =
 type switch = {
   sw_id : int;
   mutable stages : stage list;
-  routes : (int, int) Hashtbl.t;  (** destination host -> next-hop node *)
-  pair_routes : (int * int, int) Hashtbl.t;
-      (** (src, dst) -> next hop; consulted before [routes], which lets
-          traffic engineering pick per-pair paths *)
-  backup_routes : (int, int) Hashtbl.t;  (** fast-reroute fallbacks *)
+  routes : int array;
+      (** next hop indexed by destination node id; [-1] = no entry *)
+  backup_routes : int array;  (** fast-reroute fallbacks, same layout *)
+  mutable backup_count : int;
+      (** live backup entries; maintained by [set_backup_route] *)
+  pair_routes : Ff_util.Int_table.t;
+      (** [src * num_nodes + dst] -> next hop; consulted before [routes],
+          which lets traffic engineering pick per-pair paths *)
   mutable up : bool;  (** false while being repurposed/failed *)
   vars : (string, float) Hashtbl.t;  (** scalar switch state (modes, config) *)
+  mutable flags : int;
+      (** interned boolean vars, one bit per {!flag_mask} name; test with
+          {!flag_on} on per-packet paths instead of hashing into [vars] *)
+  mutable sctx : ctx option;
+      (** the switch's reusable pipeline context — internal to
+          [handle_at_switch], do not touch *)
 }
 
 and ctx = {
   net : t;
   sw : switch;
-  in_port : int;  (** neighbor node the packet came from; -1 if locally injected *)
-  now : float;
+  mutable in_port : int;
+      (** neighbor node the packet came from; -1 if locally injected.
+          Mutable because one ctx per switch is reused across packets —
+          read it, never write it, and don't retain the ctx beyond the
+          stage call. Current time is [now net]. *)
 }
 
 and stage = { stage_name : string; process : ctx -> Ff_dataplane.Packet.t -> decision }
@@ -47,11 +67,26 @@ type host = {
 val create : ?queue_limit_bytes:float -> Engine.t -> Ff_topology.Topology.t -> t
 (** Every link direction gets a drop-tail queue of [queue_limit_bytes]
     (default 37500 B = 30 ms at 10 Mb/s). Switches start with the default
-    stage set: a TTL/traceroute stage followed by table routing. *)
+    stage set: a TTL/traceroute stage followed by table routing.
+
+    Registers the net as the engine's packet-lane handler
+    ({!Engine.set_packet_handler}) — one net per engine; creating a second
+    net on the same engine redirects in-flight packet arrivals to it. *)
 
 val engine : t -> Engine.t
 val topology : t -> Ff_topology.Topology.t
 val now : t -> float
+
+val flag_mask : string -> int
+(** Intern a boolean switch-var name into a process-wide one-hot bit mask.
+    Call once at install time; at most [Sys.int_size - 1] distinct names. *)
+
+val set_flag : switch -> mask:int -> bool -> unit
+(** Set/clear an interned flag bit. Writers that keep the same state in
+    [vars] (the mode protocol) should update both. *)
+
+val flag_on : switch -> mask:int -> bool
+(** One [land]: the per-packet read path for mode gates. *)
 
 val switch : t -> int -> switch
 (** Raises [Invalid_argument] if the node is not a switch. *)
@@ -69,13 +104,28 @@ val add_stage : ?front:bool -> t -> sw:int -> stage -> unit
 val remove_stage : t -> sw:int -> name:string -> unit
 val has_stage : t -> sw:int -> name:string -> bool
 
-(** {1 Routing} *)
+(** {1 Routing}
+
+    Setters raise [Invalid_argument] when a node id falls outside the
+    topology (the dense tables are indexed by node id); lookups treat
+    out-of-range ids — spoofed packets carry them — as "no entry". *)
 
 val set_route : t -> sw:int -> dst:int -> next_hop:int -> unit
 val set_pair_route : t -> sw:int -> src:int -> dst:int -> next_hop:int -> unit
 val set_backup_route : t -> sw:int -> dst:int -> next_hop:int -> unit
 val route_lookup : t -> sw:int -> dst:int -> int option
 val pair_route_lookup : t -> sw:int -> src:int -> dst:int -> int option
+
+val backup_route_lookup : t -> sw:int -> dst:int -> int option
+(** The fast-reroute fallback toward [dst], if installed. *)
+
+val route_entries : t -> sw:int -> (int * int) list
+(** Live [(dst, next_hop)] destination-route entries, ascending by
+    destination. Host-attachment entries included. *)
+
+val pair_route_entries : t -> sw:int -> ((int * int) * int) list
+(** Live [((src, dst), next_hop)] pair-route entries, unspecified order. *)
+
 val clear_routes : t -> sw:int -> unit
 (** Drops destination and pair routes, then restores direct host
     attachment entries. *)

@@ -15,17 +15,16 @@ let install_backup_routes net ~around =
   let installed = ref 0 in
   List.iter
     (fun neighbor ->
-      let sw = Net.switch net neighbor in
       (* destinations this neighbor currently reaches through [around] *)
       let dsts =
-        Hashtbl.fold
-          (fun dst next acc -> if next = around then dst :: acc else acc)
-          sw.Net.routes []
+        List.filter_map
+          (fun (dst, next) -> if next = around then Some dst else None)
+          (Net.route_entries net ~sw:neighbor)
       in
       let pair_dsts =
-        Hashtbl.fold
-          (fun (_, dst) next acc -> if next = around then dst :: acc else acc)
-          sw.Net.pair_routes []
+        List.filter_map
+          (fun ((_, dst), next) -> if next = around then Some dst else None)
+          (Net.pair_route_entries net ~sw:neighbor)
       in
       List.iter
         (fun dst ->

@@ -28,7 +28,7 @@ let stage t =
           if Net.access_switch t.net ~host:pkt.Packet.src = sw then
             Ff_util.Stats.Window_counter.add
               (counter t (pkt.Packet.src, pkt.Packet.dst))
-              ~now:ctx.Net.now
+              ~now:(Net.now t.net)
               (float_of_int pkt.Packet.size)
         | _ -> ());
         Net.Continue);

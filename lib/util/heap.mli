@@ -4,10 +4,15 @@
     that events scheduled at the same instant pop in insertion order
     (deterministic simulation).
 
-    Storage is three parallel arrays (unboxed float priorities, int
-    sequence numbers, values), so [push] allocates nothing; the
-    [min_prio]/[pop_min] pair lets callers drain the heap without the
-    option/tuple boxing of [pop]. *)
+    Storage is parallel arrays (unboxed float priorities, int sequence
+    numbers, two int tag columns, values), so [push] allocates nothing;
+    the [min_prio]/[min_seq]/[pop_min] group lets callers drain the heap
+    without the option/tuple boxing of [pop].
+
+    The tag columns carry two unboxed payload ints per element for
+    callers that would otherwise have to box a record per push (the
+    engine's packet lane stores to/from node ids there). [push] and
+    [push_seq] leave them at 0. *)
 
 type 'a t
 
@@ -17,7 +22,18 @@ val is_empty : 'a t -> bool
 val size : 'a t -> int
 
 val push : 'a t -> prio:float -> 'a -> unit
-(** Insert with priority; ties break by insertion order. *)
+(** Insert with priority; ties break by insertion order (an internal
+    per-heap sequence counter). *)
+
+val push_seq : 'a t -> prio:float -> seq:int -> 'a -> unit
+(** Insert with a caller-supplied tiebreak sequence — for callers that
+    interleave several heaps and need one global insertion order across
+    them. Does not disturb the internal counter used by [push]; don't mix
+    the two on one heap unless the caller's sequences dominate it. *)
+
+val push_tagged : 'a t -> prio:float -> seq:int -> tag1:int -> tag2:int -> 'a -> unit
+(** [push_seq] plus two payload ints retrievable via [top_tag1]/[top_tag2]
+    while the element is the minimum. *)
 
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the minimum, or [None] when empty. *)
@@ -25,6 +41,24 @@ val pop : 'a t -> (float * 'a) option
 val min_prio : 'a t -> float
 (** Priority of the minimum, without boxing. Raises [Invalid_argument]
     when empty — check {!is_empty} first. *)
+
+val min_seq : 'a t -> int
+(** Tiebreak sequence of the minimum. Raises [Invalid_argument] when
+    empty. *)
+
+val top_before : 'a t -> 'b t -> bool
+(** [top_before a b]: does [a]'s minimum order strictly before [b]'s by
+    [(prio, seq)]? An empty [b] counts as infinitely late, an empty [a]
+    as never first. Allocation-free (unlike comparing two {!min_prio}
+    results, which boxes two floats). *)
+
+val top_at_most : 'a t -> float -> bool
+(** [top_at_most t x]: is the heap non-empty with minimum priority
+    [<= x]? Allocation-free. *)
+
+val top_tag1 : 'a t -> int
+val top_tag2 : 'a t -> int
+(** Tag columns of the minimum. Raise [Invalid_argument] when empty. *)
 
 val pop_min : 'a t -> 'a
 (** Remove the minimum and return its value, without boxing. Raises

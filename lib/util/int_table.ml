@@ -1,0 +1,119 @@
+(* Open-addressed int -> int hash table with linear probing.
+
+   Built for per-packet state lookups: keys hash through one integer mix
+   (no polymorphic hashing) and probes walk a flat int array (no bucket
+   cons cells), so [get] allocates nothing and [set] allocates only when
+   the table doubles. Values are plain ints; the caller picks a sentinel
+   (the routing tables use -1 = "no entry") and reads through
+   [get ~default]. *)
+
+type t = {
+  mutable keys : int array; (* -1 = empty, -2 = tombstone *)
+  mutable vals : int array;
+  mutable live : int; (* entries holding a value *)
+  mutable used : int; (* live + tombstones: bounds probe-chain length *)
+}
+
+let empty_slot = -1
+let tombstone = -2
+
+let create ?(capacity = 16) () =
+  (* power-of-two capacity so the probe mask is a single [land] *)
+  let cap = ref 8 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  { keys = Array.make !cap empty_slot; vals = Array.make !cap 0; live = 0; used = 0 }
+
+let length t = t.live
+
+(* Fibonacci hashing: one multiply spreads consecutive keys (the dense
+   [src * n + dst] encodings this table is built for) across the slots. *)
+let slot_of keys key =
+  let mask = Array.length keys - 1 in
+  (key * 0x9E3779B1) lsr 7 land mask
+
+let rec find_slot keys key i =
+  let k = keys.(i) in
+  if k = key || k = empty_slot then i
+  else find_slot keys key ((i + 1) land (Array.length keys - 1))
+
+let find_slot keys key = find_slot keys key (slot_of keys key)
+
+(* Insertion may also land on a tombstone left by [remove]; reuse the
+   first one seen unless the key exists further down the chain. *)
+let insert_slot keys key =
+  let mask = Array.length keys - 1 in
+  let rec go i reusable =
+    let k = keys.(i) in
+    if k = key then i
+    else if k = empty_slot then (if reusable >= 0 then reusable else i)
+    else if k = tombstone && reusable < 0 then go ((i + 1) land mask) i
+    else go ((i + 1) land mask) reusable
+  in
+  go (slot_of keys key) (-1)
+
+let rehash t cap =
+  let okeys = t.keys and ovals = t.vals in
+  t.keys <- Array.make cap empty_slot;
+  t.vals <- Array.make cap 0;
+  t.used <- t.live;
+  Array.iteri
+    (fun i k ->
+      if k >= 0 then begin
+        let j = find_slot t.keys k in
+        t.keys.(j) <- k;
+        t.vals.(j) <- ovals.(i)
+      end)
+    okeys
+
+let set t key v =
+  if key < 0 then invalid_arg "Int_table.set: negative key";
+  (* keep load factor (incl. tombstones) under 1/2 *)
+  if 2 * (t.used + 1) > Array.length t.keys then
+    rehash t (if 4 * t.live >= Array.length t.keys then 2 * Array.length t.keys
+              else Array.length t.keys);
+  let i = insert_slot t.keys key in
+  (match t.keys.(i) with
+  | k when k = key -> ()
+  | k ->
+    if k = empty_slot then t.used <- t.used + 1;
+    t.live <- t.live + 1);
+  t.keys.(i) <- key;
+  t.vals.(i) <- v
+
+let get t key ~default =
+  if key < 0 then default
+  else
+    let i = find_slot t.keys key in
+    if t.keys.(i) = key then t.vals.(i) else default
+
+let mem t key = key >= 0 && t.keys.(find_slot t.keys key) = key
+
+let find_opt t key =
+  if key < 0 then None
+  else
+    let i = find_slot t.keys key in
+    if t.keys.(i) = key then Some t.vals.(i) else None
+
+let remove t key =
+  if key >= 0 then begin
+    let i = find_slot t.keys key in
+    if t.keys.(i) = key then begin
+      t.keys.(i) <- tombstone;
+      t.live <- t.live - 1
+    end
+  end
+
+let clear t =
+  Array.fill t.keys 0 (Array.length t.keys) empty_slot;
+  t.live <- 0;
+  t.used <- 0
+
+let iter f t =
+  Array.iteri (fun i k -> if k >= 0 then f k t.vals.(i)) t.keys
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun k v -> acc := f k v !acc) t;
+  !acc

@@ -55,18 +55,26 @@ module Window_counter = struct
   (* A ring of sub-buckets approximating a sliding window: the window is
      divided into [buckets] slots; entries older than the window are zeroed
      lazily as time advances. *)
+
+  (* Single-float record: flat layout, so accumulating stores stay unboxed —
+     a [float ref] or fold accumulator would box on every step. *)
+  type acc = { mutable v : float }
+
   type t = {
     width : float;
     buckets : float array;
     mutable epoch : int; (* index of the slot holding "now" *)
+    mutable cur : int; (* [epoch mod nbuckets], kept incrementally *)
     slot : float; (* duration of one slot *)
+    acc : acc; (* scratch for the allocation-free [rate] sum *)
   }
 
   let nbuckets = 20
 
   let create ~width =
     assert (width > 0.);
-    { width; buckets = Array.make nbuckets 0.; epoch = 0; slot = width /. float_of_int nbuckets }
+    { width; buckets = Array.make nbuckets 0.; epoch = 0; cur = 0;
+      slot = width /. float_of_int nbuckets; acc = { v = 0. } }
 
   let slot_of t now = int_of_float (now /. t.slot)
 
@@ -77,16 +85,36 @@ module Window_counter = struct
       for k = 1 to steps do
         t.buckets.((t.epoch + k) mod nbuckets) <- 0.
       done;
-      t.epoch <- target
+      t.epoch <- target;
+      t.cur <- target mod nbuckets
     end
 
   let add t ~now x =
-    advance t now;
-    let i = slot_of t now mod nbuckets in
+    (* [advance] inlined so the slot computation is shared; in the common
+       case (same slot as the last touch) the cached [cur] avoids the
+       integer division a [mod nbuckets] costs per packet *)
+    let target = slot_of t now in
+    if target > t.epoch then begin
+      let steps = min nbuckets (target - t.epoch) in
+      for k = 1 to steps do
+        t.buckets.((t.epoch + k) mod nbuckets) <- 0.
+      done;
+      t.epoch <- target;
+      t.cur <- target mod nbuckets
+    end;
+    let i = t.cur in
     t.buckets.(i) <- t.buckets.(i) +. x
 
   let rate t ~now =
     advance t now;
-    let total = Array.fold_left ( +. ) 0. t.buckets in
-    total /. t.width
+    (* same left-to-right sum as [Array.fold_left ( +. ) 0.] — identical
+       rounding — but through the scratch record, so the ~20 intermediate
+       totals are stores into a flat field instead of fresh boxes. [rate]
+       runs on every probe arrival and every detector check. *)
+    let b = t.buckets in
+    t.acc.v <- 0.;
+    for i = 0 to nbuckets - 1 do
+      t.acc.v <- t.acc.v +. Array.unsafe_get b i
+    done;
+    t.acc.v /. t.width
 end

@@ -39,6 +39,45 @@ let test_mode_vars () =
   B.Common.set_mode sw "reroute" false;
   Alcotest.(check bool) "off" false (B.Common.mode_active sw "reroute")
 
+(* [set_mode] keeps two copies of each mode: the [vars] hashtable entry and
+   the interned flag bit the per-packet fast path reads. They must agree
+   after any sequence of writes, for every known mode name. *)
+let test_mode_flag_mirror () =
+  let _, _, net = fig2_net () in
+  let sw = Net.switch net (List.hd (Net.switch_ids net)) in
+  let modes =
+    [
+      B.Common.mode_classify;
+      B.Common.mode_reroute;
+      B.Common.mode_obfuscate;
+      B.Common.mode_drop;
+      B.Common.mode_hcf;
+      B.Common.mode_acl;
+      B.Common.mode_grl;
+    ]
+  in
+  let check_agree m =
+    Alcotest.(check bool)
+      (Printf.sprintf "flag bit mirrors vars for %s" m)
+      (B.Common.mode_active sw m)
+      (B.Common.mode_on sw (B.Common.mode_key m))
+  in
+  List.iter check_agree modes;
+  (* toggle each mode on, then some off, checking the whole set each time:
+     setting one mode must not disturb another's bit *)
+  List.iter
+    (fun m ->
+      B.Common.set_mode sw m true;
+      List.iter check_agree modes)
+    modes;
+  List.iter
+    (fun m ->
+      B.Common.set_mode sw m false;
+      List.iter check_agree modes;
+      Alcotest.(check bool) "cleared" false (B.Common.mode_active sw m))
+    [ B.Common.mode_reroute; B.Common.mode_acl ];
+  Alcotest.(check bool) "others stay on" true (B.Common.mode_active sw B.Common.mode_drop)
+
 (* ---------------- LFA detector ---------------- *)
 
 let detector_on_fig2 ?(suspicious_rate = 1_500_000.) ?(min_age = 0.5) (lm : T.Fig2.landmarks)
@@ -554,7 +593,11 @@ let test_specs_catalogue () =
 let () =
   Alcotest.run "ff_boosters"
     [
-      ("common", [ Alcotest.test_case "mode vars" `Quick test_mode_vars ]);
+      ( "common",
+        [
+          Alcotest.test_case "mode vars" `Quick test_mode_vars;
+          Alcotest.test_case "flag bit mirrors vars" `Quick test_mode_flag_mirror;
+        ] );
       ( "lfa-detector",
         [
           Alcotest.test_case "alarms on flood" `Quick test_detector_alarms_on_flood;

@@ -449,6 +449,115 @@ let test_monitor_normalized () =
 
 (* ---------------- Properties ---------------- *)
 
+(* Regression: [Monitor.sample]'s start used to default to 0., so a
+   monitor attached after the clock advanced raised through
+   [Engine.every] (first tick scheduled in the past). *)
+let test_monitor_attach_mid_run () =
+  let topo = T.linear ~n:1 () in
+  let engine = Engine.create () in
+  let net = Net.create engine topo in
+  ignore net;
+  Engine.run engine ~until:5.;
+  let s = Ff_netsim.Monitor.sample engine ~period:1. ~name:"mid" (fun now -> now) in
+  Engine.run engine ~until:10.;
+  Alcotest.(check bool) "sampled after attach" true (Ff_util.Series.length s >= 4);
+  (match Ff_util.Series.points s with
+  | (t0, _) :: _ -> Alcotest.(check bool) "first sample not in the past" true (t0 >= 5.)
+  | [] -> Alcotest.fail "no samples")
+
+(* Both lanes share one (time, seq) key: however thunk and packet events
+   interleave, they must fire in global schedule order at equal
+   timestamps, exactly like the old single-heap engine. *)
+let prop_two_lane_order =
+  QCheck.Test.make ~name:"thunk and packet lanes merge in (time, seq) order" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 80) (pair bool (int_range 0 9)))
+    (fun ops ->
+      let e = Engine.create () in
+      let log = ref [] in
+      Engine.set_packet_handler e (fun ~to_node ~from_node:_ _pkt -> log := to_node :: !log);
+      List.iteri
+        (fun i (packet_lane, ti) ->
+          let at = float_of_int ti in
+          if packet_lane then
+            Engine.schedule_packet e ~at ~to_node:i ~from_node:0
+              (Packet.make ~src:0 ~dst:0 ~flow:0 ~birth:0. ())
+          else Engine.schedule e ~at (fun () -> log := i :: !log))
+        ops;
+      Engine.run e ~until:100.;
+      let expected =
+        List.mapi (fun i (_, ti) -> (ti, i)) ops
+        |> List.stable_sort compare |> List.map snd
+      in
+      List.rev !log = expected)
+
+(* Dense routing state (int-array tables + open-addressed pair table)
+   must be observationally identical to the naive Hashtbl model it
+   replaced, under any install/clear interleaving. [clear_routes] keeps
+   backup entries and restores host attachments — the model mirrors that. *)
+let prop_routes_match_reference =
+  QCheck.Test.make ~name:"dense route tables match a Hashtbl reference model" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 120)
+              (quad (int_range 0 3) small_nat small_nat small_nat))
+    (fun ops ->
+      let topo = T.linear ~n:4 () in
+      let engine = Engine.create () in
+      let net = Net.create engine topo in
+      let sws = Array.of_list (Net.switch_ids net) in
+      let all_nodes = Array.init (T.num_nodes topo) Fun.id in
+      let pick a i = a.(i mod Array.length a) in
+      let routes : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+      let backups : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+      let pairs : (int * int * int, int) Hashtbl.t = Hashtbl.create 64 in
+      let restore_attachments sw =
+        List.iter (fun h -> Hashtbl.replace routes (sw, h) h) (Net.attached_hosts net ~sw)
+      in
+      Array.iter restore_attachments sws;
+      List.iter
+        (fun (op, a, b, c) ->
+          let sw = pick sws a in
+          match op with
+          | 0 ->
+            Net.set_route net ~sw ~dst:(pick all_nodes b) ~next_hop:(pick all_nodes c);
+            Hashtbl.replace routes (sw, pick all_nodes b) (pick all_nodes c)
+          | 1 ->
+            Net.set_backup_route net ~sw ~dst:(pick all_nodes b) ~next_hop:(pick all_nodes c);
+            Hashtbl.replace backups (sw, pick all_nodes b) (pick all_nodes c)
+          | 2 ->
+            Net.set_pair_route net ~sw ~src:(pick all_nodes b) ~dst:(pick all_nodes c)
+              ~next_hop:(pick all_nodes (b + c));
+            Hashtbl.replace pairs (sw, pick all_nodes b, pick all_nodes c)
+              (pick all_nodes (b + c))
+          | _ ->
+            Net.clear_routes net ~sw;
+            Hashtbl.iter (fun (s, d) _ -> if s = sw then Hashtbl.remove routes (s, d))
+              (Hashtbl.copy routes);
+            Hashtbl.iter (fun (s, src, d) _ -> if s = sw then Hashtbl.remove pairs (s, src, d))
+              (Hashtbl.copy pairs);
+            restore_attachments sw)
+        ops;
+      Array.for_all
+        (fun sw ->
+          Array.for_all
+            (fun dst ->
+              Net.route_lookup net ~sw ~dst = Hashtbl.find_opt routes (sw, dst)
+              && Net.backup_route_lookup net ~sw ~dst = Hashtbl.find_opt backups (sw, dst)
+              && Array.for_all
+                   (fun src ->
+                     Net.pair_route_lookup net ~sw ~src ~dst
+                     = Hashtbl.find_opt pairs (sw, src, dst))
+                   all_nodes)
+            all_nodes
+          && List.sort compare (Net.route_entries net ~sw)
+             = List.sort compare
+                 (Hashtbl.fold (fun (s, d) nh acc -> if s = sw then (d, nh) :: acc else acc)
+                    routes [])
+          && List.sort compare (Net.pair_route_entries net ~sw)
+             = List.sort compare
+                 (Hashtbl.fold
+                    (fun (s, src, d) nh acc -> if s = sw then ((src, d), nh) :: acc else acc)
+                    pairs []))
+        sws)
+
 let prop_conservation =
   QCheck.Test.make ~name:"delivery never exceeds transmission" ~count:25
     QCheck.(pair (int_range 10 800) (int_range 200 1400))
@@ -545,8 +654,15 @@ let () =
         [
           Alcotest.test_case "sampling" `Quick test_monitor_sampling;
           Alcotest.test_case "normalized goodput" `Quick test_monitor_normalized;
+          Alcotest.test_case "attach mid-run" `Quick test_monitor_attach_mid_run;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_conservation; prop_tcp_no_duplicate_delivery; prop_utilization_bounded ] );
+          [
+            prop_conservation;
+            prop_tcp_no_duplicate_delivery;
+            prop_utilization_bounded;
+            prop_two_lane_order;
+            prop_routes_match_reference;
+          ] );
     ]

@@ -221,7 +221,7 @@ let test_install_backup_routes () =
   Alcotest.(check bool) "backups installed" true (n >= 1);
   (* switch 0's backup for h2 avoids switch 1 (goes the other way) *)
   ignore h0;
-  let backup = Hashtbl.find_opt (Net.switch net 0).Net.backup_routes h2 in
+  let backup = Net.backup_route_lookup net ~sw:0 ~dst:h2 in
   Alcotest.(check (option int)) "backup goes around" (Some 4) backup
 
 (* ---------------- Loss injection ---------------- *)

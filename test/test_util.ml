@@ -183,6 +183,90 @@ let test_heap_empty () =
   Heap.clear h;
   Alcotest.(check bool) "cleared" true (Heap.is_empty h)
 
+(* ---------------- Int_table ---------------- *)
+
+module It = Ff_util.Int_table
+
+let test_int_table_basics () =
+  let t = It.create () in
+  Alcotest.(check int) "empty" 0 (It.length t);
+  It.set t 5 42;
+  It.set t 7 1;
+  It.set t 5 43;
+  Alcotest.(check int) "length counts keys once" 2 (It.length t);
+  Alcotest.(check int) "overwrite" 43 (It.get t 5 ~default:(-1));
+  Alcotest.(check int) "miss takes default" (-1) (It.get t 9 ~default:(-1));
+  Alcotest.(check bool) "mem hit" true (It.mem t 7);
+  Alcotest.(check bool) "mem miss" false (It.mem t 9);
+  Alcotest.(check (option int)) "find_opt" (Some 1) (It.find_opt t 7);
+  It.remove t 5;
+  Alcotest.(check bool) "removed" false (It.mem t 5);
+  Alcotest.(check int) "length after remove" 1 (It.length t);
+  (* reinsert must land on (or probe past) the tombstone *)
+  It.set t 5 7;
+  Alcotest.(check int) "reinsert over tombstone" 7 (It.get t 5 ~default:(-1));
+  Alcotest.(check bool) "negative keys rejected on set" true
+    (try
+       It.set t (-3) 0;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check int) "negative key reads as miss" (-1) (It.get t (-3) ~default:(-1));
+  It.clear t;
+  Alcotest.(check int) "cleared" 0 (It.length t)
+
+let test_int_table_growth () =
+  let t = It.create ~capacity:4 () in
+  for k = 0 to 999 do
+    It.set t k (k * 3)
+  done;
+  Alcotest.(check int) "length across rehashes" 1000 (It.length t);
+  let ok = ref true in
+  for k = 0 to 999 do
+    if It.get t k ~default:(-1) <> k * 3 then ok := false
+  done;
+  Alcotest.(check bool) "values survive rehash" true !ok;
+  Alcotest.(check int) "fold visits each live entry once" 1000
+    (It.fold (fun _ _ acc -> acc + 1) t 0)
+
+(* Tombstone churn: repeated remove/reinsert over the same small key space
+   must neither lose entries nor let dead slots break probe chains. *)
+let test_int_table_tombstone_churn () =
+  let t = It.create ~capacity:8 () in
+  for round = 0 to 99 do
+    for k = 0 to 15 do
+      It.set t k (round + k)
+    done;
+    for k = 0 to 15 do
+      if k mod 2 = 0 then It.remove t k
+    done
+  done;
+  Alcotest.(check int) "odd keys live" 8 (It.length t);
+  for k = 0 to 15 do
+    if k mod 2 = 0 then Alcotest.(check int) "even removed" (-1) (It.get t k ~default:(-1))
+    else Alcotest.(check int) "odd kept" (99 + k) (It.get t k ~default:(-1))
+  done
+
+let prop_int_table_matches_hashtbl =
+  QCheck.Test.make ~name:"int_table agrees with Hashtbl under random ops" ~count:200
+    QCheck.(list (pair (int_range 0 2) (int_range 0 60)))
+    (fun ops ->
+      let t = It.create () in
+      let h = Hashtbl.create 16 in
+      List.iter
+        (fun (op, k) ->
+          match op with
+          | 0 ->
+            It.set t k (k * 7);
+            Hashtbl.replace h k (k * 7)
+          | 1 ->
+            It.remove t k;
+            Hashtbl.remove h k
+          | _ -> ignore (It.mem t k))
+        ops;
+      It.length t = Hashtbl.length h
+      && Hashtbl.fold (fun k v acc -> acc && It.get t k ~default:min_int = v) h true
+      && List.for_all (fun (_, k) -> It.mem t k = Hashtbl.mem h k) ops)
+
 let prop_heap_sorts =
   QCheck.Test.make ~name:"heap pops any input in sorted order" ~count:200
     QCheck.(list (float_range 0. 1000.))
@@ -249,7 +333,10 @@ let test_series_ascii_renders () =
   Alcotest.(check bool) "legend includes the name" true (contains out "wave")
 
 let () =
-  let qcheck = List.map QCheck_alcotest.to_alcotest [ prop_heap_sorts; prop_percentile_within_range ] in
+  let qcheck =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_heap_sorts; prop_percentile_within_range; prop_int_table_matches_hashtbl ]
+  in
   Alcotest.run "ff_util"
     [
       ( "prng",
@@ -280,6 +367,12 @@ let () =
           Alcotest.test_case "ordering" `Quick test_heap_ordering;
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "empty" `Quick test_heap_empty;
+        ] );
+      ( "int_table",
+        [
+          Alcotest.test_case "basics" `Quick test_int_table_basics;
+          Alcotest.test_case "growth" `Quick test_int_table_growth;
+          Alcotest.test_case "tombstone churn" `Quick test_int_table_tombstone_churn;
         ] );
       ( "series",
         [
