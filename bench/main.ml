@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- micro     # Bechamel micro-benchmarks
 
    Experiments: fig1 fig2 fig3 abl-te abl-probe abl-sharing abl-fec
-                abl-scaling micro perf
+                abl-scaling chaos micro perf
 
    [perf] is the end-to-end hot-path regression harness: it replays a
    fixed fat-tree + rolling-LFA scenario, measures packets/s, events/s
@@ -693,6 +693,123 @@ let abl_vol () =
   print_endline " discards the spoofed packets without touching the real address owners)"
 
 (* ------------------------------------------------------------------ *)
+(* chaos: self-healing control channels under injected faults          *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_exp () =
+  banner "chaos"
+    "control channels under the conditions they exist for: probe loss, flaps, crashes";
+  let module Chaos = Ff_chaos.Chaos in
+  let modes_for = function
+    | Ff_dataplane.Packet.Lfa -> [ "reroute"; "obfuscate" ]
+    | Ff_dataplane.Packet.Volumetric -> [ "drop" ]
+    | Ff_dataplane.Packet.Pulsing -> [ "reroute" ]
+    | Ff_dataplane.Packet.Recon -> [ "obfuscate" ]
+  in
+  (* part 1: mode convergence across a linear-8 chain whose middle link
+     eats the first probe of every epoch (the cut-vertex failure
+     fire-and-forget flooding cannot survive), plus 30% bursty loss on
+     every control channel — without anti-entropy the far half of the
+     chain never hears about the mode change *)
+  print_endline
+    "Mode convergence, linear-8 chain: middle link eats every first probe,\n\
+     plus 30% bursty control-packet loss at every switch:";
+  let converge ~anti_entropy ~seed =
+    let topo = T.linear ~n:8 () in
+    let engine = Ff_netsim.Engine.create () in
+    let net = Ff_netsim.Net.create engine topo in
+    let id name = (T.node_by_name topo name).T.id in
+    let h = Chaos.create ~seed net in
+    Chaos.drop_first_probe_per_epoch h ~a:(id "s3") ~b:(id "s4");
+    List.iter
+      (fun sw ->
+        ignore
+          (Chaos.burst_loss h ~sw ~start:0. ~until:infinity ~loss:0.3 ~mean_burst:2.
+             ~classes:Ff_scaling.Loss.Control_only ()))
+      (Ff_netsim.Net.switch_ids net);
+    let p = Ff_modes.Protocol.create net ~modes_for ~anti_entropy ~seed () in
+    Ff_modes.Protocol.raise_alarm p ~sw:(id "s0") Ff_dataplane.Packet.Lfa;
+    Ff_netsim.Engine.run engine ~until:8.;
+    let active =
+      List.filter (fun sw -> Ff_modes.Protocol.active p ~sw "reroute")
+        (Ff_netsim.Net.switch_ids net)
+    in
+    let converged_at =
+      if List.length active = 8 then
+        List.fold_left (fun acc (t, _, _, up) -> if up then Float.max acc t else acc) 0.
+          (Ff_modes.Protocol.log p)
+      else infinity
+    in
+    (List.length active, converged_at, Ff_modes.Protocol.readverts p,
+     Ff_modes.Protocol.repairs p)
+  in
+  let rows =
+    List.concat_map
+      (fun seed ->
+        List.map
+          (fun anti_entropy ->
+            let n, at, readv, rep = converge ~anti_entropy ~seed in
+            [ string_of_int seed;
+              (if anti_entropy > 0. then Printf.sprintf "%.2fs" anti_entropy else "off");
+              Printf.sprintf "%d/8" n;
+              (if at = infinity then "never" else Printf.sprintf "%.2fs" at);
+              string_of_int readv; string_of_int rep ])
+          [ 0.; 0.25 ])
+      [ 1; 2; 3 ]
+  in
+  Table.print
+    ~header:[ "seed"; "anti-entropy"; "converged"; "by"; "readverts"; "repairs" ]
+    ~rows;
+  (* part 2: state transfer across a ring while its chunk path flaps —
+     the live-path recompute should fail over to the other arc *)
+  print_endline "\nState transfer s0->s3 on a ring-6, shortest-path link flapping:";
+  let entries = List.init 400 (fun i -> (Printf.sprintf "reg[%d]" i, float_of_int i)) in
+  let xfer_run ~seed ~fault =
+    let topo = T.ring ~n:6 () in
+    let engine = Ff_netsim.Engine.create () in
+    let net = Ff_netsim.Net.create engine topo in
+    let h = Chaos.create ~seed net in
+    Chaos.watch h;
+    let done_at = ref infinity in
+    let x =
+      Ff_scaling.Transfer.send net ~src_sw:0 ~dst_sw:3 ~entries ~seed
+        ~on_complete:(fun _ -> done_at := Ff_netsim.Engine.now engine)
+        ()
+    in
+    fault h;
+    Ff_netsim.Engine.run engine ~until:10.;
+    let violations = Chaos.check_quiescence h ~transfers:[ x ] () in
+    (x, !done_at, violations)
+  in
+  let rows =
+    List.map
+      (fun seed ->
+        let x, done_at, violations =
+          xfer_run ~seed ~fault:(fun h ->
+              Chaos.flap_link h ~a:1 ~b:2 ~start:0.004 ~until:2.0 ~down_dwell:0.5
+                ~up_dwell:0.2)
+        in
+        [ string_of_int seed;
+          (if Ff_scaling.Transfer.complete x then "yes" else "NO");
+          (if done_at = infinity then "-" else Printf.sprintf "%.0fms" (done_at *. 1000.));
+          string_of_int (Ff_scaling.Transfer.reroutes x);
+          (match violations with [] -> "ok" | v -> String.concat "; " v) ])
+      [ 1; 2; 3 ]
+  in
+  Table.print ~header:[ "seed"; "completed"; "time"; "reroutes"; "invariants" ] ~rows;
+  (* part 3: no surviving path at all — the transfer must fail promptly
+     with a reason instead of burning every retry *)
+  print_endline "\nSame transfer when the destination crashes for good:";
+  let x, _, _ =
+    xfer_run ~seed:1 ~fault:(fun h ->
+        Chaos.at h ~time:0.001 (Chaos.Switch_down 3))
+  in
+  Printf.printf "  failed=%b reason=%s (well before the %d-retry budget)\n"
+    (Ff_scaling.Transfer.failed x)
+    (Option.value ~default:"-" (Ff_scaling.Transfer.failure_reason x))
+    10
+
+(* ------------------------------------------------------------------ *)
 (* perf: the hot-path regression benchmark (BENCH_netsim.json)         *)
 (* ------------------------------------------------------------------ *)
 
@@ -984,6 +1101,7 @@ let experiments =
     ("abl-sync", abl_sync);
     ("abl-topo", abl_topo);
     ("abl-vol", abl_vol);
+    ("chaos", chaos_exp);
     ("perf", perf);
     ("micro", micro);
   ]

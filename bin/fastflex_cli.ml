@@ -8,7 +8,8 @@
 
 open Cmdliner
 
-let run_lfa defense duration te_period roll_times csv seed_bots normals trace_file =
+let run_lfa defense duration te_period roll_times csv seed_bots normals trace_file
+    chaos_spec =
   let defense =
     match defense with
     | "none" -> Fastflex.Scenario.No_defense
@@ -18,6 +19,26 @@ let run_lfa defense duration te_period roll_times csv seed_bots normals trace_fi
   in
   let attack =
     Some { Fastflex.Scenario.default_attack with roll_schedule = roll_times }
+  in
+  let chaos_directives =
+    match chaos_spec with
+    | None -> []
+    | Some spec -> (
+      match Ff_chaos.Chaos.parse spec with
+      | Ok ds -> ds
+      | Error e -> failwith ("bad --chaos spec: " ^ e))
+  in
+  let harness = ref None in
+  let on_ready net _landmarks _flows =
+    if chaos_directives <> [] then begin
+      let h =
+        Ff_chaos.Chaos.create
+          ?seed:(Ff_chaos.Chaos.spec_seed chaos_directives)
+          net
+      in
+      Ff_chaos.Chaos.apply h chaos_directives;
+      harness := Some h
+    end
   in
   let trace =
     Option.map
@@ -29,7 +50,8 @@ let run_lfa defense duration te_period roll_times csv seed_bots normals trace_fi
   in
   let span = Ff_obs.Profile.start ~events:(Ff_netsim.Engine.total_steps ()) "lfa" in
   let r =
-    Fastflex.Scenario.run_lfa ~defense ~attack ~duration ~bots:seed_bots ~normals ()
+    Fastflex.Scenario.run_lfa ~defense ~attack ~duration ~bots:seed_bots ~normals
+      ~on_ready ()
   in
   let report =
     Ff_obs.Profile.finish span ~events:(Ff_netsim.Engine.total_steps ())
@@ -48,6 +70,14 @@ let run_lfa defense duration te_period roll_times csv seed_bots normals trace_fi
     else Ff_obs.Trace.write_jsonl tr file;
     Printf.printf "trace: %d events -> %s\n" (Ff_obs.Trace.count tr) file
   | _ -> ());
+  (match !harness with
+  | None -> ()
+  | Some h ->
+    Printf.printf "chaos: %d fault actions injected\n" (Ff_chaos.Chaos.injected h);
+    List.iter
+      (fun (time, action) ->
+        Printf.printf "  %8.3f  %s\n" time (Ff_chaos.Chaos.action_to_string action))
+      (Ff_chaos.Chaos.log h));
   `Ok ()
 
 let compile_cmd () =
@@ -124,6 +154,13 @@ let trace_arg =
          ~doc:"Write the telemetry event log to $(docv) (JSONL, or CSV when \
                $(docv) ends in .csv).")
 
+let chaos_arg =
+  Arg.(value & opt (some string) None & info [ "chaos" ] ~docv:"SPEC"
+         ~doc:"Inject faults during the run: semicolon-separated directives, e.g. \
+               'seed=7; cut:s2-s3\\@1.0; heal:s2-s3\\@4.0; crash:s5\\@2.0+1.5; \
+               flap:s1-s2\\@1.0..6.0/0.3/0.7; loss:s4\\@0.3,burst=4'. Nodes may be \
+               topology names or indices.")
+
 let dwell_arg =
   Arg.(value & opt float 1.0 & info [ "dwell" ] ~docv:"SECONDS" ~doc:"Minimum mode dwell.")
 
@@ -133,7 +170,7 @@ let lfa_cmd =
     Term.(
       ret
         (const run_lfa $ defense_arg $ duration_arg $ te_period_arg $ rolls_arg $ csv_arg
-        $ bots_arg $ normals_arg $ trace_arg))
+        $ bots_arg $ normals_arg $ trace_arg $ chaos_arg))
 
 let compile_command =
   let doc = "Compile the booster catalogue and print the module/sharing report." in

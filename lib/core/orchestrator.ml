@@ -16,6 +16,7 @@ type config = {
   probe_interval : float;
   region_ttl : int;
   min_dwell : float;
+  anti_entropy : float;
   drop_rate_limit : float;
   drop_prob : float;
 }
@@ -31,6 +32,7 @@ let default_config =
     probe_interval = 0.05;
     region_ttl = 8;
     min_dwell = 1.0;
+    anti_entropy = 0.5;
     drop_rate_limit = 400_000.;
     drop_prob = 0.1;
   }
@@ -58,7 +60,7 @@ let deploy net ~landmarks ~default_plan ?(config = default_config) () =
   let lm : Topology.Fig2.landmarks = landmarks in
   let protocol =
     Ff_modes.Protocol.create net ~region_ttl:config.region_ttl ~min_dwell:config.min_dwell
-      ~modes_for ()
+      ~anti_entropy:config.anti_entropy ~modes_for ()
   in
   let watched =
     List.map
@@ -166,7 +168,7 @@ type volumetric = {
 let deploy_volumetric net ~sw ?(config = default_config) ?(threshold_bps = 4_000_000.) () =
   let protocol =
     Ff_modes.Protocol.create net ~region_ttl:config.region_ttl ~min_dwell:config.min_dwell
-      ~modes_for ()
+      ~anti_entropy:config.anti_entropy ~modes_for ()
   in
   let hh =
     B.Heavy_hitter.install net ~sw ~threshold_bps
@@ -198,7 +200,7 @@ let deploy_wide net ~protect ?(config = default_config) () =
   let topo = Net.topology net in
   let protocol =
     Ff_modes.Protocol.create net ~region_ttl:config.region_ttl ~min_dwell:config.min_dwell
-      ~modes_for ()
+      ~anti_entropy:config.anti_entropy ~modes_for ()
   in
   let core_egress sw =
     List.map (fun peer -> (sw, peer)) (Net.neighbors_of net sw)

@@ -14,6 +14,7 @@ type config = {
   probe_interval : float;  (** rerouting probe period *)
   region_ttl : int;  (** mode-probe flooding scope *)
   min_dwell : float;  (** minimum mode residence (anti-flap) *)
+  anti_entropy : float;  (** epoch readvert base period; [<= 0.] disables *)
   drop_rate_limit : float;  (** bits/s allowed per suspicious flow *)
   drop_prob : float;  (** extra illusion-of-success drop probability *)
 }

@@ -28,12 +28,26 @@ val create :
   ?min_dwell:float ->
   ?flap_window:float ->
   ?max_holddown:float ->
+  ?anti_entropy:float ->
+  ?seed:int ->
   modes_for:(attack -> string list) ->
   unit ->
   t
 (** Installs a ["mode-protocol"] stage on every switch. Defaults:
     [region_ttl] 8 hops, [min_dwell] 1 s, [flap_window] 10 s,
-    [max_holddown] 16 s. *)
+    [max_holddown] 16 s, [anti_entropy] 0.5 s.
+
+    [anti_entropy] is the base re-advertisement period of the epoch
+    anti-entropy layer: every switch keeps, per attack, the latest
+    (epoch, activate) it has seen plus the set of neighbors that have not
+    yet confirmed it (via equal-epoch probes, including zero-ttl acks),
+    and re-sends to the stragglers on a jittered timer whose interval
+    backs off exponentially to 8x the base. A lost probe therefore heals
+    in O(anti_entropy) instead of stranding a switch until the next
+    epoch. Receiving a probe with a stale epoch triggers an immediate
+    direct repair, independent of the timer. Pass [anti_entropy <= 0.] to
+    disable (the pre-hardening fire-and-forget behavior). [seed] drives
+    the jitter deterministically. *)
 
 val raise_alarm : t -> sw:int -> attack -> unit
 (** Called by a detector at its own switch: activates locally and floods
@@ -54,6 +68,19 @@ val switches_with_mode : t -> string -> int list
 
 val epoch : t -> attack -> int
 (** Latest epoch issued for this attack kind. *)
+
+val known_epoch : t -> sw:int -> attack:attack -> int
+(** Latest epoch this switch has learned (applied or queued behind the
+    dwell); 0 if it has never heard of the attack. The chaos invariant
+    checker compares this across a region. *)
+
+val region_ttl : t -> int
+
+val readverts : t -> int
+(** Timer-driven anti-entropy re-advertisement rounds sent so far. *)
+
+val repairs : t -> int
+(** Stale-probe-triggered direct repairs sent so far. *)
 
 val current_dwell : t -> attack -> float
 (** The dwell currently enforced for the attack (grows under flapping). *)

@@ -678,6 +678,53 @@ let link_is_up t ~a ~b =
   | Some d -> d.link_up
   | None -> invalid_arg "Net.link_is_up: nodes not adjacent"
 
+let switch_is_up t ~sw = (switch t sw).up
+
+(* BFS over the live graph only: down switches and down links are treated
+   as absent, and hosts never transit (only terminate). Control channels
+   (state transfer, mode repair) use this to recompute paths mid-failure —
+   the static [Topology.shortest_path] cannot see the failure model. *)
+let live_shortest_path t ~src ~dst =
+  let n = Array.length t.nodes in
+  if src < 0 || src >= n || dst < 0 || dst >= n then None
+  else begin
+    let node_up id = match t.nodes.(id) with Sw s -> s.up | Ho _ -> true in
+    if not (node_up src && node_up dst) then None
+    else if src = dst then Some [ src ]
+    else begin
+      let prev = Array.make n (-2) in
+      (* -2 = unvisited, -1 = BFS root *)
+      prev.(src) <- -1;
+      let q = Queue.create () in
+      Queue.add src q;
+      let found = ref false in
+      while (not !found) && not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        Array.iter
+          (fun dl ->
+            let v = dl.to_node in
+            if prev.(v) = -2 && dl.link_up then
+              if v = dst then begin
+                prev.(v) <- u;
+                found := true
+              end
+              else begin
+                match t.nodes.(v) with
+                | Sw s when s.up ->
+                  prev.(v) <- u;
+                  Queue.add v q
+                | Sw _ | Ho _ -> ()
+              end)
+          t.adj.(u)
+      done;
+      if not !found then None
+      else begin
+        let rec build acc v = if v = src then src :: acc else build (v :: acc) prev.(v) in
+        Some (build [] dst)
+      end
+    end
+  end
+
 let set_tracer t f = t.tracer <- f
 
 let trace_flow t ~flow =

@@ -202,6 +202,15 @@ val set_link_up : t -> a:int -> b:int -> bool -> unit
 
 val link_is_up : t -> a:int -> b:int -> bool
 
+val switch_is_up : t -> sw:int -> bool
+
+val live_shortest_path : t -> src:int -> dst:int -> int list option
+(** Hop-shortest path over the {e live} graph only: down switches and down
+    links are invisible, and hosts never transit (they can only be
+    endpoints). Unlike [Topology.shortest_path] this sees the failure
+    model, so control channels use it to recompute routes mid-failure.
+    [None] when either endpoint is down or no live path exists. *)
+
 (** {1 Tracing} *)
 
 type trace_event = {

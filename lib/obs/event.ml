@@ -17,6 +17,8 @@ type t =
   | Fec_recovery of { xfer_id : int; group : int }
   | Drop of { node : int; reason : string }
   | Probe of { sw : int; kind : string }
+  | Fault of { kind : string; a : int; b : int; up : bool }
+  | Repair of { subsystem : string; node : int; info : string }
 
 let phase_label = function
   | Xfer_start -> "start"
@@ -31,12 +33,16 @@ let kind = function
   | Fec_recovery _ -> "fec_recovery"
   | Drop _ -> "drop"
   | Probe _ -> "probe"
+  | Fault _ -> "fault"
+  | Repair _ -> "repair"
 
 let node = function
   | Mode_transition { sw; _ } | Reroute { sw; _ } | Probe { sw; _ } -> sw
   | State_transfer { src; _ } -> src
   | Fec_recovery _ -> -1
   | Drop { node; _ } -> node
+  | Fault { a; _ } -> a
+  | Repair { node; _ } -> node
 
 (* minimal JSON rendering: values are pre-rendered strings *)
 let jstr s =
@@ -69,6 +75,10 @@ let json_fields = function
   | Fec_recovery { xfer_id; group } -> [ ("xfer_id", jint xfer_id); ("group", jint group) ]
   | Drop { node; reason } -> [ ("node", jint node); ("reason", jstr reason) ]
   | Probe { sw; kind } -> [ ("sw", jint sw); ("kind", jstr kind) ]
+  | Fault { kind; a; b; up } ->
+    [ ("kind", jstr kind); ("a", jint a); ("b", jint b); ("up", jbool up) ]
+  | Repair { subsystem; node; info } ->
+    [ ("subsystem", jstr subsystem); ("node", jint node); ("info", jstr info) ]
 
 let detail ev =
   String.concat " "

@@ -26,6 +26,13 @@ type t =
   | Drop of { node : int; reason : string }
   | Probe of { sw : int; kind : string }
       (** control-plane-free signalling: mode / sync / reroute probes *)
+  | Fault of { kind : string; a : int; b : int; up : bool }
+      (** an injected fault (or its lifting, [up = true]): [kind] is
+          ["link"] (endpoints [a]/[b]) or ["switch"] ([a], with [b = -1]) *)
+  | Repair of { subsystem : string; node : int; info : string }
+      (** a self-healing action: a mode readvert repairing a stale
+          neighbor, a transfer rerouting around a failure, a repurpose
+          rolling back — the "repair" side of fault→repair timelines *)
 
 val kind : t -> string
 (** Stable snake_case tag, also the JSONL ["event"] field. *)

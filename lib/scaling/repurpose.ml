@@ -10,9 +10,12 @@ type outcome = {
   state_moved : int;
 }
 
-let install_backup_routes net ~around =
+(* The (neighbor, dst, next_hop) backup entries that would route around
+   [around] — computed separately from installation so an aborted
+   repurposing can roll back exactly what it installed. *)
+let compute_backups net ~around =
   let topo = Net.topology net in
-  let installed = ref 0 in
+  let backups = ref [] in
   List.iter
     (fun neighbor ->
       (* destinations this neighbor currently reaches through [around] *)
@@ -59,18 +62,38 @@ let install_backup_routes net ~around =
             bfs [ (neighbor, [ neighbor ]) ] (Hashtbl.create 16)
           in
           match alt with
-          | Some (_ :: next :: _) ->
-            Net.set_backup_route net ~sw:neighbor ~dst ~next_hop:next;
-            incr installed
+          | Some (_ :: next :: _) -> backups := (neighbor, dst, next) :: !backups
           | _ -> ())
         (List.sort_uniq compare (dsts @ pair_dsts)))
     (Net.neighbors_of net around);
-  !installed
+  List.rev !backups
 
-let repurpose net ~sw ~downtime ?state_to ?snapshot ?restore ~install ~on_done () =
+let install_backup_routes net ~around =
+  let backups = compute_backups net ~around in
+  List.iter
+    (fun (neighbor, dst, next) -> Net.set_backup_route net ~sw:neighbor ~dst ~next_hop:next)
+    backups;
+  List.length backups
+
+let repurpose net ~sw ~downtime ?state_to ?snapshot ?restore ?(on_abort = fun (_ : string) -> ())
+    ~install ~on_done () =
   let engine = Net.engine net in
   let started_at = Net.now net in
-  ignore (install_backup_routes net ~around:sw);
+  let backups = compute_backups net ~around:sw in
+  List.iter
+    (fun (neighbor, dst, next) -> Net.set_backup_route net ~sw:neighbor ~dst ~next_hop:next)
+    backups;
+  (* the outbound transfer failed: the switch never went down and was
+     never reconfigured, so restoring the old configuration is exactly
+     removing the backup routes staged for its absence *)
+  let abort reason =
+    List.iter
+      (fun (neighbor, dst, _) -> Net.set_backup_route net ~sw:neighbor ~dst ~next_hop:(-1))
+      backups;
+    Net.obs_emit net
+      (Ff_obs.Event.Repair { subsystem = "repurpose"; node = sw; info = "abort:" ^ reason });
+    on_abort reason
+  in
   let state_moved = ref 0 in
   let finish parked_at =
     let complete () =
@@ -85,6 +108,14 @@ let repurpose net ~sw ~downtime ?state_to ?snapshot ?restore ~install ~on_done (
         ignore
           (Transfer.send net ~src_sw:target ~dst_sw:sw ~entries
              ~on_complete:(fun back -> f back)
+             ~on_fail:(fun reason ->
+               (* reconfiguration already happened ([on_done] fired); the
+                  parked state is stranded at [target] — surface it *)
+               Net.obs_emit net
+                 (Ff_obs.Event.Repair
+                    { subsystem = "repurpose"; node = sw;
+                      info = "restore-failed:" ^ reason });
+               on_abort ("restore-transfer-failed:" ^ reason))
              ())
       | _ -> ()
     in
@@ -102,5 +133,5 @@ let repurpose net ~sw ~downtime ?state_to ?snapshot ?restore ~install ~on_done (
            ~on_complete:(fun received ->
              (* state parked at [target]; ship it back after reconfiguration *)
              finish (Some (target, received)))
-           ())
+           ~on_fail:abort ())
   | _ -> finish None

@@ -21,6 +21,7 @@ val repurpose :
   ?state_to:int ->
   ?snapshot:(unit -> (string * float) list) ->
   ?restore:((string * float) list -> unit) ->
+  ?on_abort:(string -> unit) ->
   install:(unit -> unit) ->
   on_done:(outcome -> unit) ->
   unit ->
@@ -30,7 +31,17 @@ val repurpose :
     given, transfer the snapshot to that switch; (3) take [sw] down for
     [downtime] seconds (0 models partial reconfiguration); (4) run
     [install], bring the switch up, migrate state back through [restore],
-    and drop the backup routes. *)
+    and drop the backup routes.
+
+    If the outbound transfer of step (2) fails — destination crashed, no
+    surviving path — the repurposing aborts cleanly: the switch is never
+    taken down or reconfigured, the backup routes from step (1) are
+    removed (restoring the old configuration exactly), a [Repair] event
+    is emitted, and [on_abort] fires with the transfer's failure reason.
+    [on_done] does not fire on an aborted run. If instead the {e return}
+    transfer of step (4) fails, reconfiguration has already happened:
+    [on_abort] fires with ["restore-transfer-failed:..."] after
+    [on_done], flagging state stranded at [state_to]. *)
 
 val install_backup_routes : Ff_netsim.Net.t -> around:int -> int
 (** Just step (1): for each neighbor of [around], add backup next hops that

@@ -9,16 +9,24 @@ type t = {
   src_sw : int;
   dst_sw : int;
   fec : bool;
-  retransmit_timeout : float;
+  retransmit_timeout : float; (* base of the exponential backoff *)
   max_retries : int;
+  rng : Ff_util.Prng.t; (* retransmit jitter; seeded, so runs replay *)
   chunks_by_group : (int, Fec.chunk list) Hashtbl.t;
   total_groups : int;
   (* sender state *)
   acked : (int, unit) Hashtbl.t;
   retries : (int, int) Hashtbl.t;
+  dead_rounds : (int, int) Hashtbl.t;
+      (* consecutive rounds a group found no live route; a short streak is
+         a flap to ride out, a long one is a partition to fail on *)
+  mutable last_path : int list; (* chunk path currently installed *)
   mutable chunks_sent : int;
   mutable retransmitted_groups : int;
+  mutable reroutes : int;
   mutable failed : bool;
+  mutable failed_reason : string option;
+  on_fail : string -> unit;
   (* receiver state *)
   received : (int * int, Fec.chunk) Hashtbl.t; (* (group, index) -> chunk *)
   decoded : (int, (string * float) list) Hashtbl.t;
@@ -26,6 +34,12 @@ type t = {
   mutable complete : bool;
   on_complete : (string * float) list -> unit;
 }
+
+(* Rounds in a row a group may find the destination dead or unreachable
+   before the transfer gives up. 3 rounds at the base timeout rides out a
+   sub-quarter-second flap yet reports a real partition in ~0.25 s — far
+   sooner than burning all [max_retries] exponential-backoff rounds. *)
+let dead_round_limit = 3
 
 let next_xfer_id = ref 0
 
@@ -152,26 +166,83 @@ let send_group t g =
         Net.inject_at_switch t.net ~sw:t.src_sw pkt)
       members
 
+let fail t reason =
+  if not (t.failed || t.complete) then begin
+    t.failed <- true;
+    t.failed_reason <- Some reason;
+    emit_phase t Ff_obs.Event.Xfer_failed;
+    t.on_fail reason
+  end
+
+(* Recompute the chunk path (and the reverse ack path) over the live
+   graph: retransmission rounds pick up healed links and route around
+   fresh failures instead of resending into the hole that ate the first
+   transmission. Returns false when no live route exists right now. *)
+let reroute_live t =
+  match Net.live_shortest_path t.net ~src:t.src_sw ~dst:t.dst_sw with
+  | None -> false
+  | Some p ->
+    if p <> t.last_path then begin
+      Net.install_path t.net ~dst:t.dst_sw p;
+      (match Net.live_shortest_path t.net ~src:t.dst_sw ~dst:t.src_sw with
+      | Some back -> Net.install_path t.net ~dst:t.src_sw back
+      | None -> ());
+      if t.last_path <> [] then begin
+        t.reroutes <- t.reroutes + 1;
+        Net.obs_emit t.net
+          (Ff_obs.Event.Repair
+             { subsystem = "transfer"; node = t.src_sw;
+               info = Printf.sprintf "xfer %d rerouted" t.xfer_id })
+      end;
+      t.last_path <- p
+    end;
+    true
+
+(* Exponential backoff, factor 2 capped at 8x base, plus seeded jitter so
+   parallel groups (and parallel transfers) don't retransmit in lockstep
+   with each other or with periodic congestion. *)
+let backoff_delay t ~tries =
+  let factor = Float.min (2. ** float_of_int tries) 8. in
+  (t.retransmit_timeout *. factor)
+  +. Ff_util.Prng.float t.rng (0.25 *. t.retransmit_timeout)
+
 let rec watch_group t g =
-  if (not t.failed) && not (Hashtbl.mem t.acked g) then begin
+  if (not t.failed) && (not t.complete) && not (Hashtbl.mem t.acked g) then begin
     let tries = try Hashtbl.find t.retries g with Not_found -> 0 in
-    if tries >= t.max_retries then begin
-      t.failed <- true;
-      emit_phase t Ff_obs.Event.Xfer_failed
-    end
+    if tries >= t.max_retries then fail t "retries-exhausted"
+    else if not (Net.switch_is_up t.net ~sw:t.dst_sw) then
+      dead_round t g "destination-down"
+    else if not (Net.switch_is_up t.net ~sw:t.src_sw) then
+      dead_round t g "source-down"
+    else if not (reroute_live t) then dead_round t g "no-path"
     else begin
+      Hashtbl.replace t.dead_rounds g 0;
       Hashtbl.replace t.retries g (tries + 1);
       if tries > 0 then begin
         t.retransmitted_groups <- t.retransmitted_groups + 1;
         emit_phase t Ff_obs.Event.Xfer_retransmit
       end;
       send_group t g;
-      Engine.after (Net.engine t.net) ~delay:t.retransmit_timeout (fun () -> watch_group t g)
+      Engine.after (Net.engine t.net) ~delay:(backoff_delay t ~tries) (fun () ->
+          watch_group t g)
     end
   end
 
+(* The group cannot be sent this round (dead destination / no live path):
+   don't burn a retry on a guaranteed loss — probe again at the base
+   timeout and fail the whole transfer promptly once the streak shows a
+   real partition rather than a flap. *)
+and dead_round t g reason =
+  let streak = 1 + (try Hashtbl.find t.dead_rounds g with Not_found -> 0) in
+  Hashtbl.replace t.dead_rounds g streak;
+  if streak >= dead_round_limit then fail t reason
+  else
+    Engine.after (Net.engine t.net) ~delay:t.retransmit_timeout (fun () ->
+        watch_group t g)
+
 let send net ~src_sw ~dst_sw ~entries ?(group_size = 4) ?(per_chunk = 8) ?(fec = true)
-    ?(retransmit_timeout = 0.08) ?(max_retries = 10) ~on_complete () =
+    ?(retransmit_timeout = 0.08) ?(max_retries = 10) ?(seed = 17)
+    ?(on_fail = fun (_ : string) -> ()) ~on_complete () =
   incr next_xfer_id;
   let chunks = Fec.encode ~group_size ~per_chunk entries in
   let chunks = if fec then chunks else Fec.data_chunks chunks in
@@ -191,13 +262,19 @@ let send net ~src_sw ~dst_sw ~entries ?(group_size = 4) ?(per_chunk = 8) ?(fec =
       fec;
       retransmit_timeout;
       max_retries;
+      rng = Ff_util.Prng.create ~seed:(seed + !next_xfer_id);
       chunks_by_group = by_group;
       total_groups;
       acked = Hashtbl.create 8;
       retries = Hashtbl.create 8;
+      dead_rounds = Hashtbl.create 8;
+      last_path = [];
       chunks_sent = 0;
       retransmitted_groups = 0;
+      reroutes = 0;
       failed = false;
+      failed_reason = None;
+      on_fail;
       received = Hashtbl.create 64;
       decoded = Hashtbl.create 8;
       fec_recoveries = 0;
@@ -208,17 +285,17 @@ let send net ~src_sw ~dst_sw ~entries ?(group_size = 4) ?(per_chunk = 8) ?(fec =
   if t.complete then on_complete [];
   Hashtbl.replace registry t.xfer_id t;
   emit_phase t Ff_obs.Event.Xfer_start;
-  (* endpoints and routes over the current topology *)
+  (* endpoints everywhere; a statically disconnected pair fails outright *)
   List.iter (fun sw -> ensure_stage net sw) (Net.switch_ids net);
   let topo = Net.topology net in
-  (match Topology.shortest_path topo ~src:src_sw ~dst:dst_sw with
-  | Some p -> Net.install_path net ~dst:dst_sw p
-  | None -> t.failed <- true);
-  (match Topology.shortest_path topo ~src:dst_sw ~dst:src_sw with
-  | Some p -> Net.install_path net ~dst:src_sw p
-  | None -> t.failed <- true);
-  if t.failed then emit_phase t Ff_obs.Event.Xfer_failed
-  else List.iter (fun g -> watch_group t g) (List.init total_groups Fun.id);
+  if Topology.shortest_path topo ~src:src_sw ~dst:dst_sw = None
+     || Topology.shortest_path topo ~src:dst_sw ~dst:src_sw = None
+  then fail t "no-path"
+  else
+    (* routes come from the live graph per round (see [reroute_live]); a
+       transient outage at send time is handled by the dead-round probe
+       loop, not an instant failure *)
+    List.iter (fun g -> watch_group t g) (List.init total_groups Fun.id);
   t
 
 (* Sketch snapshots ride the generic entry format: one ["cell:<i>"] entry
@@ -245,10 +322,10 @@ let sketch_snapshot_of_entries entries =
   { Ff_dataplane.Sketch.cells = List.rev cells; total }
 
 let send_sketch net ~src_sw ~dst_sw ~sketch ~into ?group_size ?per_chunk ?fec
-    ?retransmit_timeout ?max_retries ?(on_complete = fun () -> ()) () =
+    ?retransmit_timeout ?max_retries ?seed ?on_fail ?(on_complete = fun () -> ()) () =
   let entries = sketch_wire_entries (Ff_dataplane.Sketch.serialize sketch) in
   send net ~src_sw ~dst_sw ~entries ?group_size ?per_chunk ?fec
-    ?retransmit_timeout ?max_retries
+    ?retransmit_timeout ?max_retries ?seed ?on_fail
     ~on_complete:(fun entries ->
       Ff_dataplane.Sketch.absorb into (sketch_snapshot_of_entries entries);
       on_complete ())
@@ -257,5 +334,7 @@ let send_sketch net ~src_sw ~dst_sw ~sketch ~into ?group_size ?per_chunk ?fec
 let chunks_sent t = t.chunks_sent
 let retransmitted_groups t = t.retransmitted_groups
 let fec_recoveries t = t.fec_recoveries
+let reroutes t = t.reroutes
 let complete t = t.complete
 let failed t = t.failed
+let failure_reason t = t.failed_reason

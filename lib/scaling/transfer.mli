@@ -19,15 +19,29 @@ val send :
   ?fec:bool ->
   ?retransmit_timeout:float ->
   ?max_retries:int ->
+  ?seed:int ->
+  ?on_fail:(string -> unit) ->
   on_complete:((string * float) list -> unit) ->
   unit ->
   t
 (** Installs transfer endpoints (idempotently) on both switches, routes
-    chunks over the current shortest switch path, and starts sending.
-    [on_complete] fires at the receiver with the reassembled entries.
-    [~fec:false] disables parity chunks (the ablation), leaving recovery
-    to retransmission alone. Defaults: groups of 4 data chunks, 8 entries
-    per chunk, 80 ms retransmit timer, 10 retries per group. *)
+    chunks over the shortest {e live} path — recomputed on every
+    retransmission round, so mid-transfer link failures and healed links
+    are picked up — and starts sending. [on_complete] fires at the
+    receiver with the reassembled entries. [~fec:false] disables parity
+    chunks (the ablation), leaving recovery to retransmission alone.
+
+    Retransmissions back off exponentially: round [k] waits
+    [retransmit_timeout * min 2^k 8] plus seeded jitter ([seed]), so
+    retries don't synchronize with periodic congestion.
+    [retransmit_timeout] is the base of that schedule. When the
+    destination (or source) switch is down or no live path exists, the
+    round is not charged against [max_retries]; after three such
+    consecutive rounds the transfer fails promptly with a reason
+    (["destination-down"], ["source-down"], ["no-path"]) instead of
+    burning every retry — [on_fail] fires with it, once, and an
+    [Xfer_failed] event is emitted. Defaults: groups of 4 data chunks, 8
+    entries per chunk, 80 ms base timeout, 10 retries per group. *)
 
 val send_sketch :
   Ff_netsim.Net.t ->
@@ -40,6 +54,8 @@ val send_sketch :
   ?fec:bool ->
   ?retransmit_timeout:float ->
   ?max_retries:int ->
+  ?seed:int ->
+  ?on_fail:(string -> unit) ->
   ?on_complete:(unit -> unit) ->
   unit ->
   t
@@ -54,6 +70,16 @@ val retransmitted_groups : t -> int
 val fec_recoveries : t -> int
 (** Groups completed with a chunk missing (parity reconstruction). *)
 
+val reroutes : t -> int
+(** Times a retransmission round installed a different live path than the
+    previous round's. *)
+
 val complete : t -> bool
 val failed : t -> bool
-(** True when some group exhausted its retries. *)
+(** True when some group exhausted its retries or the path stayed dead
+    past the flap-tolerance window. *)
+
+val failure_reason : t -> string option
+(** Why a failed transfer failed: ["no-path"], ["destination-down"],
+    ["source-down"], or ["retries-exhausted"]. [None] while live or after
+    success. *)

@@ -242,6 +242,59 @@ let test_loss_probability () =
   Alcotest.(check bool) "goodput reduced accordingly" true
     (Ff_netsim.Flow.Cbr.delivered_bytes f < 0.8 *. float_of_int (Ff_netsim.Flow.Cbr.sent_packets f * 1000))
 
+let test_loss_gilbert_elliott_bursts () =
+  (* bad_loss = 1, good_loss = 0, p_bg = 0.25: drops come in runs of mean
+     length 1/p_bg = 4, and the long-run drop rate is the stationary bad
+     fraction p_gb /. (p_gb +. p_bg) *)
+  let p_gb = 0.1 and p_bg = 0.25 in
+  let topo = T.linear ~n:1 () in
+  let engine = Engine.create () in
+  let net = Net.create engine topo in
+  let h0 = (T.node_by_name topo "h0").T.id in
+  let h1 = (T.node_by_name topo "h1").T.id in
+  let s0 = (T.node_by_name topo "s0").T.id in
+  Net.set_route net ~sw:s0 ~dst:h1 ~next_hop:h1;
+  let loss =
+    Loss.install net ~sw:s0 ~prob:0.3 ~seed:5
+      ~model:(Loss.Gilbert_elliott { p_gb; p_bg; good_loss = 0.; bad_loss = 1. })
+      ()
+  in
+  ignore (Ff_netsim.Flow.Cbr.start net ~src:h0 ~dst:h1 ~rate_pps:2000. ());
+  Engine.run engine ~until:10.;
+  let seen = Loss.seen loss and dropped = Loss.dropped loss in
+  Alcotest.(check bool) "enough samples" true (seen > 10_000);
+  let rate = float_of_int dropped /. float_of_int seen in
+  let expected_rate = p_gb /. (p_gb +. p_bg) in
+  Alcotest.(check bool)
+    (Printf.sprintf "long-run rate %.3f near %.3f" rate expected_rate)
+    true
+    (Float.abs (rate -. expected_rate) < 0.2 *. expected_rate);
+  let mean = Loss.mean_burst_len loss in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean burst %.2f near %.2f" mean (1. /. p_bg))
+    true
+    (Float.abs (mean -. (1. /. p_bg)) < 0.2 /. p_bg);
+  Alcotest.(check bool) "many distinct bursts" true (Loss.bursts loss > 100)
+
+let test_loss_set_enabled_window () =
+  let topo = T.linear ~n:1 () in
+  let engine = Engine.create () in
+  let net = Net.create engine topo in
+  let h0 = (T.node_by_name topo "h0").T.id in
+  let h1 = (T.node_by_name topo "h1").T.id in
+  let s0 = (T.node_by_name topo "s0").T.id in
+  Net.set_route net ~sw:s0 ~dst:h1 ~next_hop:h1;
+  let loss = Loss.install net ~sw:s0 ~prob:1.0 () in
+  Loss.set_enabled loss false;
+  ignore (Ff_netsim.Flow.Cbr.start net ~src:h0 ~dst:h1 ~rate_pps:100. ());
+  Engine.schedule engine ~at:1. (fun () -> Loss.set_enabled loss true);
+  Engine.schedule engine ~at:2. (fun () -> Loss.set_enabled loss false);
+  Engine.run engine ~until:3.;
+  (* only the packets inside the [1,2) window were even considered *)
+  Alcotest.(check bool) "disabled stage sees nothing" true (Loss.seen loss < 110);
+  Alcotest.(check int) "all considered packets dropped" (Loss.seen loss) (Loss.dropped loss);
+  Alcotest.(check bool) "window actually dropped packets" true (Loss.dropped loss > 50)
+
 (* ---------------- Replication ---------------- *)
 
 let test_replicate_and_failover () =
@@ -296,7 +349,12 @@ let () =
           Alcotest.test_case "state round trip" `Quick test_repurpose_moves_state;
           Alcotest.test_case "backup routes" `Quick test_install_backup_routes;
         ] );
-      ("loss", [ Alcotest.test_case "probability" `Quick test_loss_probability ]);
+      ( "loss",
+        [
+          Alcotest.test_case "probability" `Quick test_loss_probability;
+          Alcotest.test_case "gilbert-elliott bursts" `Quick test_loss_gilbert_elliott_bursts;
+          Alcotest.test_case "enable window" `Quick test_loss_set_enabled_window;
+        ] );
       ( "replication",
         [ Alcotest.test_case "replicate and failover" `Quick test_replicate_and_failover ] );
       ("properties", qcheck);
