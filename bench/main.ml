@@ -1123,16 +1123,22 @@ let run_experiment name f =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* --trace FILE    write the telemetry event log (JSONL, or CSV if FILE
-                     ends in .csv) after the experiments run
-     --metrics FILE  write the metrics registry as CSV *)
-  let rec split_opts trace metrics acc = function
-    | "--trace" :: file :: rest -> split_opts (Some file) metrics acc rest
-    | "--metrics" :: file :: rest -> split_opts trace (Some file) acc rest
-    | a :: rest -> split_opts trace metrics (a :: acc) rest
-    | [] -> (trace, metrics, List.rev acc)
+  (* --trace FILE          write the telemetry event log (JSONL, or CSV if
+                           FILE ends in .csv) after the experiments run
+     --trace-filter KINDS  with --trace: keep only these comma-separated
+                           event kinds (original seq numbers retained) and
+                           append one drop-proof per-kind summary line —
+                           the format of the committed golden traces
+     --metrics FILE        write the metrics registry as CSV *)
+  let rec split_opts trace filter metrics acc = function
+    | "--trace" :: file :: rest -> split_opts (Some file) filter metrics acc rest
+    | "--trace-filter" :: kinds :: rest ->
+      split_opts trace (Some (String.split_on_char ',' kinds)) metrics acc rest
+    | "--metrics" :: file :: rest -> split_opts trace filter (Some file) acc rest
+    | a :: rest -> split_opts trace filter metrics (a :: acc) rest
+    | [] -> (trace, filter, metrics, List.rev acc)
   in
-  let trace_file, metrics_file, names = split_opts None None [] args in
+  let trace_file, trace_filter, metrics_file, names = split_opts None None None [] args in
   let trace =
     match trace_file with
     | None -> None
@@ -1160,8 +1166,35 @@ let () =
       names);
   (match (trace_file, trace) with
   | Some file, Some tr ->
-    if Filename.check_suffix file ".csv" then Ff_obs.Trace.write_csv tr file
-    else Ff_obs.Trace.write_jsonl tr file;
+    (match trace_filter with
+    | None ->
+      if Filename.check_suffix file ".csv" then Ff_obs.Trace.write_csv tr file
+      else Ff_obs.Trace.write_jsonl tr file
+    | Some keep ->
+      (* the golden-trace format: filtered JSONL keeping original seq
+         numbers, closed by a summary object whose per-kind totals come
+         from the drop-proof counters (they cover the whole run even if
+         the buffer overflowed) *)
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          Ff_obs.Trace.iter tr (fun e ->
+              if List.mem (Ff_obs.Event.kind e.Ff_obs.Trace.event) keep then begin
+                output_string oc (Ff_obs.Trace.entry_to_json e);
+                output_char oc '\n'
+              end);
+          let all_kinds =
+            [ "mode_transition"; "reroute"; "state_transfer"; "fec_recovery"; "drop";
+              "probe"; "fault"; "repair" ]
+          in
+          let counts =
+            List.map
+              (fun k -> Printf.sprintf "%S: %d" k (Ff_obs.Trace.count_kind tr k))
+              all_kinds
+          in
+          Printf.fprintf oc "{\"summary\": {%s}, \"total\": %d}\n"
+            (String.concat ", " counts) (Ff_obs.Trace.count tr)));
     Printf.printf "[trace] %d events (%d buffered, %d dropped) -> %s\n" (Ff_obs.Trace.count tr)
       (Ff_obs.Trace.length tr) (Ff_obs.Trace.dropped tr) file
   | _ -> ());

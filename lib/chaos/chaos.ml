@@ -200,6 +200,13 @@ let check_quiescence t ?protocol ?(origins = []) ?(transfers = []) () =
   (match protocol with
   | None -> ()
   | Some p ->
+    (* anti-entropy must go quiet: an advert still holding unconfirmed
+       neighbors after the network healed and the engine drained means a
+       switch will re-advertise forever into the void *)
+    let stuck = Protocol.pending_adverts p in
+    if stuck > 0 then
+      add "stuck advert: %d (switch, attack) adverts still re-advertising to unconfirmed neighbors"
+        stuck;
     List.iter
       (fun (attack, origin) ->
         let name = Packet.attack_kind_to_string attack in

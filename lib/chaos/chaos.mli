@@ -107,6 +107,10 @@ val check_quiescence :
     packets in flight). Returns human-readable violations, [[]] when the
     system healed:
 
+    - {e no stuck advert} (when [protocol] is given): every anti-entropy
+      advert has been confirmed by all its neighbors
+      ([Protocol.pending_adverts] is 0) — otherwise some switch keeps
+      re-advertising forever to a peer that never acked;
     - {e no half-activated region}: for each [(attack, origin)] in
       [origins], every live switch within [Protocol.region_ttl] hops of
       [origin] over the live graph agrees with the origin's latest known

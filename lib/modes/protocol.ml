@@ -434,3 +434,11 @@ let transitions t = t.transitions
 let readverts t = t.readverts
 
 let repairs t = t.repairs
+
+let pending_adverts t =
+  Hashtbl.fold
+    (fun _sw st acc ->
+      Hashtbl.fold
+        (fun _attack ad acc -> if ad.pending = [] then acc else acc + 1)
+        st.adverts acc)
+    t.states 0

@@ -82,6 +82,13 @@ val readverts : t -> int
 val repairs : t -> int
 (** Stale-probe-triggered direct repairs sent so far. *)
 
+val pending_adverts : t -> int
+(** Number of (switch, attack) adverts still waiting on at least one
+    unconfirmed neighbor. Once every fault has healed and the engine has
+    drained past the backoff horizon, this must be 0 — a non-zero value
+    means a switch is re-advertising into the void forever (a neighbor
+    that never acked), which the quiescence checker reports. *)
+
 val current_dwell : t -> attack -> float
 (** The dwell currently enforced for the attack (grows under flapping). *)
 

@@ -1,0 +1,345 @@
+(* Exhaustive exploration of the anti-entropy protocol's state graph.
+
+   The model is [Modes.Protocol] with time abstracted away: applying a
+   clear never waits on a dwell, and the re-advertisement timer fires
+   only in quiet states (no probe in flight) — the timescale separation
+   between millisecond floods and the 100ms-scale timer. What remains is
+   exactly the nondeterminism an adversarial network controls: which
+   in-flight probe arrives next, and which probes die. *)
+
+type config = {
+  adj : int list array;
+  origin : int;
+  region_ttl : int;
+  include_clear : bool;
+  anti_entropy : bool;
+  loss_budget : int;
+  max_states : int;
+}
+
+type report = {
+  states : int;
+  transitions : int;
+  terminals : int;
+  converged : int;
+  violations : string list;
+  counterexample : string list option;
+  exhausted : bool;
+}
+
+type probe = { pr_from : int; pr_to : int; pr_epoch : int; pr_act : bool; pr_ttl : int }
+
+type swst = {
+  seen : int;
+  active : bool;
+  ad_epoch : int;
+  ad_act : bool;
+  ad_ttl : int;
+  pending : int list; (* sorted *)
+}
+
+(* [inflight] is a sorted set: probes are content-addressed (from, to,
+   epoch, activate, ttl), so two identical probes in flight are
+   operationally indistinguishable and collapse into one — the adversary
+   gains no new behaviors from duplicates, and the state space shrinks by
+   orders of magnitude on dense graphs. *)
+type state = { sws : swst list; inflight : probe list; lost : int; cleared : bool }
+
+let line n = Array.init n (fun i -> List.filter (fun j -> j = i - 1 || j = i + 1) [ i - 1; i + 1 ] |> List.filter (fun j -> j >= 0 && j < n))
+
+let cycle n = Array.init n (fun i -> List.sort_uniq compare [ ((i + n) - 1) mod n; (i + 1) mod n ])
+
+let complete n = Array.init n (fun i -> List.filter (fun j -> j <> i) (List.init n Fun.id))
+
+let default ~adj =
+  {
+    adj;
+    origin = 0;
+    region_ttl = Array.length adj;
+    include_clear = true;
+    anti_entropy = true;
+    loss_budget = 1;
+    max_states = 500_000;
+  }
+
+let known st = max st.seen st.ad_epoch
+
+let canon st = { st with inflight = List.sort_uniq compare st.inflight }
+
+let update_sw sws i f = List.mapi (fun j s -> if j = i then f s else s) sws
+
+let rec remove_one p = function
+  | [] -> []
+  | x :: tl -> if x = p then tl else x :: remove_one p tl
+
+let probe_str p =
+  Printf.sprintf "probe %d->%d epoch %d %s ttl %d" p.pr_from p.pr_to p.pr_epoch
+    (if p.pr_act then "act" else "clear")
+    p.pr_ttl
+
+(* [Protocol.handle_probe], declaratively: new per-switch states plus the
+   probes this delivery emits. *)
+let deliver cfg st p =
+  let sw = p.pr_to in
+  let me = List.nth st.sws sw in
+  let nbrs = cfg.adj.(sw) in
+  let k = known me in
+  if p.pr_epoch > k then begin
+    (* fresh: apply, take over the advert, re-flood, ack the sender *)
+    let ttl' = max 0 (p.pr_ttl - 1) in
+    let me' =
+      if cfg.anti_entropy then
+        {
+          seen = p.pr_epoch;
+          active = p.pr_act;
+          ad_epoch = p.pr_epoch;
+          ad_act = p.pr_act;
+          ad_ttl = ttl';
+          pending =
+            (if ttl' > 0 then List.sort compare (List.filter (fun q -> q <> p.pr_from) nbrs)
+             else []);
+        }
+      else { me with seen = p.pr_epoch; active = p.pr_act }
+    in
+    let flood =
+      if p.pr_ttl - 1 > 0 then
+        List.filter_map
+          (fun q ->
+            if q = p.pr_from then None
+            else
+              Some
+                { pr_from = sw; pr_to = q; pr_epoch = p.pr_epoch; pr_act = p.pr_act;
+                  pr_ttl = p.pr_ttl - 1 })
+          nbrs
+      else []
+    in
+    let ack =
+      if cfg.anti_entropy && p.pr_ttl > 0 then
+        [ { pr_from = sw; pr_to = p.pr_from; pr_epoch = p.pr_epoch; pr_act = p.pr_act;
+            pr_ttl = 0 } ]
+      else []
+    in
+    (update_sw st.sws sw (fun _ -> me'), flood @ ack)
+  end
+  else if p.pr_epoch = k && k > 0 then begin
+    (* the sender provably holds our epoch: confirm, ack back *)
+    let me' =
+      if me.ad_epoch = p.pr_epoch then
+        { me with pending = List.filter (fun q -> q <> p.pr_from) me.pending }
+      else me
+    in
+    let ack =
+      if cfg.anti_entropy && p.pr_ttl > 0 then
+        [ { pr_from = sw; pr_to = p.pr_from; pr_epoch = p.pr_epoch; pr_act = p.pr_act;
+            pr_ttl = 0 } ]
+      else []
+    in
+    (update_sw st.sws sw (fun _ -> me'), ack)
+  end
+  else if cfg.anti_entropy && me.ad_epoch > 0 then
+    (* the sender is behind: push our fresher state straight back *)
+    ( st.sws,
+      [ { pr_from = sw; pr_to = p.pr_from; pr_epoch = me.ad_epoch; pr_act = me.ad_act;
+          pr_ttl = me.ad_ttl } ] )
+  else (st.sws, [])
+
+(* A command issued at the origin: apply locally, refresh the advert,
+   flood with the full region budget — [raise_alarm]/[clear_alarm]. *)
+let issue cfg st ~epoch ~activate =
+  let o = cfg.origin in
+  let nbrs = cfg.adj.(o) in
+  let sws =
+    update_sw st.sws o (fun me ->
+        let me = { me with seen = epoch; active = activate } in
+        if cfg.anti_entropy then
+          {
+            me with
+            ad_epoch = epoch;
+            ad_act = activate;
+            ad_ttl = cfg.region_ttl;
+            pending = (if cfg.region_ttl > 0 then List.sort compare nbrs else []);
+          }
+        else me)
+  in
+  let flood =
+    if cfg.region_ttl > 0 then
+      List.map
+        (fun q ->
+          { pr_from = o; pr_to = q; pr_epoch = epoch; pr_act = activate;
+            pr_ttl = cfg.region_ttl })
+        nbrs
+    else []
+  in
+  { st with sws; inflight = st.inflight @ flood }
+
+let initial cfg =
+  let n = Array.length cfg.adj in
+  let blank =
+    { seen = 0; active = false; ad_epoch = 0; ad_act = false; ad_ttl = 0; pending = [] }
+  in
+  let st = { sws = List.init n (fun _ -> blank); inflight = []; lost = 0; cleared = false } in
+  canon (issue cfg st ~epoch:1 ~activate:true)
+
+(* enabled transitions: (label, successor) *)
+let successors cfg st =
+  let distinct = List.sort_uniq compare st.inflight in
+  let deliveries =
+    List.map
+      (fun p ->
+        let sws, emitted = deliver cfg st p in
+        ( "deliver " ^ probe_str p,
+          canon { st with sws; inflight = remove_one p st.inflight @ emitted } ))
+      distinct
+  in
+  let losses =
+    if st.lost >= cfg.loss_budget then []
+    else
+      List.map
+        (fun p ->
+          ( "lose " ^ probe_str p,
+            canon { st with inflight = remove_one p st.inflight; lost = st.lost + 1 } ))
+        distinct
+  in
+  let clear =
+    if cfg.include_clear && not st.cleared then
+      [ ("clear_alarm", canon (issue cfg { st with cleared = true } ~epoch:2 ~activate:false)) ]
+    else []
+  in
+  let readverts =
+    if cfg.anti_entropy && st.inflight = [] then
+      List.concat
+        (List.mapi
+           (fun sw me ->
+             if me.pending = [] then []
+             else
+               let probes =
+                 List.map
+                   (fun q ->
+                     { pr_from = sw; pr_to = q; pr_epoch = me.ad_epoch; pr_act = me.ad_act;
+                       pr_ttl = me.ad_ttl })
+                   me.pending
+               in
+               [ ( Printf.sprintf "readvert at %d" sw,
+                   canon { st with inflight = probes } ) ])
+           st.sws)
+    else []
+  in
+  deliveries @ losses @ clear @ readverts
+
+(* hop distances over the switch graph, BFS *)
+let distances adj origin =
+  let n = Array.length adj in
+  let d = Array.make n (-1) in
+  d.(origin) <- 0;
+  let q = ref [ origin ] in
+  while !q <> [] do
+    let frontier = !q in
+    q := [];
+    List.iter
+      (fun u ->
+        List.iter
+          (fun v ->
+            if d.(v) < 0 then begin
+              d.(v) <- d.(u) + 1;
+              q := v :: !q
+            end)
+          adj.(u))
+      frontier
+  done;
+  d
+
+let run cfg =
+  let dist = distances cfg.adj cfg.origin in
+  let final_epoch = if cfg.include_clear then 2 else 1 in
+  let final_act = not cfg.include_clear in
+  (* Keys are marshalled states: the default [Hashtbl.hash] inspects
+     only ~10 nodes of a structure, and states share a deep common
+     prefix, so hashing them directly collapses the table into linear
+     scans. String keys hash over the full representation. *)
+  let key (st : state) = Marshal.to_string st [] in
+  let visited : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let parent : (string, state * string) Hashtbl.t = Hashtbl.create 4096 in
+  let violations = ref [] in
+  let counterexample = ref None in
+  let transitions = ref 0 in
+  let terminals = ref 0 in
+  let convergent = ref 0 in
+  let exhausted = ref true in
+  let add_violation st msg =
+    if not (List.mem msg !violations) then violations := msg :: !violations;
+    if !counterexample = None then begin
+      let rec walk acc st =
+        match Hashtbl.find_opt parent (key st) with
+        | None -> acc
+        | Some (prev, label) -> walk (label :: acc) prev
+      in
+      counterexample := Some (walk [] st)
+    end
+  in
+  let check_terminal st =
+    incr terminals;
+    let ok = ref true in
+    List.iteri
+      (fun sw me ->
+        let in_region = dist.(sw) >= 0 && dist.(sw) <= cfg.region_ttl in
+        let want_epoch = if in_region then final_epoch else 0 in
+        let want_act = if in_region then final_act else false in
+        if me.seen <> want_epoch || me.active <> want_act then begin
+          ok := false;
+          add_violation st
+            (Printf.sprintf
+               "unconverged terminal: switch %d at (epoch %d, %s), expected (epoch %d, %s)"
+               sw me.seen
+               (if me.active then "active" else "inactive")
+               want_epoch
+               (if want_act then "active" else "inactive"))
+        end)
+      st.sws;
+    if !ok then incr convergent
+  in
+  let stack = ref [ initial cfg ] in
+  Hashtbl.replace visited (key (initial cfg)) ();
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | st :: rest ->
+      stack := rest;
+      let succs = successors cfg st in
+      if succs = [] then check_terminal st
+      else
+        List.iter
+          (fun (label, st') ->
+            incr transitions;
+            (* epoch monotonicity across every edge of the state graph *)
+            List.iteri
+              (fun sw me' ->
+                let me = List.nth st.sws sw in
+                if known me' < known me then
+                  add_violation st'
+                    (Printf.sprintf "epoch regression at switch %d: %d -> %d (%s)" sw
+                       (known me) (known me') label))
+              st'.sws;
+            let k' = key st' in
+            if not (Hashtbl.mem visited k') then
+              if Hashtbl.length visited >= cfg.max_states then begin
+                (* budget blown: report truncation loudly and stop grinding
+                   through the residual frontier *)
+                exhausted := false;
+                stack := []
+              end
+              else begin
+                Hashtbl.replace visited k' ();
+                Hashtbl.replace parent k' (st, label);
+                stack := st' :: !stack
+              end)
+          succs
+  done;
+  {
+    states = Hashtbl.length visited;
+    transitions = !transitions;
+    terminals = !terminals;
+    converged = !convergent;
+    violations = List.rev !violations;
+    counterexample = !counterexample;
+    exhausted = !exhausted;
+  }

@@ -307,7 +307,7 @@ let prop_canonical_stable_under_renaming =
 
 let () =
   let qcheck =
-    List.map QCheck_alcotest.to_alcotest
+    List.map Test_seed.to_alcotest
       [ prop_canonical_stable_under_renaming; prop_decompose_roundtrip ]
   in
   Alcotest.run "ff_dataflow"

@@ -305,7 +305,7 @@ let test_ppm_body_size () =
   Alcotest.(check int) "statements counted recursively" 4 (Ppm.body_size sample_spec)
 
 let () =
-  let qcheck = List.map QCheck_alcotest.to_alcotest [ prop_sketch_upper_bound; prop_bloom_membership ] in
+  let qcheck = List.map Test_seed.to_alcotest [ prop_sketch_upper_bound; prop_bloom_membership ] in
   Alcotest.run "ff_dataplane"
     [
       ( "packet",

@@ -327,7 +327,7 @@ let prop_protocol_automaton_stable_any_dwell =
 
 let () =
   let qcheck =
-    List.map QCheck_alcotest.to_alcotest
+    List.map Test_seed.to_alcotest
       [ prop_protocol_automaton_stable_any_dwell; prop_protocol_vars_consistent ]
   in
   Alcotest.run "ff_modes"

@@ -657,7 +657,7 @@ let () =
           Alcotest.test_case "attach mid-run" `Quick test_monitor_attach_mid_run;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map Test_seed.to_alcotest
           [
             prop_conservation;
             prop_tcp_no_duplicate_delivery;

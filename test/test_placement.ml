@@ -143,6 +143,130 @@ let test_middlebox_detour_stretch () =
   let eval2 = Placement.middlebox_detour topo m ~sites:[ lm.T.Fig2.agg ] in
   Alcotest.(check (float 1e-9)) "on-path site has stretch 1" 1. eval2.Placement.avg_stretch
 
+(* ---------------- random-graph properties ---------------- *)
+
+let prop_pack_respects_capacity =
+  QCheck.Test.make ~name:"packing never exceeds a switch's resource vector" ~count:100
+    ~long_factor:5
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Ff_util.Prng.create ~seed:(seed + 1) in
+      let n_ppms = 1 + Ff_util.Prng.int rng 8 in
+      let specs =
+        List.init n_ppms (fun i ->
+            Ppm.make_spec
+              ~name:(Printf.sprintf "p%d" i)
+              ~booster:"b" ~role:Ppm.Detection
+              ~resources:
+                (Resource.make
+                   ~stages:(float_of_int (1 + Ff_util.Prng.int rng 4))
+                   ~sram_kb:(float_of_int (10 + Ff_util.Prng.int rng 300))
+                   ~alus:(float_of_int (Ff_util.Prng.int rng 5))
+                   ())
+              [ Ppm.Set_meta (Printf.sprintf "m%d" i, Ppm.Const 1.) ])
+      in
+      let g = graph_of specs in
+      let n_sws = 2 + Ff_util.Prng.int rng 5 in
+      let capacities =
+        List.init n_sws (fun sw ->
+            ( sw,
+              Resource.make
+                ~stages:(float_of_int (4 + Ff_util.Prng.int rng 10))
+                ~sram_kb:(float_of_int (100 + Ff_util.Prng.int rng 1000))
+                ~alus:(float_of_int (2 + Ff_util.Prng.int rng 12))
+                ~tcam:100. ~hash_units:10. () ))
+      in
+      match Pack.first_fit_decreasing ~capacities g with
+      | Error _ -> true (* infeasibility is a legal answer, not a packing *)
+      | Ok bins ->
+        if not (Pack.respects_capacity bins) then
+          QCheck.Test.fail_reportf "a bin exceeds its capacity";
+        (* every PPM placed exactly once, only onto declared switches *)
+        let placed = List.concat_map (fun b -> b.Pack.items) bins in
+        if List.length placed <> n_ppms then
+          QCheck.Test.fail_reportf "%d PPMs, %d placements" n_ppms (List.length placed);
+        if List.length (List.sort_uniq compare placed) <> n_ppms then
+          QCheck.Test.fail_reportf "a PPM was placed twice";
+        List.iter
+          (fun (b : Pack.bin) ->
+            if not (List.mem_assoc b.Pack.sw capacities) then
+              QCheck.Test.fail_reportf "bin on undeclared switch %d" b.Pack.sw)
+          bins;
+        true)
+
+let prop_place_on_path_invariants =
+  QCheck.Test.make ~name:"placement keeps mitigation at-or-downstream of detection" ~count:60
+    ~long_factor:5
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Ff_util.Prng.create ~seed:(seed + 2) in
+      let n = 4 + Ff_util.Prng.int rng 5 in
+      let topo = T.waxman ~n ~seed:(seed + 11) () in
+      let hosts = Array.of_list (T.hosts topo) in
+      let paths =
+        List.init (2 + Ff_util.Prng.int rng 6) (fun _ ->
+            let a = Ff_util.Prng.choose rng hosts and b = Ff_util.Prng.choose rng hosts in
+            if a.T.id = b.T.id then None else T.shortest_path topo ~src:a.T.id ~dst:b.T.id)
+        |> List.filter_map Fun.id
+      in
+      let compiled = Fastflex.Compile.boosters ~names:[ "lfa-detector"; "dropper" ] () in
+      let graph = compiled.Fastflex.Compile.merged in
+      (* capacities scaled 5%-105% of a real switch: small ones force the
+         downstream fallback, large ones co-locate *)
+      let capacities =
+        List.map
+          (fun (nd : T.node) ->
+            ( nd.T.id,
+              Resource.scale (0.05 +. (0.1 *. float_of_int (Ff_util.Prng.int rng 11)))
+                Resource.tofino_like ))
+          (T.switches topo)
+      in
+      let plan = Placement.place topo ~paths ~capacities graph in
+      (* resource safety: everything installed on a switch (detection and
+         mitigation together) sums within its declared capacity *)
+      let resources_of name =
+        match
+          List.find_opt (fun v -> v.Graph.spec.Ppm.name = name) (Graph.vertices graph)
+        with
+        | Some v -> v.Graph.spec.Ppm.resources
+        | None -> QCheck.Test.fail_reportf "plan names unknown PPM %s" name
+      in
+      let installed = Hashtbl.create 16 in
+      List.iter
+        (fun (sw, names) ->
+          let prev = try Hashtbl.find installed sw with Not_found -> [] in
+          Hashtbl.replace installed sw (prev @ names))
+        (plan.Placement.detectors @ plan.Placement.mitigators);
+      Hashtbl.iter
+        (fun sw names ->
+          let need = Resource.sum (List.map resources_of names) in
+          match List.assoc_opt sw capacities with
+          | None -> QCheck.Test.fail_reportf "plan uses undeclared switch %d" sw
+          | Some within ->
+            if not (Resource.fits ~need ~within) then
+              QCheck.Test.fail_reportf "switch %d over capacity" sw)
+        installed;
+      (* on-path invariant: every mitigator sits at a detector switch or
+         immediately downstream of one on some demand path *)
+      let detector_sws = List.map fst plan.Placement.detectors in
+      let directly_downstream m =
+        List.exists
+          (fun path ->
+            let rec scan = function
+              | a :: (b :: _ as rest) -> (b = m && List.mem a detector_sws) || scan rest
+              | _ -> false
+            in
+            scan path)
+          paths
+      in
+      List.iter
+        (fun (m, _) ->
+          if not (List.mem m detector_sws || directly_downstream m) then
+            QCheck.Test.fail_reportf "mitigator at %d is neither at nor downstream of a detector"
+              m)
+        plan.Placement.mitigators;
+      true)
+
 let () =
   Alcotest.run "ff_placement"
     [
@@ -160,4 +284,7 @@ let () =
           Alcotest.test_case "popular switches" `Quick test_popular_switches_ranking;
           Alcotest.test_case "middlebox detour stretch" `Quick test_middlebox_detour_stretch;
         ] );
+      ( "properties",
+        List.map Test_seed.to_alcotest
+          [ prop_pack_respects_capacity; prop_place_on_path_invariants ] );
     ]

@@ -9,6 +9,7 @@ module Transfer = Ff_scaling.Transfer
 module Repurpose = Ff_scaling.Repurpose
 module Loss = Ff_scaling.Loss
 module Replicate = Ff_scaling.Replicate
+module Prng = Ff_util.Prng
 
 let entries n = List.init n (fun i -> (Printf.sprintf "reg[%d]" i, float_of_int i *. 1.5))
 
@@ -91,6 +92,65 @@ let prop_fec_single_loss_recovery =
       | Some v ->
         let remaining = List.filter (fun c -> c <> v) chunks in
         Fec.decode remaining = Some e)
+
+(* The parity budget, exactly: one XOR parity chunk per group recovers any
+   single chunk loss in that group — data or parity, in every group at
+   once — and two data losses in one group are cleanly unrecoverable
+   (decode says None, never a wrong reconstruction). *)
+let prop_fec_any_loss_within_budget =
+  QCheck.Test.make ~name:"fec recovers every loss pattern within the parity budget" ~count:100
+    ~long_factor:5
+    QCheck.(
+      quad (int_range 1 6) (int_range 1 10)
+        (list_of_size (Gen.int_range 0 80) (float_range (-100.) 100.))
+        (int_bound 1_000_000))
+    (fun (group_size, per_chunk, values, seed) ->
+      let e = List.mapi (fun i v -> (Printf.sprintf "k%d" i, v)) values in
+      let chunks = Fec.encode ~group_size ~per_chunk e in
+      let rng = Prng.create ~seed:(seed + 3) in
+      (* per group, independently: keep all, drop the parity, or drop one
+         data chunk *)
+      let victims =
+        List.init (Fec.group_count chunks) (fun g ->
+            let data =
+              List.filter (fun (c : Fec.chunk) -> c.Fec.group = g && not c.Fec.parity) chunks
+            in
+            match Prng.int rng 3 with
+            | 0 -> []
+            | 1 -> List.filter (fun (c : Fec.chunk) -> c.Fec.group = g && c.Fec.parity) chunks
+            | _ -> (
+              match data with
+              | [] -> []
+              | _ -> [ List.nth data (Prng.int rng (List.length data)) ]))
+        |> List.concat
+      in
+      let remaining = List.filter (fun c -> not (List.memq c victims)) chunks in
+      Fec.decode remaining = Some e)
+
+let prop_fec_beyond_budget_fails_cleanly =
+  QCheck.Test.make ~name:"fec refuses two data losses in one group" ~count:100 ~long_factor:5
+    QCheck.(
+      triple (int_range 2 6)
+        (list_of_size (Gen.int_range 4 80) (float_range (-100.) 100.))
+        (int_bound 1_000_000))
+    (fun (group_size, values, seed) ->
+      let e = List.mapi (fun i v -> (Printf.sprintf "k%d" i, v)) values in
+      let chunks = Fec.encode ~group_size ~per_chunk:4 e in
+      let rng = Prng.create ~seed:(seed + 7) in
+      let groups =
+        List.init (Fec.group_count chunks) (fun g ->
+            List.filter (fun (c : Fec.chunk) -> c.Fec.group = g && not c.Fec.parity) chunks)
+        |> List.filter (fun data -> List.length data >= 2)
+      in
+      match groups with
+      | [] -> true (* no group holds two data chunks; nothing to lose *)
+      | _ ->
+        let data = List.nth groups (Prng.int rng (List.length groups)) in
+        let i = Prng.int rng (List.length data) in
+        let j = (i + 1 + Prng.int rng (List.length data - 1)) mod List.length data in
+        let v1 = List.nth data i and v2 = List.nth data j in
+        let remaining = List.filter (fun c -> not (c == v1 || c == v2)) chunks in
+        Fec.decode remaining = None)
 
 (* ---------------- Transfer ---------------- *)
 
@@ -322,7 +382,13 @@ let test_replicate_and_failover () =
 
 let () =
   let qcheck =
-    List.map QCheck_alcotest.to_alcotest [ prop_fec_roundtrip; prop_fec_single_loss_recovery ]
+    List.map Test_seed.to_alcotest
+      [
+        prop_fec_roundtrip;
+        prop_fec_single_loss_recovery;
+        prop_fec_any_loss_within_budget;
+        prop_fec_beyond_budget_fails_cleanly;
+      ]
   in
   Alcotest.run "ff_scaling"
     [

@@ -1,0 +1,31 @@
+(* One explicit seed for every property suite.
+
+   QCheck_alcotest's default random state comes from [Random.self_init]
+   (or the QCHECK_SEED env var), so a failing property printed a
+   counterexample that the next run could not reproduce. Every suite
+   routes its QCheck tests through {!to_alcotest} below instead: the
+   generator state is derived from one process-wide seed (TEST_SEED env,
+   default 421) plus the test's own name, no ambient [Random] state
+   anywhere. The seed is printed at startup, so a failure reproduces
+   with exactly [TEST_SEED=<printed> dune runtest]. *)
+
+let seed =
+  match Sys.getenv_opt "TEST_SEED" with
+  | None | Some "" -> 421
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> invalid_arg (Printf.sprintf "TEST_SEED must be an int, got %S" s))
+
+let () = Printf.eprintf "[test-seed] TEST_SEED=%d (env TEST_SEED reproduces)\n%!" seed
+
+let rand_for name = Random.State.make [| seed; Hashtbl.hash name |]
+(* per-test derivation: suites stay decorrelated from each other without
+   sharing mutable state, and adding a test never reshuffles the others *)
+
+let to_alcotest ?long ?speed_level (QCheck2.Test.Test cell as t) =
+  QCheck_alcotest.to_alcotest ?long ?speed_level ~rand:(rand_for (QCheck2.Test.get_name cell)) t
+
+(* Deep sweeps (dune build @deep) set DEEP=1: property counts scale up
+   and the model checker widens to 4-5 switch graphs. *)
+let deep = match Sys.getenv_opt "DEEP" with Some ("1" | "true") -> true | _ -> false

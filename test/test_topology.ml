@@ -215,7 +215,7 @@ let prop_yen_first_is_shortest =
 
 let () =
   let qcheck =
-    List.map QCheck_alcotest.to_alcotest [ prop_waxman_paths_valid; prop_yen_first_is_shortest ]
+    List.map Test_seed.to_alcotest [ prop_waxman_paths_valid; prop_yen_first_is_shortest ]
   in
   Alcotest.run "ff_topology"
     [

@@ -334,7 +334,7 @@ let test_series_ascii_renders () =
 
 let () =
   let qcheck =
-    List.map QCheck_alcotest.to_alcotest
+    List.map Test_seed.to_alcotest
       [ prop_heap_sorts; prop_percentile_within_range; prop_int_table_matches_hashtbl ]
   in
   Alcotest.run "ff_util"
