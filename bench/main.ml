@@ -981,27 +981,176 @@ let check_alloc_budget s =
       Printf.printf "[perf] allocation check ok: %.1f <= budget %.1f words/packet\n"
         s.alloc_words_per_packet budget
 
+(* ------------------------------------------------------------------ *)
+(* perf --shards N: the sharded parallel engine on fat-tree(8)         *)
+(* ------------------------------------------------------------------ *)
+
+(* Set by the --shards command-line option; perf then also measures the
+   sharded engine and records a "parallel" section in BENCH_netsim.json. *)
+let shards_opt : int option ref = ref None
+
+type parallel_sample = {
+  p_shards : int;
+  p_cores : int;
+  p_mode : string;
+  p_packets : int;
+  p_events : int;
+  p_windows : int;
+  p_exchanged : int;
+  p_wall_s : float;
+  p_pps : float;
+  p_baseline_pps : float;
+  p_speedup : float;
+  p_alloc_words_per_packet : float;
+  p_identical : bool;
+}
+
+(* The sharded scenario is bigger than the sequential regression one
+   (fat-tree(8): 80 switches, 128 hosts, one cross-pod CBR flow per host)
+   because the parallel engine's purpose is scale; the same run executed
+   with 1 shard on the same windowed code path is the speedup baseline,
+   and its counters are the determinism oracle: sharding must change
+   {e nothing} but wall time. *)
+let measure_parallel ~shards =
+  let w = Ff_parallel.Workload.fat_tree ~k:8 ~rate_pps:500. ~duration:2.0 () in
+  let run ~shards ~mode =
+    Gc.compact ();
+    let c = Ff_parallel.Workload.fresh_counters w in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Ff_parallel.Psim.run ~mode ~shards ~topo:(Ff_parallel.Workload.topo w)
+        ~setup:(Ff_parallel.Workload.setup w c)
+        ~until:(Ff_parallel.Workload.until w) ()
+    in
+    (r, c, Float.max 1e-9 (Unix.gettimeofday () -. t0))
+  in
+  let r1, c1, wall1 = run ~shards:1 ~mode:Ff_parallel.Psim.Sequential in
+  let rn, cn, walln = run ~shards ~mode:Ff_parallel.Psim.Auto in
+  let module P = Ff_parallel.Psim in
+  let module W = Ff_parallel.Workload in
+  let tx1 = P.total_tx r1 and txn = P.total_tx rn in
+  let identical =
+    tx1 = txn
+    && r1.P.events = rn.P.events
+    && P.drops_by_reason r1 = P.drops_by_reason rn
+    && c1.W.delivered = cn.W.delivered
+    && c1.W.time_sum = cn.W.time_sum
+  in
+  let word = float_of_int (Sys.word_size / 8) in
+  {
+    p_shards = shards;
+    p_cores = Domain.recommended_domain_count ();
+    p_mode = (match rn.P.mode_used with P.Domains -> "domains" | _ -> "sequential");
+    p_packets = txn;
+    p_events = rn.P.events;
+    p_windows = rn.P.windows;
+    p_exchanged = rn.P.exchanged;
+    p_wall_s = walln;
+    p_pps = float_of_int txn /. walln;
+    p_baseline_pps = float_of_int tx1 /. wall1;
+    p_speedup = wall1 /. walln;
+    p_alloc_words_per_packet = rn.P.alloc_bytes /. word /. float_of_int (max 1 txn);
+    p_identical = identical;
+  }
+
+let parallel_to_json p =
+  Printf.sprintf
+    "{ \"shards\": %d, \"cores\": %d, \"mode\": %S, \"packets\": %d, \"events\": %d, \
+     \"windows\": %d, \"exchanged\": %d, \"wall_s\": %.3f, \"packets_per_sec\": %.0f, \
+     \"baseline_pps\": %.0f, \"speedup_vs_1\": %.2f, \"alloc_words_per_packet\": %.1f, \
+     \"counts_identical\": %b }"
+    p.p_shards p.p_cores p.p_mode p.p_packets p.p_events p.p_windows p.p_exchanged
+    p.p_wall_s p.p_pps p.p_baseline_pps p.p_speedup p.p_alloc_words_per_packet
+    p.p_identical
+
+(* The sharded path has its own allocation budget: a 'shard: <N>' line in
+   bench/ALLOC_BUDGET (mailbox drains and window bookkeeping allocate a
+   little more per packet than the pure sequential loop). *)
+let read_sharded_alloc_budget () =
+  match read_file alloc_budget_file with
+  | None -> None
+  | Some text ->
+    String.split_on_char '\n' text
+    |> List.find_map (fun line ->
+           let line = String.trim line in
+           if String.length line > 6 && String.sub line 0 6 = "shard:" then
+             float_of_string_opt
+               (String.trim (String.sub line 6 (String.length line - 6)))
+           else None)
+
+let check_parallel p =
+  if not p.p_identical then begin
+    Printf.printf
+      "[perf] FAIL: sharded run (%d shards, %s mode) diverged from the 1-shard run\n\
+       [perf] the parallel engine is the determinism oracle: a divergence means a \
+       data race or a broken window/tie rule\n"
+      p.p_shards p.p_mode;
+    exit 1
+  end;
+  Printf.printf "[perf] determinism check ok: %d shards bit-identical to 1 shard\n"
+    p.p_shards;
+  (match read_sharded_alloc_budget () with
+  | None ->
+    Printf.printf "[perf] no 'shard:' line in %s; skipping sharded allocation check\n"
+      alloc_budget_file
+  | Some budget ->
+    if p.p_alloc_words_per_packet > budget then begin
+      Printf.printf
+        "[perf] FAIL: sharded alloc_words_per_packet %.1f exceeds budget %.1f (%s)\n"
+        p.p_alloc_words_per_packet budget alloc_budget_file;
+      exit 1
+    end
+    else
+      Printf.printf "[perf] sharded allocation check ok: %.1f <= budget %.1f words/packet\n"
+        p.p_alloc_words_per_packet budget);
+  (* the speedup target only means something when the cores exist; on a
+     smaller machine the number is recorded but not asserted *)
+  if p.p_cores >= p.p_shards && p.p_shards >= 4 && p.p_speedup < 2.5 then
+    Printf.printf
+      "[perf] WARNING: %.2fx speedup at %d shards on %d cores (target 2.5x)\n"
+      p.p_speedup p.p_shards p.p_cores
+
 let perf () =
   banner "perf" "per-packet hot path: fat-tree(4) + rolling LFA, 30 simulated seconds";
   let s = measure_perf () in
+  let par =
+    match !shards_opt with
+    | Some n when n >= 1 ->
+      Printf.printf "\n[perf] sharded engine: fat-tree(8), %d shards\n%!" n;
+      Some (measure_parallel ~shards:n)
+    | _ -> None
+  in
   let current = sample_to_json s in
+  let old_text = read_file perf_json_file in
   let before =
-    match read_file perf_json_file with
+    match old_text with
     | Some text -> ( match extract_object text "before" with Some b -> b | None -> current)
     | None -> current
+  in
+  let parallel_json =
+    match par with
+    | Some p -> parallel_to_json p
+    | None -> (
+      (* keep the last sharded measurement when this run didn't take one *)
+      match old_text with
+      | Some text -> (
+        match extract_object text "parallel" with Some o -> o | None -> "null")
+      | None -> "null")
   in
   let oc = open_out perf_json_file in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"fastflex-netsim-perf/1\",\n\
+    \  \"schema\": \"fastflex-netsim-perf/2\",\n\
     \  \"scenario\": \"fat-tree(4), deploy_wide defense, 6 CBR + 3 TCP flows, rolling LFA, \
      30 sim seconds\",\n\
     \  \"note\": \"before = first run recorded on this machine (preserved across reruns); \
-     after = latest run\",\n\
+     after = latest run; parallel = sharded engine on fat-tree(8), 128 cross-pod CBR \
+     flows (perf --shards N)\",\n\
     \  \"before\": %s,\n\
-    \  \"after\": %s\n\
+    \  \"after\": %s,\n\
+    \  \"parallel\": %s\n\
      }\n"
-    before current;
+    before current parallel_json;
   close_out oc;
   Table.print
     ~header:[ "metric"; "value" ]
@@ -1013,8 +1162,27 @@ let perf () =
         [ "events/s"; Printf.sprintf "%.0f" s.events_per_sec ];
         [ "alloc words/packet"; Printf.sprintf "%.1f" s.alloc_words_per_packet ];
         [ "drops"; string_of_int s.drops ] ];
+  (match par with
+  | None -> ()
+  | Some p ->
+    Table.print
+      ~header:[ "parallel metric"; "value" ]
+      ~rows:
+        [ [ "shards / cores"; Printf.sprintf "%d / %d" p.p_shards p.p_cores ];
+          [ "mode"; p.p_mode ];
+          [ "hop transmissions"; string_of_int p.p_packets ];
+          [ "sim events"; string_of_int p.p_events ];
+          [ "windows"; string_of_int p.p_windows ];
+          [ "cross-shard msgs"; string_of_int p.p_exchanged ];
+          [ "wall (s)"; Printf.sprintf "%.3f" p.p_wall_s ];
+          [ "packets/s"; Printf.sprintf "%.0f" p.p_pps ];
+          [ "baseline packets/s"; Printf.sprintf "%.0f" p.p_baseline_pps ];
+          [ "speedup vs 1 shard"; Printf.sprintf "%.2fx" p.p_speedup ];
+          [ "alloc words/packet"; Printf.sprintf "%.1f" p.p_alloc_words_per_packet ];
+          [ "counts identical"; string_of_bool p.p_identical ] ]);
   Printf.printf "\n[perf] wrote %s\n" perf_json_file;
-  check_alloc_budget s
+  check_alloc_budget s;
+  Option.iter check_parallel par
 
 (* ------------------------------------------------------------------ *)
 (* micro: Bechamel micro-benchmarks of the primitives                  *)
@@ -1129,12 +1297,22 @@ let () =
                            event kinds (original seq numbers retained) and
                            append one drop-proof per-kind summary line —
                            the format of the committed golden traces
-     --metrics FILE        write the metrics registry as CSV *)
+     --metrics FILE        write the metrics registry as CSV
+     --shards N            with perf: also measure the sharded parallel
+                           engine with N shards and check it is
+                           bit-identical to the 1-shard run *)
   let rec split_opts trace filter metrics acc = function
     | "--trace" :: file :: rest -> split_opts (Some file) filter metrics acc rest
     | "--trace-filter" :: kinds :: rest ->
       split_opts trace (Some (String.split_on_char ',' kinds)) metrics acc rest
     | "--metrics" :: file :: rest -> split_opts trace filter (Some file) acc rest
+    | "--shards" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> shards_opt := Some n
+      | _ ->
+        Printf.eprintf "--shards expects a positive integer, got %S\n" n;
+        exit 1);
+      split_opts trace filter metrics acc rest
     | a :: rest -> split_opts trace filter metrics (a :: acc) rest
     | [] -> (trace, filter, metrics, List.rev acc)
   in

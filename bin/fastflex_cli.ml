@@ -129,6 +129,45 @@ let stability_cmd dwell =
       issues);
   `Ok ()
 
+let parallel_cmd shards k duration rate_pps seq =
+  let w = Ff_parallel.Workload.fat_tree ~k ~rate_pps ~duration () in
+  let counters = Ff_parallel.Workload.fresh_counters w in
+  let mode = if seq then Ff_parallel.Psim.Sequential else Ff_parallel.Psim.Auto in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Ff_parallel.Psim.run ~mode ~shards
+      ~topo:(Ff_parallel.Workload.topo w)
+      ~setup:(Ff_parallel.Workload.setup w counters)
+      ~until:(Ff_parallel.Workload.until w) ()
+  in
+  let wall = Float.max 1e-9 (Unix.gettimeofday () -. t0) in
+  let tx = Ff_parallel.Psim.total_tx r in
+  Ff_util.Table.print
+    ~header:[ "metric"; "value" ]
+    ~rows:
+      [ [ "topology"; Printf.sprintf "fat-tree(%d)" k ];
+        [ "flows"; string_of_int (Ff_parallel.Workload.n_flows w) ];
+        [ "shards"; string_of_int shards ];
+        [ "mode";
+          (match r.Ff_parallel.Psim.mode_used with
+          | Ff_parallel.Psim.Domains -> "domains"
+          | _ -> "sequential (cooperative)") ];
+        [ "lookahead (s)"; Printf.sprintf "%g" r.Ff_parallel.Psim.lookahead ];
+        [ "windows"; string_of_int r.Ff_parallel.Psim.windows ];
+        [ "cross-shard msgs"; string_of_int r.Ff_parallel.Psim.exchanged ];
+        [ "sim events"; string_of_int r.Ff_parallel.Psim.events ];
+        [ "hop transmissions"; string_of_int tx ];
+        [ "packets delivered";
+          string_of_int (Ff_parallel.Workload.total_delivered counters) ];
+        [ "wall (s)"; Printf.sprintf "%.3f" wall ];
+        [ "packets/s"; Printf.sprintf "%.0f" (float_of_int tx /. wall) ] ];
+  (match Ff_parallel.Psim.drops_by_reason r with
+  | [] -> ()
+  | drops ->
+    print_endline "drops:";
+    List.iter (fun (reason, n) -> Printf.printf "  %-12s %d\n" reason n) drops);
+  `Ok ()
+
 let defense_arg =
   let doc = "Defense to deploy: none, sdn, or fastflex." in
   Arg.(value & opt string "fastflex" & info [ "defense"; "d" ] ~docv:"DEFENSE" ~doc)
@@ -189,10 +228,40 @@ let dot_command =
   let doc = "Emit the merged booster dataflow graph as Graphviz dot." in
   Cmd.v (Cmd.info "dot" ~doc) Term.(ret (const dot_cmd $ const ()))
 
+let shards_arg =
+  Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N"
+         ~doc:"Number of topology shards (1 = plain windowed run).")
+
+let k_arg =
+  Arg.(value & opt int 8 & info [ "k" ] ~docv:"K"
+         ~doc:"Fat-tree arity (k pods, k*k*k/4 hosts).")
+
+let pduration_arg =
+  Arg.(value & opt float 2.0 & info [ "duration" ] ~docv:"SECONDS"
+         ~doc:"Simulated seconds of traffic (plus 50 ms drain).")
+
+let rate_arg =
+  Arg.(value & opt float 500. & info [ "rate" ] ~docv:"PPS"
+         ~doc:"Per-flow constant sending rate, packets per second.")
+
+let seq_arg =
+  Arg.(value & flag & info [ "sequential" ]
+         ~doc:"Force the cooperative single-domain mode (same windowed \
+               algorithm, no OS threads); results are bit-identical to \
+               the domains mode by construction.")
+
+let parallel_command =
+  let doc = "Run the sharded parallel simulation engine on a fat-tree CBR \
+             workload and report throughput." in
+  Cmd.v (Cmd.info "parallel" ~doc)
+    Term.(ret (const parallel_cmd $ shards_arg $ k_arg $ pduration_arg $ rate_arg
+               $ seq_arg))
+
 let () =
   let doc = "FastFlex: programmable data plane defenses architected into the network" in
   let info = Cmd.info "fastflex" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ lfa_cmd; compile_command; stability_command; verify_command; dot_command ]))
+          [ lfa_cmd; compile_command; stability_command; verify_command; dot_command;
+            parallel_command ]))

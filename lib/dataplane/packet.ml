@@ -35,8 +35,13 @@ type t = {
   mutable tags : (string * float) list;
 }
 
-let next_uid = ref 0
-let created () = !next_uid
+(* Atomic: packets are created on every shard of the parallel engine
+   concurrently; a plain ref would race (and hand out duplicate uids).
+   One fetch-and-add per packet *creation* (not per hop) keeps this off
+   the per-hop path. *)
+let next_uid = Atomic.make 0
+let created () = Atomic.get next_uid
+let fresh_uid () = 1 + Atomic.fetch_and_add next_uid 1
 
 let control_size = 64
 
@@ -46,8 +51,7 @@ let make ?size ?(seq = 0) ?(ttl = 64) ?(payload = Data) ~src ~dst ~flow ~birth (
     | Some s -> s
     | None -> (match payload with Data -> 1000 | _ -> control_size)
   in
-  incr next_uid;
-  { uid = !next_uid; src; dst; flow; size; seq; payload; birth; ttl; suspicious = false;
+  { uid = fresh_uid (); src; dst; flow; size; seq; payload; birth; ttl; suspicious = false;
     tags = [] }
 
 (* Hot-path constructors: [make]'s optional arguments cost a [Some] block
@@ -56,19 +60,16 @@ let make ?size ?(seq = 0) ?(ttl = 64) ?(payload = Data) ~src ~dst ~flow ~birth (
    [make] with the corresponding arguments — same uid draw, same defaults. *)
 
 let make_data ~size ~seq ~ttl ~src ~dst ~flow ~birth =
-  incr next_uid;
-  { uid = !next_uid; src; dst; flow; size; seq; payload = Data; birth; ttl; suspicious = false;
+  { uid = fresh_uid (); src; dst; flow; size; seq; payload = Data; birth; ttl; suspicious = false;
     tags = [] }
 
 let make_ack ~acked ~src ~dst ~flow ~birth =
-  incr next_uid;
-  { uid = !next_uid; src; dst; flow; size = control_size; seq = 0; payload = Ack { acked };
+  { uid = fresh_uid (); src; dst; flow; size = control_size; seq = 0; payload = Ack { acked };
     birth; ttl = 64; suspicious = false; tags = [] }
 
 let make_control ~payload ~src ~dst ~flow ~birth =
   let size = match payload with Data -> 1000 | _ -> control_size in
-  incr next_uid;
-  { uid = !next_uid; src; dst; flow; size; seq = 0; payload; birth; ttl = 64;
+  { uid = fresh_uid (); src; dst; flow; size; seq = 0; payload; birth; ttl = 64;
     suspicious = false; tags = [] }
 
 let is_control p = match p.payload with Data | Ack _ -> false | _ -> true

@@ -1,0 +1,101 @@
+module Topology = Ff_topology.Topology
+
+(* Balanced BFS-grow partition. Each region is grown breadth-first from
+   the lowest-id unassigned switch, taking switches in BFS order until the
+   region reaches its share of the remaining switch count. BFS keeps the
+   regions contiguous where the graph allows (maximizing internal links,
+   minimizing the cross-shard traffic the parallel engine has to exchange);
+   the lowest-id seed and [Topology.neighbors] traversal order make the
+   result a pure function of the topology, which the deterministic
+   cross-shard tie rule depends on. Hosts inherit the region of their
+   access switch, so host links almost never cross a boundary. *)
+let partition topo ~shards =
+  let n = Topology.num_nodes topo in
+  let switches = Topology.switches topo in
+  let n_sw = List.length switches in
+  if shards < 1 then invalid_arg "Regions.partition: shards < 1";
+  if shards > n_sw then
+    invalid_arg
+      (Printf.sprintf "Regions.partition: %d shards > %d switches" shards n_sw);
+  let shard_of = Array.make n (-1) in
+  let assigned = ref 0 in
+  let next_seed () =
+    (* lowest-id unassigned switch: deterministic, and on generated
+       topologies (fat-tree pods, rings) low ids cluster structurally *)
+    List.find_opt
+      (fun (nd : Topology.node) -> shard_of.(nd.Topology.id) < 0)
+      switches
+  in
+  for s = 0 to shards - 1 do
+    (* even split of whatever is left: region sizes differ by at most 1 *)
+    let target = (n_sw - !assigned + (shards - s - 1)) / (shards - s) in
+    let taken = ref 0 in
+    let q = Queue.create () in
+    while !taken < target do
+      if Queue.is_empty q then begin
+        match next_seed () with
+        | Some nd -> Queue.add nd.Topology.id q
+        | None -> invalid_arg "Regions.partition: ran out of switches"
+      end;
+      let u = Queue.pop q in
+      if shard_of.(u) < 0 then begin
+        shard_of.(u) <- s;
+        incr assigned;
+        incr taken;
+        if !taken < target then
+          List.iter
+            (fun (peer, _) ->
+              if
+                shard_of.(peer) < 0
+                && (Topology.node topo peer).Topology.kind = Topology.Switch
+              then Queue.add peer q)
+            (Topology.neighbors topo u)
+      end
+    done
+  done;
+  (* hosts follow their access switch (first neighbor, matching
+     [Net.access_switch]); isolated hosts land in region 0 *)
+  List.iter
+    (fun (nd : Topology.node) ->
+      let id = nd.Topology.id in
+      match Topology.neighbors topo id with
+      | (peer, _) :: _ -> shard_of.(id) <- shard_of.(peer)
+      | [] -> shard_of.(id) <- 0)
+    (Topology.hosts topo);
+  shard_of
+
+let lookahead topo ~shard_of =
+  let la =
+    List.fold_left
+      (fun acc (l : Topology.link) ->
+        if shard_of.(l.Topology.a) <> shard_of.(l.Topology.b) then begin
+          if l.Topology.delay <= 0. then
+            invalid_arg
+              (Printf.sprintf
+                 "Regions.lookahead: cross-region link %d-%d has zero delay \
+                  (no conservative window possible)"
+                 l.Topology.a l.Topology.b);
+          Float.min acc l.Topology.delay
+        end
+        else acc)
+      infinity (Topology.links topo)
+  in
+  la
+
+let ownership shard_of ~shard =
+  let n = Array.length shard_of in
+  let b = Bytes.make n '\000' in
+  for i = 0 to n - 1 do
+    if shard_of.(i) = shard then Bytes.set b i '\001'
+  done;
+  b
+
+let sizes shard_of ~shards =
+  let counts = Array.make shards 0 in
+  Array.iter (fun s -> if s >= 0 then counts.(s) <- counts.(s) + 1) shard_of;
+  counts
+
+let cross_links topo ~shard_of =
+  List.filter
+    (fun (l : Topology.link) -> shard_of.(l.Topology.a) <> shard_of.(l.Topology.b))
+    (Topology.links topo)

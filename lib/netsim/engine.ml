@@ -23,14 +23,23 @@ type t = {
       (* tag1 = to_node, tag2 = from_node *)
   mutable clock : float;
   mutable next_seq : int;
+  mutable steps : int;
   mutable on_packet : packet_handler;
 }
 
 (* Process-wide count of executed events, across every engine instance:
    the denominator-free "work done" measure the profiler reports even for
-   engines buried inside scenario code. *)
-let global_steps = ref 0
-let total_steps () = !global_steps
+   engines buried inside scenario code.
+
+   It used to be a bare [ref] bumped on every dispatch — a data race once
+   engines run on separate domains, and a per-event shared-cache-line hit
+   either way. Dispatch now bumps the engine's own [steps] field and the
+   run entry points flush the delta into this atomic, so the hot loop
+   stays domain-local and the aggregate stays exact at every point where
+   a caller can observe it (between [run]/[run_window]/[step] calls). *)
+let global_steps = Atomic.make 0
+let total_steps () = Atomic.get global_steps
+let flush_steps delta = if delta > 0 then ignore (Atomic.fetch_and_add global_steps delta)
 
 let create () =
   {
@@ -38,8 +47,11 @@ let create () =
     packets = Ff_util.Heap.create ();
     clock = 0.;
     next_seq = 0;
+    steps = 0;
     on_packet = no_handler;
   }
+
+let steps t = t.steps
 
 let now t = t.clock
 
@@ -121,29 +133,32 @@ let dispatch_packet t =
   and from_node = Ff_util.Heap.top_tag2 t.packets in
   let pkt = Ff_util.Heap.pop_min t.packets in
   t.clock <- (if at > t.clock then at else t.clock);
-  incr global_steps;
+  t.steps <- t.steps + 1;
   t.on_packet ~to_node ~from_node pkt
 
 let dispatch_thunk t =
   let at = Ff_util.Heap.min_prio t.thunks in
   let f = Ff_util.Heap.pop_min t.thunks in
   t.clock <- (if at > t.clock then at else t.clock);
-  incr global_steps;
+  t.steps <- t.steps + 1;
   f ()
 
 let step t =
   if Ff_util.Heap.top_before t.packets t.thunks then begin
     dispatch_packet t;
+    flush_steps 1;
     true
   end
   else if not (Ff_util.Heap.is_empty t.thunks) then begin
     dispatch_thunk t;
+    flush_steps 1;
     true
   end
   else false
 
 let run t ~until =
   let thunks = t.thunks and packets = t.packets in
+  let steps0 = t.steps in
   let continue = ref true in
   while !continue do
     if Ff_util.Heap.top_before packets thunks then
@@ -152,11 +167,46 @@ let run t ~until =
     else if Ff_util.Heap.top_at_most thunks until then dispatch_thunk t
     else (* both lanes drained or next event past [until] *) continue := false
   done;
-  t.clock <- max t.clock until
+  t.clock <- max t.clock until;
+  flush_steps (t.steps - steps0)
+
+(* The conservative-PDES window: execute events strictly before [horizon],
+   then park the clock at the horizon. Exclusive, unlike [run] — an event
+   at exactly the horizon may tie with a cross-shard arrival that another
+   shard has not yet sent, so it must wait for the next window, where the
+   documented (time, shard, seq) drain order resolves the tie. Leaving the
+   clock at [horizon] is safe precisely because conservative lookahead
+   guarantees every future cross-shard arrival lands at or after it. *)
+let run_window t ~horizon =
+  let thunks = t.thunks and packets = t.packets in
+  let steps0 = t.steps in
+  let continue = ref true in
+  while !continue do
+    if Ff_util.Heap.top_before packets thunks then
+      if Ff_util.Heap.top_lt packets horizon then dispatch_packet t
+      else continue := false
+    else if Ff_util.Heap.top_lt thunks horizon then dispatch_thunk t
+    else continue := false
+  done;
+  t.clock <- max t.clock horizon;
+  flush_steps (t.steps - steps0)
+
+let next_time t =
+  let p = t.packets and h = t.thunks in
+  if Ff_util.Heap.is_empty p then
+    if Ff_util.Heap.is_empty h then infinity else Ff_util.Heap.min_prio h
+  else if Ff_util.Heap.is_empty h then Ff_util.Heap.min_prio p
+  else min (Ff_util.Heap.min_prio p) (Ff_util.Heap.min_prio h)
 
 let pending t = Ff_util.Heap.size t.thunks + Ff_util.Heap.size t.packets
 
 let clear t =
   Ff_util.Heap.clear t.thunks;
   Ff_util.Heap.clear t.packets;
-  t.next_seq <- 0
+  (* a cleared engine must be as good as a fresh one: reset the clock (a
+     stale clock silently rejected every schedule before the previous
+     run's end) and drop the packet handler (a retained one could fire a
+     previous run's [Net] from the next run's events) *)
+  t.clock <- 0.;
+  t.next_seq <- 0;
+  t.on_packet <- no_handler

@@ -57,7 +57,23 @@ val schedule_burst :
 
 val run : t -> until:float -> unit
 (** Pop and execute events until both lanes drain or the clock passes
-    [until]; afterwards [now t = until]. *)
+    [until]; afterwards [now t = until]. Events at exactly [until] run
+    (inclusive bound). *)
+
+val run_window : t -> horizon:float -> unit
+(** Execute every event with time strictly before [horizon], then set
+    [now t = horizon]. The bounded-window primitive of the conservative
+    parallel engine ({!Ff_parallel.Psim}): the exclusive bound keeps an
+    event at exactly the horizon from racing ahead of a same-instant
+    cross-shard arrival that has not been exchanged yet. Safe to follow
+    with schedules at [>= horizon] — which conservative lookahead
+    guarantees for every future cross-shard arrival. *)
+
+val next_time : t -> float
+(** Time of the earliest pending event across both lanes, or [infinity]
+    when both are empty. The shard's contribution to the global
+    lower-bound computation between windows. Allocation: one boxed
+    float. *)
 
 val step : t -> bool
 (** Execute one event (from whichever lane holds the global minimum);
@@ -67,8 +83,22 @@ val pending : t -> int
 (** Events waiting across both lanes. *)
 
 val clear : t -> unit
+(** Reset the engine to its freshly-created state: both lanes emptied
+    (releasing every pending event for collection), clock back to 0,
+    sequence counter back to 0, packet handler deregistered. A cleared
+    engine accepts schedules at any non-negative time and never fires a
+    handler from a previous run. The executed-step counter ({!steps}) is
+    {e not} reset — it is a monotone odometer, not run state. *)
+
+val steps : t -> int
+(** Events executed by {e this} engine since creation — monotone across
+    {!clear}. Snapshot around a run for per-engine event counts without
+    interference from other engines (or other domains). *)
 
 val total_steps : unit -> int
 (** Process-wide count of events executed across every engine instance —
-    monotone, never reset. Snapshot it around a run to profile events/s
-    (see [Ff_obs.Profile]). *)
+    monotone, never reset. Backed by an [Atomic.t] that each engine
+    updates at the end of every [run]/[run_window]/[step] call (the
+    per-event bump is engine-local), so it is exact whenever no engine is
+    mid-run and safe to read from any domain. Snapshot it around a run to
+    profile events/s (see [Ff_obs.Profile]). *)

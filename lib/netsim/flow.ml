@@ -1,10 +1,11 @@
 module Packet = Ff_dataplane.Packet
 
-let flow_counter = ref 0
+(* Atomic for the same reason as [Packet.next_uid]: flows may be started
+   while other domains run (rare — shard setup happens on one domain —
+   but an id collision would silently cross-wire two flows' receivers). *)
+let flow_counter = Atomic.make 0
 
-let fresh_flow_id () =
-  incr flow_counter;
-  !flow_counter
+let fresh_flow_id () = 1 + Atomic.fetch_and_add flow_counter 1
 
 module Tcp = struct
   (* All-float record: flat layout, so the per-ack congestion-control and

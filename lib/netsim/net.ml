@@ -72,6 +72,18 @@ and t = {
   mutable tracer : (trace_event -> unit) option;
   mutable obs : Ff_obs.Trace.t option;
   mutable metrics : Ff_obs.Metrics.t option;
+  mutable xshard : xshard option;
+      (* when this net is one shard of a partitioned simulation, arrivals
+         at nodes the shard does not own are diverted to [post] instead of
+         the local engine *)
+}
+
+and xshard = {
+  owned : Bytes.t;
+      (* owned.[node] <> '\000' iff this net's shard owns the node; dense
+         byte vector so the per-hop test is one unsafe load *)
+  post : at:float -> to_node:int -> from_node:int -> Packet.t -> unit;
+      (* cross-shard arrival sink (an SPSC mailbox in Ff_parallel) *)
 }
 
 and trace_event = {
@@ -100,15 +112,21 @@ let now t = Engine.now t.engine
    the value into [vars] for introspection. *)
 let flag_ids : (string, int) Hashtbl.t = Hashtbl.create 16
 
+(* the intern table is process-wide state touched from every shard domain
+   at install time; a Hashtbl resize racing a lookup corrupts it *)
+let flag_ids_lock = Mutex.create ()
+
 let flag_mask name =
-  match Hashtbl.find_opt flag_ids name with
-  | Some m -> m
-  | None ->
-    let i = Hashtbl.length flag_ids in
-    if i >= Sys.int_size - 1 then invalid_arg "Net.flag_mask: flag space exhausted";
-    let m = 1 lsl i in
-    Hashtbl.replace flag_ids name m;
-    m
+  Mutex.protect flag_ids_lock (fun () ->
+      match Hashtbl.find_opt flag_ids name with
+      | Some m -> m
+      | None ->
+        let i = Hashtbl.length flag_ids in
+        if i >= Sys.int_size - 1 then
+          invalid_arg "Net.flag_mask: flag space exhausted";
+        let m = 1 lsl i in
+        Hashtbl.replace flag_ids name m;
+        m)
 
 let set_flag (sw : switch) ~mask on =
   sw.flags <- (if on then sw.flags lor mask else sw.flags land lnot mask)
@@ -287,9 +305,20 @@ let rec transmit t dl (pkt : Packet.t) =
       in
       Ff_obs.Metrics.Counter.add ctr size);
     let arrival = dl.busy.busy_until +. dl.link.Topology.delay in
-    (* packet lane: the arrival is four unboxed heap columns, no closure *)
-    Engine.schedule_packet t.engine ~at:arrival ~to_node:dl.to_node
-      ~from_node:dl.from_node pkt
+    match t.xshard with
+    | None ->
+      (* packet lane: the arrival is four unboxed heap columns, no closure *)
+      Engine.schedule_packet t.engine ~at:arrival ~to_node:dl.to_node
+        ~from_node:dl.from_node pkt
+    | Some x ->
+      if Bytes.unsafe_get x.owned dl.to_node <> '\000' then
+        Engine.schedule_packet t.engine ~at:arrival ~to_node:dl.to_node
+          ~from_node:dl.from_node pkt
+      else
+        (* conservative lookahead guarantees [arrival >= receiver's
+           horizon]: the hop crosses a region boundary, whose link delay
+           bounds the lookahead from below *)
+        x.post ~at:arrival ~to_node:dl.to_node ~from_node:dl.from_node pkt
   end
 
 and receive t ~at ~from_ pkt =
@@ -510,6 +539,7 @@ let create ?(queue_limit_bytes = 37_500.) engine topo =
       (* new networks report into whatever ambient sinks the harness set up *)
       obs = Ff_obs.Trace.ambient ();
       metrics = Ff_obs.Metrics.ambient ();
+      xshard = None;
     }
   in
   (* hosts are directly reachable from their access switch *)
@@ -724,6 +754,20 @@ let live_shortest_path t ~src ~dst =
       end
     end
   end
+
+(* ---------------- sharding ---------------- *)
+
+let set_shard_hook t ~owned ~post =
+  if Bytes.length owned <> Array.length t.nodes then
+    invalid_arg "Net.set_shard_hook: ownership vector length <> node count";
+  t.xshard <- Some { owned; post }
+
+let clear_shard_hook t = t.xshard <- None
+
+let owns t node =
+  match t.xshard with
+  | None -> true
+  | Some x -> node >= 0 && node < Bytes.length x.owned && Bytes.get x.owned node <> '\000'
 
 let set_tracer t f = t.tracer <- f
 

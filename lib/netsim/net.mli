@@ -211,6 +211,32 @@ val live_shortest_path : t -> src:int -> dst:int -> int list option
     model, so control channels use it to recompute routes mid-failure.
     [None] when either endpoint is down or no live path exists. *)
 
+(** {1 Sharding}
+
+    Hooks for the conservative parallel engine ({!Ff_parallel.Psim}). A
+    sharded run builds one net per shard over the {e whole} topology (so
+    node ids, adjacency and routing tables stay globally indexed) but marks
+    each net with the set of nodes its shard owns. A transmission whose
+    receiving node is owned schedules locally as usual; one that crosses a
+    region boundary is handed to [post] — an SPSC mailbox toward the owning
+    shard — instead of the local engine. *)
+
+val set_shard_hook :
+  t ->
+  owned:Bytes.t ->
+  post:(at:float -> to_node:int -> from_node:int -> Ff_dataplane.Packet.t -> unit) ->
+  unit
+(** [owned] is indexed by node id (['\000'] = not ours); must match the
+    node count. [post] must accept concurrent-free single-producer calls —
+    it is only ever invoked from the domain running this net. *)
+
+val clear_shard_hook : t -> unit
+
+val owns : t -> int -> bool
+(** Whether this net's shard owns the node ([true] for an unsharded net).
+    Scenario code uses it to register receivers and start flows only on
+    the owning shard's copy. *)
+
 (** {1 Tracing} *)
 
 type trace_event = {

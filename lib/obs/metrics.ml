@@ -152,6 +152,9 @@ let write_csv t ~now path =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_csv t ~now oc)
 
-let ambient_metrics : t option ref = ref None
-let set_ambient m = ambient_metrics := m
-let ambient () = !ambient_metrics
+(* Domain-local like [Trace.ambient]: registries are single-domain
+   structures, so worker domains must not inherit the harness's. *)
+let ambient_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let set_ambient m = Domain.DLS.set ambient_key m
+let ambient () = Domain.DLS.get ambient_key

@@ -111,14 +111,19 @@ let write_csv t path =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_csv t oc)
 
-(* The ambient trace: the process-wide default sink that [Ff_netsim.Net]
-   picks up at creation, so experiment harnesses can trace scenarios whose
-   networks are built deep inside library code. *)
-let ambient_trace : t option ref = ref None
-let set_ambient tr = ambient_trace := tr
-let ambient () = !ambient_trace
+(* The ambient trace: the default sink that [Ff_netsim.Net] picks up at
+   creation, so experiment harnesses can trace scenarios whose networks are
+   built deep inside library code. Domain-local ([Domain.DLS]) rather than
+   a global ref: a trace buffer is not thread-safe, and making the ambient
+   slot per-domain means a shard net created on a worker domain never
+   silently shares the harness's buffer — each domain opts in to its own
+   sink (or none). Fresh domains start unset. *)
+let ambient_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let set_ambient tr = Domain.DLS.set ambient_key tr
+let ambient () = Domain.DLS.get ambient_key
 
 let with_ambient tr f =
-  let saved = !ambient_trace in
-  ambient_trace := Some tr;
-  Fun.protect ~finally:(fun () -> ambient_trace := saved) f
+  let saved = ambient () in
+  set_ambient (Some tr);
+  Fun.protect ~finally:(fun () -> set_ambient saved) f

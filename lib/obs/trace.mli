@@ -43,9 +43,11 @@ val write_csv : t -> string -> unit
 
 (** {2 Ambient trace}
 
-    The process-wide default. [Ff_netsim.Net.create] attaches it to new
-    networks, so harnesses can trace scenarios that build their networks
-    internally. *)
+    The {e domain-local} default. [Ff_netsim.Net.create] attaches it to
+    new networks, so harnesses can trace scenarios that build their
+    networks internally. Each domain has its own slot (a trace buffer is
+    not thread-safe); worker domains start unset and must call
+    [set_ambient] themselves if they want per-domain tracing. *)
 
 val set_ambient : t option -> unit
 val ambient : unit -> t option

@@ -1,0 +1,83 @@
+(* Sense-reversing barrier with a spin-then-block wait.
+
+   The parallel engine crosses a barrier three times per window, so the
+   common case (all domains arrive within microseconds of each other)
+   should stay in user space: arrivals spin on the atomic sense flag for a
+   bounded number of [Domain.cpu_relax] iterations. When the machine has
+   fewer cores than shards — or a shard's window is genuinely long — the
+   spin would burn a scheduling quantum per laggard, so after the bound the
+   waiter falls back to a condition variable. The last arrival always
+   broadcasts; sleepers and spinners both observe the flipped sense. *)
+
+exception Poisoned
+
+type t = {
+  parties : int;
+  count : int Atomic.t;
+  sense : bool Atomic.t;
+  poisoned : bool Atomic.t;
+  lock : Mutex.t;
+  cond : Condition.t;
+}
+
+let create ~parties =
+  if parties < 1 then invalid_arg "Barrier.create: parties < 1";
+  {
+    parties;
+    count = Atomic.make 0;
+    sense = Atomic.make false;
+    poisoned = Atomic.make false;
+    lock = Mutex.create ();
+    cond = Condition.create ();
+  }
+
+let poison t =
+  Atomic.set t.poisoned true;
+  Mutex.lock t.lock;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock
+
+let spin_bound = 2_000
+
+let wait t =
+  if t.parties > 1 then begin
+    if Atomic.get t.poisoned then raise Poisoned;
+    let my_sense = not (Atomic.get t.sense) in
+    if Atomic.fetch_and_add t.count 1 = t.parties - 1 then begin
+      (* last arrival: reset and release the cohort. The sense flip happens
+         under the lock so a waiter cannot check the flag, decide to sleep,
+         and miss the broadcast in between. *)
+      Atomic.set t.count 0;
+      Mutex.lock t.lock;
+      Atomic.set t.sense my_sense;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.lock
+    end
+    else begin
+      let spins = ref 0 in
+      while
+        Atomic.get t.sense <> my_sense
+        && (not (Atomic.get t.poisoned))
+        && !spins < spin_bound
+      do
+        incr spins;
+        Domain.cpu_relax ()
+      done;
+      if Atomic.get t.sense <> my_sense then begin
+        Mutex.lock t.lock;
+        let rec sleep () =
+          if Atomic.get t.poisoned then begin
+            Mutex.unlock t.lock;
+            raise Poisoned
+          end
+          else if Atomic.get t.sense <> my_sense then begin
+            Condition.wait t.cond t.lock;
+            sleep ()
+          end
+          else Mutex.unlock t.lock
+        in
+        sleep ()
+      end;
+      if Atomic.get t.poisoned then raise Poisoned
+    end
+  end

@@ -1,0 +1,24 @@
+(** Reusable sense-reversing barrier for the per-window synchronization of
+    {!Psim}. Waits spin briefly (the windows-per-second regime) and then
+    block on a condition variable (the oversubscribed regime — more shards
+    than cores), so running 4 shards on 1 core degrades to context
+    switches, not burned quanta. *)
+
+type t
+
+exception Poisoned
+(** Raised out of {!wait} (on every waiting domain, current and future)
+    once {!poison} has been called — the abort path when one shard dies
+    mid-protocol, so the others unwind instead of waiting forever. *)
+
+val create : parties:int -> t
+(** Raises [Invalid_argument] when [parties < 1]. *)
+
+val wait : t -> unit
+(** Block until all [parties] domains have called [wait]; then all are
+    released and the barrier is immediately reusable for the next round.
+    With [parties = 1] this is a no-op. *)
+
+val poison : t -> unit
+(** Permanently break the barrier: all current and subsequent [wait]s
+    raise {!Poisoned}. Idempotent; safe from any domain. *)

@@ -17,6 +17,17 @@ type 'a t = {
   mutable next_seq : int;
 }
 
+(* Neutral filler for vacated value slots. An immediate int masquerading
+   as ['a]: safe because every value array is created below with this
+   filler (so the runtime never specializes them to flat float arrays,
+   and all accesses in this module stay generic), and because a filler
+   slot is never read — [len] bounds every lookup. Without the clearing,
+   a popped element stayed reachable from [vals.(len)] until the slot was
+   overwritten: a space leak pinning packets and closures on any heap
+   that drains (the event engine's lanes drain at the end of every
+   run). *)
+let nil : 'a. unit -> 'a = fun () -> Obj.magic 0
+
 let create () =
   {
     prios = [||];
@@ -31,7 +42,7 @@ let create () =
 let is_empty t = t.len = 0
 let size t = t.len
 
-let grow t filler =
+let grow t =
   let cap = Array.length t.prios in
   if t.len = cap then begin
     let ncap = max 16 (2 * cap) in
@@ -39,7 +50,7 @@ let grow t filler =
     let ns = Array.make ncap 0 in
     let n1 = Array.make ncap 0 in
     let n2 = Array.make ncap 0 in
-    let nv = Array.make ncap filler in
+    let nv = Array.make ncap (nil ()) in
     Array.blit t.prios 0 np 0 t.len;
     Array.blit t.seqs 0 ns 0 t.len;
     Array.blit t.tag1s 0 n1 0 t.len;
@@ -53,7 +64,7 @@ let grow t filler =
   end
 
 let push_tagged t ~prio ~seq ~tag1 ~tag2 value =
-  grow t value;
+  grow t;
   let p = t.prios and s = t.seqs and t1 = t.tag1s and t2 = t.tag2s and v = t.vals in
   (* hole-based sift up: shift larger parents down, place the new element
      once. Unsafe accesses: every index is in [0, len) with len <= capacity
@@ -138,8 +149,10 @@ let remove_min t =
     t.tag1s.(0) <- t.tag1s.(t.len);
     t.tag2s.(0) <- t.tag2s.(t.len);
     t.vals.(0) <- t.vals.(t.len);
+    t.vals.(t.len) <- nil ();
     sift_down t
   end
+  else t.vals.(0) <- nil ()
 
 let pop t =
   if t.len = 0 then None
@@ -164,6 +177,7 @@ let top_before a b =
     pa < pb || (pa = pb && a.seqs.(0) < b.seqs.(0))
 
 let top_at_most t x = t.len > 0 && t.prios.(0) <= x
+let top_lt t x = t.len > 0 && t.prios.(0) < x
 
 let min_seq t =
   if t.len = 0 then invalid_arg "Heap.min_seq: empty heap";
@@ -186,5 +200,9 @@ let pop_min t =
 let peek t = if t.len = 0 then None else Some (t.prios.(0), t.vals.(0))
 
 let clear t =
+  (* releasing the values matters as much as resetting the length: a
+     cleared-but-retained heap (Engine.clear keeps the engine for reuse)
+     must not pin the previous run's packets and closures *)
+  if t.len > 0 then Array.fill t.vals 0 t.len (nil ());
   t.len <- 0;
   t.next_seq <- 0

@@ -56,6 +56,10 @@ val top_at_most : 'a t -> float -> bool
 (** [top_at_most t x]: is the heap non-empty with minimum priority
     [<= x]? Allocation-free. *)
 
+val top_lt : 'a t -> float -> bool
+(** [top_lt t x]: is the heap non-empty with minimum priority strictly
+    [< x]? The exclusive bound of a conservative-PDES window. *)
+
 val top_tag1 : 'a t -> int
 val top_tag2 : 'a t -> int
 (** Tag columns of the minimum. Raise [Invalid_argument] when empty. *)
@@ -67,3 +71,6 @@ val pop_min : 'a t -> 'a
 val peek : 'a t -> (float * 'a) option
 
 val clear : 'a t -> unit
+(** Empty the heap, releasing every stored value for collection (capacity
+    is retained). Popping likewise clears the vacated slot — a drained
+    heap keeps no element of the run alive. *)

@@ -513,6 +513,85 @@ let prop_modes_healing =
         QCheck.Test.fail_reportf "quiescence violations after healing:@.%s"
           (String.concat "\n" violations))
 
+(* ---------------- sharded-engine differential ---------------- *)
+
+module Psim = Ff_parallel.Psim
+module Workload = Ff_parallel.Workload
+
+(* The parallel-engine property: one CBR scenario on a random topology,
+   run once on a plain sequential engine and then sharded 1, 2 and ~4
+   ways — 2 shards on real domains (the determinism check doubles as the
+   race detector: OCaml has no TSan, but a racy counter or heap cannot
+   stay bit-identical across interleavings for long), the others through
+   the cooperative fallback. Every configuration must reproduce the
+   sequential run exactly: per-flow delivery counts and delivery-time
+   checksums, total event count, sorted drop reasons, and per-directed-
+   link transmit counters. *)
+let sharded_scenario seed =
+  let rng = Prng.create ~seed:(seed + 7) in
+  let topo, sws, _hosts = random_topology rng in
+  let n_sw = Array.length sws in
+  let rate_pps = 400. +. (float_of_int (Prng.int rng 3) *. 300.) in
+  let w = Workload.make ~rate_pps ~duration:0.3 topo in
+  let ref_counters, ref_net = Workload.run_reference w in
+  let ref_events = Engine.steps (Net.engine ref_net) in
+  let ref_drops = Net.drops_by_reason ref_net in
+  let links = T.links topo in
+  let check label (r : Psim.result) (c : Workload.counters) =
+    Array.iteri
+      (fun slot n ->
+        if c.Workload.delivered.(slot) <> n then
+          QCheck.Test.fail_reportf "%s: flow slot %d delivered %d packets, sequential %d"
+            label slot c.Workload.delivered.(slot) n;
+        if c.Workload.time_sum.(slot) <> ref_counters.Workload.time_sum.(slot) then
+          QCheck.Test.fail_reportf
+            "%s: flow slot %d delivery-time checksum %.17g, sequential %.17g" label slot
+            c.Workload.time_sum.(slot)
+            ref_counters.Workload.time_sum.(slot))
+      ref_counters.Workload.delivered;
+    if r.Psim.events <> ref_events then
+      QCheck.Test.fail_reportf "%s: %d events across shards, sequential %d" label
+        r.Psim.events ref_events;
+    let drops = Psim.drops_by_reason r in
+    if drops <> ref_drops then
+      QCheck.Test.fail_reportf "%s: drop counts diverge@.sharded:    %s@.sequential: %s"
+        label
+        (String.concat ", " (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) drops))
+        (String.concat ", " (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) ref_drops));
+    List.iter
+      (fun (l : T.link) ->
+        List.iter
+          (fun (from_, to_) ->
+            let sharded = Psim.link_tx_packets r ~from_ ~to_ in
+            let ref_tx = Net.link_tx_packets ref_net ~from_ ~to_ in
+            if sharded <> ref_tx then
+              QCheck.Test.fail_reportf "%s: link %d->%d tx %d, sequential %d" label from_
+                to_ sharded ref_tx)
+          [ (l.T.a, l.T.b); (l.T.b, l.T.a) ])
+      links
+  in
+  List.iter
+    (fun (shards, mode, label) ->
+      let c = Workload.fresh_counters w in
+      let r =
+        Psim.run ~mode ~shards ~topo ~setup:(Workload.setup w c)
+          ~until:(Workload.until w) ()
+      in
+      check label r c)
+    [
+      (1, Psim.Sequential, "1 shard");
+      (2, Psim.Domains, "2 shards (domains)");
+      (min 4 n_sw, Psim.Sequential, "4 shards (cooperative)");
+    ];
+  true
+
+let prop_sharded =
+  QCheck.Test.make
+    ~name:"sharded runs (1/2/4) match the sequential engine bit for bit" ~count:40
+    ~long_factor:3
+    QCheck.(int_bound 1_000_000)
+    sharded_scenario
+
 let () =
   Alcotest.run "ff_differential"
     [
@@ -522,4 +601,5 @@ let () =
       ( "modes",
         [ Test_seed.to_alcotest prop_modes_lossless; Test_seed.to_alcotest prop_modes_healing ]
       );
+      ("sharded", [ Test_seed.to_alcotest prop_sharded ]);
     ]

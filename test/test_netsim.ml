@@ -51,6 +51,46 @@ let test_engine_nested_schedule () =
   Engine.run e ~until:3.;
   Alcotest.(check bool) "nested event ran" true !fired
 
+(* Regression: [clear] used to reset the sequence counter but neither the
+   clock nor the packet handler, so a cleared engine rejected fresh
+   schedules at early times ("in the past") and replayed packets into the
+   previous run's handler. A cleared engine must behave like a
+   freshly-created one. *)
+let test_engine_reuse_after_clear () =
+  let e = Engine.create () in
+  let first_run = ref 0 and second_run = ref 0 in
+  Engine.set_packet_handler e (fun ~to_node:_ ~from_node:_ _ -> incr first_run);
+  Engine.schedule_packet e ~at:5. ~to_node:1 ~from_node:0
+    (Packet.make ~src:0 ~dst:1 ~flow:1 ~size:100 ~birth:0. ());
+  Engine.schedule e ~at:7. (fun () -> ());
+  Engine.run e ~until:10.;
+  Alcotest.(check int) "first run delivered" 1 !first_run;
+  Engine.clear e;
+  Alcotest.(check (float 0.)) "clock reset" 0. (Engine.now e);
+  Alcotest.(check int) "no pending events" 0 (Engine.pending e);
+  (* schedules at times before the previous run's clock must be legal *)
+  Engine.set_packet_handler e (fun ~to_node:_ ~from_node:_ _ -> incr second_run);
+  Engine.schedule_packet e ~at:1. ~to_node:1 ~from_node:0
+    (Packet.make ~src:0 ~dst:1 ~flow:2 ~size:100 ~birth:0. ());
+  Engine.run e ~until:2.;
+  Alcotest.(check int) "second handler fired" 1 !second_run;
+  Alcotest.(check int) "first handler not replayed" 1 !first_run
+
+let test_engine_per_engine_steps () =
+  let a = Engine.create () and b = Engine.create () in
+  let total0 = Engine.total_steps () in
+  for i = 1 to 3 do
+    Engine.schedule a ~at:(float_of_int i) (fun () -> ())
+  done;
+  Engine.schedule b ~at:1. (fun () -> ());
+  Engine.run a ~until:10.;
+  Engine.run b ~until:10.;
+  Alcotest.(check int) "engine a counts its own" 3 (Engine.steps a);
+  Alcotest.(check int) "engine b counts its own" 1 (Engine.steps b);
+  Alcotest.(check int) "aggregate advanced by both" 4 (Engine.total_steps () - total0);
+  Engine.clear a;
+  Alcotest.(check int) "steps survive clear (odometer)" 3 (Engine.steps a)
+
 (* ---------------- Link model ---------------- *)
 
 let two_hosts () =
@@ -618,6 +658,8 @@ let () =
           Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
           Alcotest.test_case "every/until" `Quick test_engine_every_until;
           Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
+          Alcotest.test_case "reuse after clear" `Quick test_engine_reuse_after_clear;
+          Alcotest.test_case "per-engine steps" `Quick test_engine_per_engine_steps;
         ] );
       ( "links",
         [

@@ -183,6 +183,58 @@ let test_heap_empty () =
   Heap.clear h;
   Alcotest.(check bool) "cleared" true (Heap.is_empty h)
 
+(* Regression: popping used to leave the element reachable from the
+   vacated slot [vals.(len)] until something overwrote it — a space leak
+   pinning packets and closures on any heap that drains. A weak pointer
+   sees whether the popped value stays alive across a major GC. *)
+let test_heap_pop_releases () =
+  let h = Heap.create () in
+  let weak = Weak.create 8 in
+  for i = 0 to 7 do
+    let v = ref (1000 + i) in
+    (* boxed, unshared *)
+    Weak.set weak i (Some v);
+    Heap.push h ~prio:(float_of_int i) v
+  done;
+  for _ = 0 to 3 do
+    ignore (Heap.pop h)
+  done;
+  Gc.full_major ();
+  for i = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "popped value %d collected" i)
+      false
+      (Weak.check weak i)
+  done;
+  for i = 4 to 7 do
+    Alcotest.(check bool)
+      (Printf.sprintf "pending value %d alive" i)
+      true
+      (Weak.check weak i)
+  done;
+  Heap.clear h;
+  Gc.full_major ();
+  for i = 4 to 7 do
+    Alcotest.(check bool)
+      (Printf.sprintf "cleared value %d collected" i)
+      false
+      (Weak.check weak i)
+  done
+
+(* The float instantiation crosses the [Obj.magic 0] slot filler with
+   potential flat-float-array specialization; exercising growth, drain
+   and refill proves the value arrays stay generic. *)
+let test_heap_float_values () =
+  let h : float Heap.t = Heap.create () in
+  for i = 99 downto 0 do
+    Heap.push h ~prio:(float_of_int i) (float_of_int i *. 2.)
+  done;
+  for i = 0 to 49 do
+    Alcotest.(check (float 0.)) "float value" (float_of_int i *. 2.) (Heap.pop_min h)
+  done;
+  Heap.push h ~prio:(-1.) (-2.);
+  Alcotest.(check (float 0.)) "refilled min" (-2.) (Heap.pop_min h)
+
 (* ---------------- Int_table ---------------- *)
 
 module It = Ff_util.Int_table
@@ -367,6 +419,8 @@ let () =
           Alcotest.test_case "ordering" `Quick test_heap_ordering;
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "pop releases values" `Quick test_heap_pop_releases;
+          Alcotest.test_case "float values" `Quick test_heap_float_values;
         ] );
       ( "int_table",
         [
