@@ -168,6 +168,50 @@ let parallel_cmd shards k duration rate_pps seq =
     List.iter (fun (reason, n) -> Printf.printf "  %-12s %d\n" reason n) drops);
   `Ok ()
 
+let fluid_cmd flows duration force trace_file =
+  let force =
+    match force with
+    | "packet" -> Ff_fluid.Hybrid.All_packet
+    | "fluid" -> Ff_fluid.Hybrid.All_fluid
+    | _ -> Ff_fluid.Hybrid.Auto
+  in
+  let obs = Option.map (fun _ -> Ff_obs.Trace.create ()) trace_file in
+  let t0 = Unix.gettimeofday () in
+  let r = Fastflex.Scenario.run_lfa_fluid ~flows ~duration ~force ?obs () in
+  let wall = Float.max 1e-9 (Unix.gettimeofday () -. t0) in
+  (match (obs, trace_file) with
+  | Some tr, Some file ->
+    if Filename.check_suffix file ".csv" then Ff_obs.Trace.write_csv tr file
+    else Ff_obs.Trace.write_jsonl tr file
+  | _ -> ());
+  let open Fastflex.Scenario in
+  Ff_util.Table.print
+    ~header:[ "metric"; "value" ]
+    ~rows:
+      [ [ "benign flows"; string_of_int r.fr_flows ];
+        [ "fluid classes"; string_of_int r.fr_classes ];
+        [ "simulated (s)"; Printf.sprintf "%g" r.fr_duration ];
+        [ "packet tx"; string_of_int r.fr_packet_tx ];
+        [ "fluid hop bytes"; Printf.sprintf "%.3e" r.fr_fluid_hop_bytes ];
+        [ "packet equivalents"; Printf.sprintf "%.3e" r.fr_packet_equivalents ];
+        [ "equivalents/s"; Printf.sprintf "%.3e" (r.fr_packet_equivalents /. wall) ];
+        [ "delivered bytes"; Printf.sprintf "%.3e" r.fr_delivered_bytes ];
+        [ "demoted peak";
+          Printf.sprintf "%d (%.1f%%)" r.fr_demoted_peak
+            (100. *. r.fr_demoted_frac_peak) ];
+        [ "demotions / promotions";
+          Printf.sprintf "%d / %d" r.fr_demotions r.fr_promotions ];
+        [ "mode changes"; string_of_int r.fr_mode_changes ];
+        [ "attack rolls"; string_of_int r.fr_rolls ];
+        [ "solver rate events"; string_of_int r.fr_rate_events ];
+        [ "wall (s)"; Printf.sprintf "%.3f" wall ] ];
+  (match r.fr_drops with
+  | [] -> ()
+  | drops ->
+    print_endline "drops:";
+    List.iter (fun (reason, n) -> Printf.printf "  %-12s %d\n" reason n) drops);
+  `Ok ()
+
 let defense_arg =
   let doc = "Defense to deploy: none, sdn, or fastflex." in
   Arg.(value & opt string "fastflex" & info [ "defense"; "d" ] ~docv:"DEFENSE" ~doc)
@@ -257,6 +301,26 @@ let parallel_command =
     Term.(ret (const parallel_cmd $ shards_arg $ k_arg $ pduration_arg $ rate_arg
                $ seq_arg))
 
+let flows_arg =
+  Arg.(value & opt int 100_000 & info [ "flows" ] ~docv:"N"
+         ~doc:"Concurrent benign flows in the hybrid tier.")
+
+let fduration_arg =
+  Arg.(value & opt float 40. & info [ "duration" ] ~docv:"SECONDS"
+         ~doc:"Simulated seconds (the flood runs 10..18 with a roll at 14).")
+
+let force_arg =
+  Arg.(value & opt string "auto" & info [ "force" ] ~docv:"TIER"
+         ~doc:"Engine tier: auto (hybrid: demote on mode activity), packet \
+               (all-packet, bit-identical to the pure packet engine), or \
+               fluid (never demote).")
+
+let fluid_command =
+  let doc = "Run the hybrid fluid/packet rolling-LFA scenario on the ISP \
+             topology and report packet-equivalent throughput." in
+  Cmd.v (Cmd.info "fluid" ~doc)
+    Term.(ret (const fluid_cmd $ flows_arg $ fduration_arg $ force_arg $ trace_arg))
+
 let () =
   let doc = "FastFlex: programmable data plane defenses architected into the network" in
   let info = Cmd.info "fastflex" ~version:"1.0.0" ~doc in
@@ -264,4 +328,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ lfa_cmd; compile_command; stability_command; verify_command; dot_command;
-            parallel_command ]))
+            parallel_command; fluid_command ]))

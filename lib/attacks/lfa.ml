@@ -144,3 +144,73 @@ let observed_paths t =
 let stop_now t =
   t.running <- false;
   halt_flows t
+
+module Fluid_volume = struct
+  module Hybrid = Ff_fluid.Hybrid
+
+  type nonrec t = {
+    hybrid : Hybrid.t;
+    bots : int list;
+    groups : int list array;
+    rate_bps_per_flow : float;
+    packet_size : int;
+    mutable active : Hybrid.member list;
+    mutable group : int;
+    mutable rolls : float list;
+    mutable running : bool;
+  }
+
+  let aim t gi =
+    List.iter (Hybrid.stop_member t.hybrid) t.active;
+    let rate_pps = t.rate_bps_per_flow /. float_of_int (8 * t.packet_size) in
+    t.active <-
+      List.concat_map
+        (fun bot ->
+          List.map
+            (fun decoy ->
+              Hybrid.add_flow t.hybrid ~src:bot ~dst:decoy
+                ~tier:Hybrid.Fluid_only
+                (Hybrid.Cbr { rate_pps; packet_size = t.packet_size }))
+            t.groups.(gi))
+        t.bots;
+    t.group <- gi
+
+  let roll t ~at =
+    if t.running && Array.length t.groups > 1 then begin
+      aim t ((t.group + 1) mod Array.length t.groups);
+      t.rolls <- at :: t.rolls
+    end
+
+  let launch hybrid ~bots ~decoy_groups ~rate_bps_per_flow ?(packet_size = 1000)
+      ?(start = 0.) ?stop ?(roll_schedule = []) () =
+    let groups = Array.of_list decoy_groups in
+    assert (Array.length groups > 0);
+    let t =
+      { hybrid; bots; groups; rate_bps_per_flow; packet_size; active = [];
+        group = 0; rolls = []; running = true }
+    in
+    let engine = Net.engine (Hybrid.net hybrid) in
+    Engine.schedule engine ~at:start (fun () -> if t.running then aim t 0);
+    List.iter
+      (fun at -> Engine.schedule engine ~at (fun () -> roll t ~at))
+      roll_schedule;
+    (match stop with
+    | Some at ->
+      Engine.schedule engine ~at (fun () ->
+          t.running <- false;
+          List.iter (Hybrid.stop_member t.hybrid) t.active;
+          t.active <- [])
+    | None -> ());
+    t
+
+  let rolls t = List.rev t.rolls
+  let current_group t = t.group
+
+  let offered_bps t =
+    float_of_int (List.length t.active) *. t.rate_bps_per_flow
+
+  let stop_now t =
+    t.running <- false;
+    List.iter (Hybrid.stop_member t.hybrid) t.active;
+    t.active <- []
+end

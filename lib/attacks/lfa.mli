@@ -52,3 +52,35 @@ val observed_paths : t -> (int * int list) list
 (** Decoy -> last observed traceroute responders. *)
 
 val stop_now : t -> unit
+
+(** The rolling flood's {e volume} expressed as fluid aggregates in the
+    hybrid tier: each bot offers a constant-rate aggregate toward every
+    decoy of the current group, rolled between groups on a fixed schedule.
+    The aggregates are [Fluid_only] — the defense observes them through
+    link utilization (which folds in fluid load) instead of paying
+    per-packet simulation cost for the flood itself; pair it with {!launch}
+    for the packet-level recon/low-rate-TCP machinery the classifiers
+    inspect. *)
+module Fluid_volume : sig
+  type t
+
+  val launch :
+    Ff_fluid.Hybrid.t ->
+    bots:int list ->
+    decoy_groups:int list list ->
+    rate_bps_per_flow:float ->
+    ?packet_size:int ->
+    ?start:float ->
+    ?stop:float ->
+    ?roll_schedule:float list ->
+    unit ->
+    t
+
+  val rolls : t -> float list
+  val current_group : t -> int
+
+  val offered_bps : t -> float
+  (** Aggregate offered attack volume of the active group, bits/s. *)
+
+  val stop_now : t -> unit
+end

@@ -196,12 +196,15 @@ type wide = {
   w_droppers : (int * B.Dropper.t) list;
 }
 
-let deploy_wide net ~protect ?(config = default_config) () =
+let deploy_wide net ~protect ?(config = default_config) ?on_mode () =
   let topo = Net.topology net in
   let protocol =
     Ff_modes.Protocol.create net ~region_ttl:config.region_ttl ~min_dwell:config.min_dwell
       ~anti_entropy:config.anti_entropy ~modes_for ()
   in
+  (match on_mode with
+  | Some f -> Ff_modes.Protocol.on_transition protocol f
+  | None -> ());
   let core_egress sw =
     List.map (fun peer -> (sw, peer)) (Net.neighbors_of net sw)
   in

@@ -82,6 +82,7 @@ val deploy_wide :
   Ff_netsim.Net.t ->
   protect:int list ->
   ?config:config ->
+  ?on_mode:(sw:int -> attack:Ff_dataplane.Packet.attack_kind -> active:bool -> unit) ->
   unit ->
   wide
 (** Pervasive deployment on an {e arbitrary} topology (paper section 3.2:
@@ -90,7 +91,10 @@ val deploy_wide :
     detector watching them plus a dropper; rerouting probes advertise
     paths toward the [protect]ed hosts (the victim-side prefix);
     obfuscation snapshots the current tables as the virtual topology.
-    Alarms from any detector drive one shared mode protocol. *)
+    Alarms from any detector drive one shared mode protocol. [on_mode]
+    observes every applied mode transition — the hybrid fluid tier
+    registers its demotion predicate here, so flows crossing a
+    mode-changing region drop to packet fidelity. *)
 
 val wide_mode_log : wide -> (float * int * Ff_dataplane.Packet.attack_kind * bool) list
 val wide_marked : wide -> int

@@ -285,3 +285,176 @@ let run_volumetric ~defended ?(duration = 60.) ?(attack_rate_pps = 600.) ?(spoof
       | Some v -> Ff_boosters.Heavy_hitter.alarmed v.Orchestrator.v_hh
       | None -> false);
   }
+
+(* ---- hybrid fluid/packet ISP scenario ---------------------------------- *)
+
+module Hybrid = Ff_fluid.Hybrid
+module Fluid = Ff_fluid.Fluid
+
+type fluid_result = {
+  fr_flows : int;
+  fr_classes : int;
+  fr_duration : float;
+  fr_packet_tx : int;
+  fr_fluid_hop_bytes : float;
+  fr_packet_equivalents : float;
+  fr_delivered_bytes : float;
+  fr_demoted_peak : int;
+  fr_demoted_frac_peak : float;
+  fr_demotions : int;
+  fr_promotions : int;
+  fr_mode_changes : int;
+  fr_rolls : int;
+  fr_rate_events : int;
+  fr_goodput : Series.t;
+  fr_drops : (string * int) list;
+}
+
+(* shortest-path route trees toward every host, over switches only (hosts
+   are reachable but never transited) *)
+let install_all_routes net =
+  let is_switch =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun sw -> Hashtbl.replace tbl sw ()) (Net.switch_ids net);
+    fun n -> Hashtbl.mem tbl n
+  in
+  List.iter
+    (fun dst ->
+      let visited = Hashtbl.create 64 in
+      Hashtbl.replace visited dst ();
+      let q = Queue.create () in
+      Queue.add dst q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        List.iter
+          (fun v ->
+            if not (Hashtbl.mem visited v) then begin
+              Hashtbl.replace visited v ();
+              if is_switch v then begin
+                Net.set_route net ~sw:v ~dst ~next_hop:u;
+                Queue.add v q
+              end
+            end)
+          (Net.neighbors_of net u)
+      done)
+    (Net.host_ids net)
+
+let run_lfa_fluid ?(flows = 100_000) ?(duration = 40.) ?(force = Hybrid.Auto)
+    ?(defended = true) ?(seed = 11) ?(flow_rate_bps = 25_000.) ?(packet_size = 1000)
+    ?(update_period = 0.25) ?(cores = 12) ?(access_per_core = 2) ?(hosts_per_access = 4)
+    ?(attack_start = 10.) ?(attack_stop = 18.) ?(roll_at = 14.)
+    ?(attack_bps_per_flow = 60_000_000.) ?(packet_recon = true) ?obs () =
+  let topo =
+    Topology.isp ~cores ~access_per_core ~hosts_per_access ()
+  in
+  let engine = Engine.create () in
+  let net = Net.create engine topo in
+  Net.attach_obs net obs;
+  install_all_routes net;
+  let hosts = List.map (fun (n : Topology.node) -> n.Topology.id) (Topology.hosts topo) in
+  let host_arr = Array.of_list hosts in
+  let nh = Array.length host_arr in
+  let behind_access a =
+    Array.to_list (Array.sub host_arr (a * hosts_per_access) hosts_per_access)
+  in
+  let victim, decoys_a =
+    match behind_access 0 with
+    | v :: rest -> (v, rest)
+    | [] -> invalid_arg "run_lfa_fluid: empty access"
+  in
+  let decoys_b =
+    if access_per_core >= 2 then behind_access 1 else decoys_a
+  in
+  (* bots: the first host of up to 8 PoPs spread away from PoP 0 *)
+  let bots =
+    let pops = List.init (cores - 3) (fun i -> 2 + i) in
+    let step = Float.max 1. (float_of_int (List.length pops) /. 8.) in
+    List.init (min 8 (List.length pops)) (fun i ->
+        let p = List.nth pops (int_of_float (float_of_int i *. step)) in
+        host_arr.(p * access_per_core * hosts_per_access))
+  in
+  let hybrid = Hybrid.create ~force ~update_period net () in
+  (* benign population: uniform-rate CBR-class flows between random host
+     pairs; one rate level keeps the path-class count at O(host pairs) *)
+  let rng = Ff_util.Prng.create ~seed in
+  let rate_pps = flow_rate_bps /. float_of_int (8 * packet_size) in
+  let benign =
+    List.init flows (fun _ ->
+        let src = host_arr.(Ff_util.Prng.int rng nh) in
+        let dst = ref host_arr.(Ff_util.Prng.int rng nh) in
+        while !dst = src do dst := host_arr.(Ff_util.Prng.int rng nh) done;
+        Hybrid.add_flow hybrid ~src ~dst:!dst
+          (Hybrid.Cbr { rate_pps; packet_size }))
+  in
+  let wide =
+    if defended then
+      Some
+        (Orchestrator.deploy_wide net ~protect:(victim :: (decoys_a @ decoys_b))
+           ~config:
+             {
+               Orchestrator.default_config with
+               region_ttl = 1;
+               min_dwell = 0.5;
+               clear_hold = 1.5;
+               check_period = 0.1;
+             }
+           ~on_mode:(fun ~sw ~attack:_ ~active ->
+             if active then Hybrid.mark_hot hybrid ~node:sw
+             else Hybrid.clear_hot hybrid ~node:sw)
+           ())
+    else None
+  in
+  (* the flood volume rides the fluid tier; the packet-level side of the
+     adversary (recon traceroutes + low-rate TCP decoy flows) is optional *)
+  let volume =
+    Ff_attacks.Lfa.Fluid_volume.launch hybrid ~bots
+      ~decoy_groups:[ decoys_a; decoys_b ]
+      ~rate_bps_per_flow:attack_bps_per_flow ~packet_size ~start:attack_start
+      ~stop:attack_stop ~roll_schedule:[ roll_at ] ()
+  in
+  let recon =
+    if packet_recon then
+      Some
+        (Ff_attacks.Lfa.launch net ~bots ~decoy_groups:[ decoys_a; decoys_b ]
+           ~start:attack_start ~stop:attack_stop ~flows_per_bot:1
+           ~roll_on_path_change:false ~roll_schedule:[ roll_at ] ())
+    else None
+  in
+  let benign_delivered () =
+    List.fold_left (fun acc m -> acc +. Hybrid.delivered_bytes hybrid m) 0. benign
+  in
+  let fr_goodput =
+    Monitor.aggregate_goodput net
+      ~probes:[ Monitor.counter_probe benign_delivered ]
+      ~period:0.5 ~until:duration ~name:"fluid_goodput" ()
+  in
+  Engine.run engine ~until:duration;
+  ignore volume;
+  (match recon with Some a -> Ff_attacks.Lfa.stop_now a | None -> ());
+  let fluid = Hybrid.fluid hybrid in
+  let fr_packet_tx = Net.total_tx_packets net in
+  let fr_fluid_hop_bytes = Fluid.hop_bytes fluid in
+  {
+    fr_flows = flows;
+    fr_classes = Fluid.classes fluid;
+    fr_duration = duration;
+    fr_packet_tx;
+    fr_fluid_hop_bytes;
+    fr_packet_equivalents =
+      (fr_fluid_hop_bytes /. float_of_int packet_size) +. float_of_int fr_packet_tx;
+    fr_delivered_bytes = benign_delivered ();
+    fr_demoted_peak = Hybrid.demoted_peak hybrid;
+    fr_demoted_frac_peak =
+      (if flows = 0 then 0.
+       else float_of_int (Hybrid.demoted_peak hybrid) /. float_of_int flows);
+    fr_demotions = Hybrid.demotions hybrid;
+    fr_promotions = Hybrid.promotions hybrid;
+    fr_mode_changes =
+      (match wide with
+      | Some w -> Ff_modes.Protocol.transitions w.Orchestrator.w_protocol
+      | None -> 0);
+    fr_rolls = List.length (Ff_attacks.Lfa.Fluid_volume.rolls volume);
+    fr_rate_events = Fluid.rate_events fluid;
+    fr_goodput;
+    fr_drops = Net.drops_by_reason net;
+  }

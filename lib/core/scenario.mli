@@ -91,3 +91,65 @@ val run_volumetric :
 (** Defaults: 60 s, 600 pps per bot — each bot flow is individually a
     4.8 Mb/s heavy hitter, 38 Mb/s aggregate against a 20 Mb/s cut —
     spoofing on. *)
+
+(** {1 Hybrid fluid/packet ISP scenario}
+
+    The scale tier: an ISP-like three-tier topology ({!Ff_topology.Topology.isp})
+    carrying 10^5+ concurrent benign flows in the hybrid engine
+    ({!Ff_fluid.Hybrid}) while a rolling link-flooding adversary injects
+    its volume as fluid aggregates. The wide defense deployment's mode
+    protocol drives the hybrid tier's demotion predicate: flows whose
+    paths cross a switch with active modes drop to packet fidelity and
+    promote back once the region clears. *)
+
+type fluid_result = {
+  fr_flows : int;  (** benign hybrid members admitted *)
+  fr_classes : int;  (** fluid path classes solved over *)
+  fr_duration : float;  (** simulated seconds *)
+  fr_packet_tx : int;  (** per-hop packet transmissions (all traffic) *)
+  fr_fluid_hop_bytes : float;  (** fluid bytes x links traversed *)
+  fr_packet_equivalents : float;
+      (** [fluid hop-bytes / packet_size + packet_tx] — total simulated
+          forwarding work in packet units *)
+  fr_delivered_bytes : float;  (** benign bytes delivered (fluid + packet) *)
+  fr_demoted_peak : int;
+  fr_demoted_frac_peak : float;
+  fr_demotions : int;
+  fr_promotions : int;
+  fr_mode_changes : int;
+  fr_rolls : int;
+  fr_rate_events : int;  (** fluid solver invocations *)
+  fr_goodput : Ff_util.Series.t;  (** benign aggregate goodput, bytes/s *)
+  fr_drops : (string * int) list;
+}
+
+val install_all_routes : Ff_netsim.Net.t -> unit
+(** Shortest-path route trees toward every host (BFS per destination,
+    transiting switches only). *)
+
+val run_lfa_fluid :
+  ?flows:int ->
+  ?duration:float ->
+  ?force:Ff_fluid.Hybrid.force ->
+  ?defended:bool ->
+  ?seed:int ->
+  ?flow_rate_bps:float ->
+  ?packet_size:int ->
+  ?update_period:float ->
+  ?cores:int ->
+  ?access_per_core:int ->
+  ?hosts_per_access:int ->
+  ?attack_start:float ->
+  ?attack_stop:float ->
+  ?roll_at:float ->
+  ?attack_bps_per_flow:float ->
+  ?packet_recon:bool ->
+  ?obs:Ff_obs.Trace.t ->
+  unit ->
+  fluid_result
+(** Defaults: 100k flows at 25 kb/s each over the default 96-host ISP
+    topology for 40 s; the flood (8 bots x 60 Mb/s per decoy aggregate)
+    runs from t=10 to t=18 with one roll between decoy groups at t=14.
+    [force] selects the engine tier: [Auto] is the hybrid proper,
+    [All_packet] reproduces the pure packet engine bit-identically (the
+    differential anchor), [All_fluid] never demotes. *)

@@ -1,0 +1,358 @@
+module Net = Ff_netsim.Net
+module Engine = Ff_netsim.Engine
+module Event = Ff_obs.Event
+
+type kind =
+  | Constant of { rate : float }
+  | Adaptive of { rtt : float; max_rate : float }
+
+type clss = {
+  c_src : int;
+  c_dst : int;
+  c_kind : kind;
+  mutable c_path : int array;  (* node ids, hosts included; [||] = unroutable *)
+  mutable c_members : int;
+  mutable c_rate : float;  (* per-flow allocated rate, bits/s *)
+  mutable c_cum_bits : float;  (* per-flow delivered-bits integral *)
+  mutable c_cap : float;  (* AIMD cap (Adaptive); offered rate (Constant) *)
+  mutable c_last_cut : float;
+  (* solver scratch *)
+  mutable c_frozen : bool;
+  mutable c_bound : float;
+}
+
+type flow = {
+  f_cls : clss;
+  mutable f_attached : bool;
+  mutable f_base : float;  (* bytes banked from earlier attachment spans *)
+  mutable f_join : float;  (* c_cum_bits snapshot at last attach *)
+}
+
+type t = {
+  net : Net.t;
+  period : float;
+  mss_bits : float;
+  tbl : (int * int * kind, clss) Hashtbl.t;
+  mutable attached : int;
+  mutable armed : bool;  (* a solve tick is scheduled *)
+  mutable last_advance : float;
+  mutable last_solve : float;
+  mutable delivered_bits : float;
+  mutable hop_bits : float;
+  mutable rate_events : int;
+  mutable loaded : (int * int) list;  (* links carrying fluid load last solve *)
+}
+
+let create ?(update_period = 0.25) ?(mss_bits = 12_000.) net () =
+  {
+    net;
+    period = update_period;
+    mss_bits;
+    tbl = Hashtbl.create 256;
+    attached = 0;
+    armed = false;
+    last_advance = Net.now net;
+    last_solve = Net.now net;
+    delivered_bits = 0.;
+    hop_bits = 0.;
+    rate_events = 0;
+    loaded = [];
+  }
+
+let net t = t.net
+let update_period t = t.period
+let is_attached f = f.f_attached
+let src f = f.f_cls.c_src
+let dst f = f.f_cls.c_dst
+let path f = Array.to_list f.f_cls.c_path
+let rate f = if f.f_attached then f.f_cls.c_rate else 0.
+let attached_flows t = t.attached
+let classes t = Hashtbl.length t.tbl
+let rate_events t = t.rate_events
+let hop_bytes t = t.hop_bits /. 8.
+
+let resolve_path t ~src ~dst =
+  match Net.current_path t.net ~src ~dst with
+  | Some p when List.length p >= 2 -> Array.of_list p
+  | _ -> [||]
+
+let advance t =
+  let now = Net.now t.net in
+  let dt = now -. t.last_advance in
+  if dt > 0. then begin
+    Hashtbl.iter
+      (fun _ c ->
+        if c.c_members > 0 && c.c_rate > 0. then begin
+          let per_flow = c.c_rate *. dt in
+          let agg = per_flow *. float_of_int c.c_members in
+          c.c_cum_bits <- c.c_cum_bits +. per_flow;
+          t.delivered_bits <- t.delivered_bits +. agg;
+          t.hop_bits <-
+            t.hop_bits +. (agg *. float_of_int (Array.length c.c_path - 1))
+        end)
+      t.tbl;
+    t.last_advance <- now
+  end
+
+let total_delivered_bytes t =
+  advance t;
+  t.delivered_bits /. 8.
+
+let total_rate t =
+  Hashtbl.fold
+    (fun _ c acc -> acc +. (c.c_rate *. float_of_int c.c_members))
+    t.tbl 0.
+
+let offered_rate t =
+  Hashtbl.fold
+    (fun _ c acc ->
+      let per =
+        match c.c_kind with
+        | Constant { rate } -> rate
+        | Adaptive { max_rate; _ } -> max_rate
+      in
+      acc +. (per *. float_of_int c.c_members))
+    t.tbl 0.
+
+let delivered_bytes t f =
+  if f.f_attached then begin
+    advance t;
+    f.f_base +. ((f.f_cls.c_cum_bits -. f.f_join) /. 8.)
+  end
+  else f.f_base
+
+(* ---- the max-min solver ------------------------------------------------ *)
+
+type slink = {
+  mutable s_rem : float;  (* capacity left for still-unfrozen classes *)
+  s_init : float;
+  mutable s_w : float;  (* member count of unfrozen classes crossing *)
+  mutable s_classes : clss list;
+  mutable s_load : float;
+}
+
+let solve t =
+  let now = Net.now t.net in
+  let dt_ai = now -. t.last_solve in
+  t.last_solve <- now;
+  (* gather active classes; unroutable or empty ones get rate 0 *)
+  let active = ref [] in
+  Hashtbl.iter
+    (fun _ c ->
+      if c.c_members > 0 && Array.length c.c_path >= 2 then begin
+        (match c.c_kind with
+        | Constant { rate } -> c.c_bound <- rate
+        | Adaptive { rtt; max_rate } ->
+          (* additive increase: one MSS per RTT, each RTT *)
+          if dt_ai > 0. then
+            c.c_cap <-
+              Float.min max_rate (c.c_cap +. (t.mss_bits /. (rtt *. rtt) *. dt_ai));
+          c.c_bound <- c.c_cap);
+        c.c_frozen <- false;
+        active := c :: !active
+      end
+      else c.c_rate <- 0.)
+    t.tbl;
+  let acts = Array.of_list !active in
+  Array.sort (fun a b -> compare a.c_bound b.c_bound) acts;
+  let n = Array.length acts in
+  (* per-solve directed-link table: capacity net of measured packet load *)
+  let ltbl : (int * int, slink) Hashtbl.t = Hashtbl.create 512 in
+  let slink_of from_ to_ =
+    match Hashtbl.find_opt ltbl (from_, to_) with
+    | Some sl -> sl
+    | None ->
+      let cap = Net.link_capacity t.net ~from_ ~to_ in
+      let avail = Float.max 0. (cap -. Net.link_packet_bps t.net ~from_ ~to_) in
+      let sl =
+        { s_rem = avail; s_init = avail; s_w = 0.; s_classes = []; s_load = 0. }
+      in
+      Hashtbl.add ltbl (from_, to_) sl;
+      sl
+  in
+  let iter_hops c f =
+    for i = 0 to Array.length c.c_path - 2 do
+      f (slink_of c.c_path.(i) c.c_path.(i + 1))
+    done
+  in
+  Array.iter
+    (fun c ->
+      let w = float_of_int c.c_members in
+      iter_hops c (fun sl ->
+          sl.s_w <- sl.s_w +. w;
+          sl.s_classes <- c :: sl.s_classes))
+    acts;
+  let links = Hashtbl.fold (fun _ sl acc -> sl :: acc) ltbl [] in
+  (* progressive filling: all unfrozen classes share one rising water
+     level; each round freezes the classes that hit their bound or cross a
+     link that just saturated, so rounds <= distinct bounds + links. *)
+  let unfrozen = ref n in
+  let level = ref 0. in
+  let bi = ref 0 in
+  let freeze c r =
+    c.c_frozen <- true;
+    c.c_rate <- Float.max 0. r;
+    decr unfrozen;
+    let w = float_of_int c.c_members in
+    iter_hops c (fun sl -> sl.s_w <- sl.s_w -. w)
+  in
+  while !unfrozen > 0 do
+    while !bi < n && acts.(!bi).c_frozen do incr bi done;
+    let b = if !bi < n then acts.(!bi).c_bound -. !level else infinity in
+    let s =
+      List.fold_left
+        (fun acc sl -> if sl.s_w > 0. then Float.min acc (sl.s_rem /. sl.s_w) else acc)
+        infinity links
+    in
+    let delta = Float.max 0. (Float.min b s) in
+    level := !level +. delta;
+    List.iter
+      (fun sl -> if sl.s_w > 0. then sl.s_rem <- sl.s_rem -. (delta *. sl.s_w))
+      links;
+    let before = !unfrozen in
+    if b <= s then begin
+      (* bound(s) reached: freeze every class whose bound is at the level *)
+      let continue = ref true in
+      while !continue && !bi < n do
+        let c = acts.(!bi) in
+        if c.c_frozen then incr bi
+        else if c.c_bound <= !level +. (1e-9 *. (Float.abs !level +. 1.)) then begin
+          freeze c c.c_bound;
+          incr bi
+        end
+        else continue := false
+      done
+    end
+    else
+      (* a link saturated: its surviving classes are stuck at the level *)
+      List.iter
+        (fun sl ->
+          if sl.s_w > 0. && sl.s_rem <= 1e-9 *. (sl.s_init +. 1.) then
+            List.iter (fun c -> if not c.c_frozen then freeze c !level) sl.s_classes)
+        links;
+    if !unfrozen = before && !unfrozen > 0 then begin
+      (* numerical failsafe: force progress at the bound pointer *)
+      while !bi < n && acts.(!bi).c_frozen do incr bi done;
+      if !bi < n then freeze acts.(!bi) !level else unfrozen := 0
+    end
+  done;
+  (* AIMD back-off: bottlenecked adaptive classes halve their overshoot
+     toward the share, at most once per RTT *)
+  Array.iter
+    (fun c ->
+      match c.c_kind with
+      | Adaptive { rtt; _ } ->
+        if c.c_rate < c.c_cap *. 0.999 && now -. c.c_last_cut >= rtt then begin
+          c.c_cap <-
+            Float.max (t.mss_bits /. rtt) (c.c_rate +. (0.5 *. (c.c_cap -. c.c_rate)));
+          c.c_last_cut <- now
+        end
+      | Constant _ -> ())
+    acts;
+  (* push per-link fluid loads into the packet tier *)
+  Array.iter
+    (fun c ->
+      let load = c.c_rate *. float_of_int c.c_members in
+      iter_hops c (fun sl -> sl.s_load <- sl.s_load +. load))
+    acts;
+  let newly_loaded = ref [] in
+  Hashtbl.iter
+    (fun (from_, to_) sl ->
+      Net.set_fluid_load t.net ~from_ ~to_ sl.s_load;
+      if sl.s_load > 0. then newly_loaded := (from_, to_) :: !newly_loaded)
+    ltbl;
+  List.iter
+    (fun (from_, to_) ->
+      if not (Hashtbl.mem ltbl (from_, to_)) then
+        Net.set_fluid_load t.net ~from_ ~to_ 0.)
+    t.loaded;
+  t.loaded <- !newly_loaded;
+  t.rate_events <- t.rate_events + 1;
+  if Net.obs_active t.net then
+    Net.obs_emit t.net
+      (Event.Fluid_rates
+         { flows = t.attached; classes = n; total_bps = total_rate t })
+
+let recompute t =
+  advance t;
+  solve t
+
+let rec tick t =
+  t.armed <- false;
+  recompute t;
+  if t.attached > 0 then begin
+    t.armed <- true;
+    Engine.schedule (Net.engine t.net)
+      ~at:(Net.now t.net +. t.period)
+      (fun () -> tick t)
+  end
+
+(* Lazily arm the periodic solve: nothing is ever scheduled while the
+   population is empty, so a run that never attaches a fluid flow executes
+   the exact event sequence of a fluid-free run (bit-identity). *)
+let request_solve t =
+  if not t.armed then begin
+    t.armed <- true;
+    Engine.schedule (Net.engine t.net) ~at:(Net.now t.net) (fun () -> tick t)
+  end
+
+let refresh_paths t =
+  advance t;
+  Hashtbl.iter
+    (fun _ c -> c.c_path <- resolve_path t ~src:c.c_src ~dst:c.c_dst)
+    t.tbl
+
+let attach t f =
+  if not f.f_attached then begin
+    advance t;
+    f.f_join <- f.f_cls.c_cum_bits;
+    f.f_attached <- true;
+    f.f_cls.c_members <- f.f_cls.c_members + 1;
+    t.attached <- t.attached + 1;
+    request_solve t
+  end
+
+let detach t f =
+  if f.f_attached then begin
+    advance t;
+    f.f_base <- f.f_base +. ((f.f_cls.c_cum_bits -. f.f_join) /. 8.);
+    f.f_attached <- false;
+    f.f_cls.c_members <- f.f_cls.c_members - 1;
+    t.attached <- t.attached - 1;
+    request_solve t
+  end
+
+let remove t f = detach t f
+
+let add t ~src ~dst kind =
+  let key = (src, dst, kind) in
+  let cls =
+    match Hashtbl.find_opt t.tbl key with
+    | Some c -> c
+    | None ->
+      let c =
+        {
+          c_src = src;
+          c_dst = dst;
+          c_kind = kind;
+          c_path = resolve_path t ~src ~dst;
+          c_members = 0;
+          c_rate = 0.;
+          c_cum_bits = 0.;
+          c_cap =
+            (match kind with
+            | Constant { rate } -> rate
+            | Adaptive { rtt; max_rate } ->
+              (* slow-start-ish initial window: 10 MSS per RTT *)
+              Float.min max_rate (10. *. t.mss_bits /. rtt));
+          c_last_cut = Net.now t.net;
+          c_frozen = false;
+          c_bound = 0.;
+        }
+      in
+      Hashtbl.add t.tbl key c;
+      c
+  in
+  let f = { f_cls = cls; f_attached = false; f_base = 0.; f_join = 0. } in
+  attach t f;
+  f

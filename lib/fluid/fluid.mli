@@ -1,0 +1,117 @@
+(** Analytic (fluid) flow populations for the hybrid simulation tier.
+
+    Steady-state flows are not simulated packet by packet. Instead they are
+    grouped into {e path classes} — flows sharing (src, dst, kind) follow
+    the same cached route and receive the same per-flow rate — and the
+    whole population advances analytically between {e rate events}: a rate
+    event re-solves a progressive max-min filling over the links each
+    class crosses, and between events every class accrues delivered bytes
+    linearly at its solved rate. The solver is O(classes + links), not
+    O(flows), which is what makes 10^5+ concurrent flows tractable.
+
+    Coupling with the packet tier is bidirectional:
+
+    - each solve subtracts the measured packet rate
+      ({!Ff_netsim.Net.link_packet_bps}) from a link's capacity before
+      filling, so packet traffic displaces fluid traffic;
+    - the solved per-link fluid load is pushed into the packet engine via
+      {!Ff_netsim.Net.set_fluid_load}, where it consumes transmit capacity
+      and folds into {!Ff_netsim.Net.utilization}, so detectors and queues
+      see fluid floods.
+
+    Rate semantics: [Constant] classes offer a fixed rate (CBR-like; any
+    shortfall under congestion is simply not delivered — fluid "drops"),
+    [Adaptive] classes model TCP-class AIMD: the per-flow rate cap grows
+    additively at one MSS per RTT per RTT and, when the max-min share is
+    below the cap, decays multiplicatively toward the share once per RTT.
+
+    Determinism: the population only schedules engine events while at
+    least one flow is attached. A simulation that never attaches a fluid
+    flow therefore runs the exact same event sequence as one without the
+    fluid tier at all — the bit-identity anchor for the hybrid engine. *)
+
+type kind =
+  | Constant of { rate : float }  (** offered per-flow rate, bits/s *)
+  | Adaptive of { rtt : float; max_rate : float }
+      (** AIMD-capped per-flow rate: additive increase one MSS/RTT each
+          RTT, multiplicative back-off toward the bottleneck share;
+          [max_rate] models the receive-window ceiling, bits/s *)
+
+type t
+type flow
+
+val create : ?update_period:float -> ?mss_bits:float -> Ff_netsim.Net.t -> unit -> t
+(** [update_period] (default 0.25 s) is the background re-solve period
+    that keeps fluid rates coupled to drifting packet-tier load; population
+    changes additionally trigger a solve at the time of the change (batched
+    per instant). [mss_bits] (default 12_000 = 1500 B) drives the AIMD
+    additive-increase slope. *)
+
+val net : t -> Ff_netsim.Net.t
+val update_period : t -> float
+
+val add : t -> src:int -> dst:int -> kind -> flow
+(** Admit a flow (attached immediately); its path class is created on
+    first use and the route resolved from the packet tier's current
+    routing state. *)
+
+val remove : t -> flow -> unit
+(** Permanently detach; delivered bytes remain readable. *)
+
+val detach : t -> flow -> unit
+(** Take the flow out of the fluid population (demotion to packet level).
+    Accrued bytes up to now are banked first; no-op if detached. *)
+
+val attach : t -> flow -> unit
+(** Re-admit a detached flow (promotion back from packet level); accrual
+    restarts from the current instant. No-op if already attached. *)
+
+val is_attached : flow -> bool
+val src : flow -> int
+val dst : flow -> int
+
+val path : flow -> int list
+(** Cached route of the flow's class, hosts included; [[]] if unroutable. *)
+
+val rate : flow -> float
+(** Per-flow allocated rate (bits/s) from the most recent solve; 0. while
+    detached. *)
+
+val delivered_bytes : t -> flow -> float
+(** Cumulative bytes delivered across all attachment spans, accrued up to
+    the current simulation time. *)
+
+val recompute : t -> unit
+(** Advance accruals to now and re-solve rates synchronously. Callers that
+    batch several population changes at one instant (the hybrid tier's
+    demote/promote sweeps) call this once at the end of the batch. *)
+
+val refresh_paths : t -> unit
+(** Re-resolve every class's route from the packet tier (after reroutes or
+    mode changes). Accruals are advanced first; rates refresh on the next
+    solve. *)
+
+val advance : t -> unit
+(** Accrue delivered bytes up to now at the current rates (no re-solve). *)
+
+(** {2 Population statistics} *)
+
+val attached_flows : t -> int
+val classes : t -> int
+
+val total_rate : t -> float
+(** Sum of allocated rates over attached flows, bits/s. *)
+
+val offered_rate : t -> float
+(** Sum of offered ([Constant]) / ceiling ([Adaptive]) rates, bits/s. *)
+
+val total_delivered_bytes : t -> float
+(** Aggregate bytes delivered by the whole population since creation
+    (including spans of flows later detached or removed). *)
+
+val hop_bytes : t -> float
+(** Aggregate bytes x links-traversed — the fluid tier's work measure; one
+    packet-equivalent is [packet_size] hop-bytes. *)
+
+val rate_events : t -> int
+(** Number of solves performed. *)

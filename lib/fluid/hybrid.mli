@@ -1,0 +1,104 @@
+(** The hybrid fluid/packet flow population.
+
+    A {e member} is a long-lived flow that can be simulated at either
+    fidelity: analytically in the {!Fluid} tier while it crosses only
+    quiet regions, or packet-by-packet ({!Ff_netsim.Flow.Cbr} /
+    {!Ff_netsim.Flow.Tcp}) while its path touches a {e hot} node — one
+    inside an attacked / mode-changing / chaos-faulted region. Hot nodes
+    are tracked as a per-node counter fed by {!mark_hot}/{!clear_hot} or,
+    for the common case, by {!watch_protocol}, which subscribes to the
+    mode protocol's applied transitions. Every hot-set change schedules a
+    single coalesced re-evaluation sweep at the current instant that
+    demotes/promotes the members whose tier no longer matches their path.
+
+    Demotion detaches the member from the fluid tier (banking accrued
+    bytes) and starts a real packet flow at the current time; TCP members
+    restart from a fresh congestion-window epoch (documented fidelity
+    seam). Promotion silences the packet flow but {e retires} its handle
+    instead of dropping it — packets still in flight keep landing on the
+    retired flow's counter — and re-attaches the fluid flow, so
+    {!delivered_bytes} is exactly conserved across any number of
+    round-trips.
+
+    Forcing: {!force} [All_packet] makes {!add_flow} call the packet-flow
+    constructors directly — same calls, same order, no fluid bookkeeping,
+    no extra events — so a forced-packet hybrid run is bit-identical to
+    the pre-hybrid engine (a QCheck property in [test_fluid] holds this). *)
+
+type force =
+  | Auto  (** fluid while cold, packet while hot (the hybrid proper) *)
+  | All_packet  (** bit-identical to the pure packet engine *)
+  | All_fluid  (** never demote (fluid-only populations / upper bound) *)
+
+(** Per-member tier policy, for members whose fidelity is a modelling
+    choice rather than a function of region state: attack volume launched
+    as a fluid aggregate stays [Fluid_only] (the defense sees it through
+    link utilization), while a flow under per-packet scrutiny can be
+    pinned [Packet_only]. *)
+type tier = Tier_auto | Fluid_only | Packet_only
+
+type profile =
+  | Cbr of { rate_pps : float; packet_size : int }
+  | Tcp of { max_cwnd : float; packet_size : int }
+
+type t
+type member
+
+val create : ?force:force -> ?update_period:float -> Ff_netsim.Net.t -> unit -> t
+val net : t -> Ff_netsim.Net.t
+val fluid : t -> Fluid.t
+val force_mode : t -> force
+
+val add_flow :
+  t -> src:int -> dst:int -> ?at:float -> ?stop:float -> ?tier:tier ->
+  profile -> member
+(** Admit a member at time [at] (default now; scheduling is only used when
+    [at] is in the future and the member is not forced to packet level).
+    [stop] permanently retires the member at that absolute time. *)
+
+val stop_member : t -> member -> unit
+(** Permanently retire a member now (delivered bytes stay readable). *)
+
+val delivered_bytes : t -> member -> float
+(** Bytes delivered across every fluid span and packet span (including
+    retired packet flows), conserved across demote/promote round-trips. *)
+
+val is_demoted : member -> bool
+val demotions_of : member -> int
+
+val mark_hot : t -> node:int -> unit
+(** Increment a node's hot counter (counters nest: overlapping attacks /
+    faults each contribute); schedules a coalesced re-evaluation sweep. *)
+
+val clear_hot : t -> node:int -> unit
+
+val hot_nodes : t -> int list
+
+val watch_protocol : t -> Ff_modes.Protocol.t -> unit
+(** Drive the hot set from mode-protocol transitions: a switch is hot
+    while at least one attack's modes are active on it. *)
+
+val reevaluate : t -> unit
+(** Run the demote/promote sweep synchronously (normally triggered by
+    hot-set changes; exposed for tests and manual tier control). *)
+
+(** {2 Accounting} *)
+
+val members : t -> int
+val demoted_count : t -> int
+(** Members currently at packet level due to demotion (excludes
+    [Packet_only]/[All_packet] members). *)
+
+val demoted_peak : t -> int
+val demotions : t -> int
+val promotions : t -> int
+
+val demoted_fraction : t -> float
+(** [demoted_count / members] (0. when empty). *)
+
+val total_delivered_bytes : t -> float
+(** Sum of {!delivered_bytes} over every member (O(members)). *)
+
+val delivered_probe : t -> Ff_netsim.Monitor.probe
+(** A {!Ff_netsim.Monitor.counter_probe} over {!total_delivered_bytes} —
+    plugs the whole hybrid population into the goodput monitors. *)

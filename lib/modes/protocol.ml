@@ -40,6 +40,9 @@ type t = {
   epochs : (attack, int) Hashtbl.t;
   states : (int, sw_state) Hashtbl.t;
   mutable history : (float * int * attack * bool) list;
+  mutable observers : (sw:int -> attack:attack -> active:bool -> unit) list;
+      (* notified on every applied transition — the hybrid fluid tier
+         subscribes to track the hot (mode-changing) region *)
   mutable transitions : int;
   mutable readverts : int;
   mutable repairs : int;
@@ -81,8 +84,11 @@ let refresh_vars t sw =
     (fun attack _ -> List.iter (fun m -> write m true) (t.modes_for attack))
     st.active_attacks
 
+let on_transition t f = t.observers <- f :: t.observers
+
 let record t sw attack activated =
   t.history <- (Net.now t.net, sw, attack, activated) :: t.history;
+  List.iter (fun f -> f ~sw ~attack ~active:activated) t.observers;
   t.transitions <- t.transitions + 1;
   Net.obs_emit t.net
     (Ff_obs.Event.Mode_transition
@@ -367,6 +373,7 @@ let create net ?(region_ttl = 8) ?(min_dwell = 1.0) ?(flap_window = 10.)
       epochs = Hashtbl.create 4;
       states = Hashtbl.create 16;
       history = [];
+      observers = [];
       transitions = 0;
       readverts = 0;
       repairs = 0;

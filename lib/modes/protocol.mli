@@ -98,6 +98,13 @@ val flap_entries : t -> attack -> int
     holddown saturates at [max_holddown], so it stays O(1) under
     sustained flapping. *)
 
+val on_transition : t -> (sw:int -> attack:attack -> active:bool -> unit) -> unit
+(** Register an observer called on every {e applied} transition (same
+    stream as {!log}, delivered as it happens). The hybrid fluid tier
+    subscribes to track which switches are inside a mode-changing region
+    and demote the flows crossing them to packet level. Observers must not
+    re-enter the protocol. *)
+
 val log : t -> (float * int * attack * bool) list
 (** Mode-change history: (time, switch, attack, activated), oldest first. *)
 

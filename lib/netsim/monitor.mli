@@ -12,13 +12,38 @@ val sample :
 val link_utilization :
   Net.t -> from_:int -> to_:int -> period:float -> ?until:float -> unit -> Ff_util.Series.t
 
+(** {1 Goodput probes}
+
+    A {!probe} maps the current simulation time to a rate in bytes/s, so
+    the aggregate-goodput series is flow-kind-agnostic: TCP flows report
+    their receive-window goodput, CBR (and any other cumulative-counter
+    source, including fluid-tier flows) report a differentiated counter.
+    Probes are stateful closures — build one per flow per series and call
+    it from a single sampling loop. *)
+
+type probe = float -> float
+
+val tcp_probe : Flow.Tcp.t -> probe
+(** Receiver-window goodput of a TCP flow (bytes/s). Stateless. *)
+
+val cbr_probe : Flow.Cbr.t -> probe
+(** Rate of a CBR flow, differentiated from its cumulative delivered-bytes
+    counter between successive samples (0. on the first sample). *)
+
+val counter_probe : (unit -> float) -> probe
+(** Generalization of {!cbr_probe}: differentiate any monotone cumulative
+    byte counter — the fluid tier exposes its populations this way. *)
+
+val sum_probes : probe list -> probe
+
 val aggregate_goodput :
-  Net.t -> flows:Flow.Tcp.t list -> period:float -> ?until:float -> name:string -> unit ->
-  Ff_util.Series.t
-(** Sum of receiver goodputs of the given flows, bytes/s. *)
+  Net.t -> ?flows:Flow.Tcp.t list -> ?probes:probe list -> period:float ->
+  ?until:float -> name:string -> unit -> Ff_util.Series.t
+(** Sum of the goodputs of [flows] (as {!tcp_probe}s) and any extra
+    [probes], bytes/s. *)
 
 val normalized_goodput :
-  Net.t -> flows:Flow.Tcp.t list -> baseline:float -> period:float -> ?until:float ->
-  name:string -> unit -> Ff_util.Series.t
+  Net.t -> ?flows:Flow.Tcp.t list -> ?probes:probe list -> baseline:float ->
+  period:float -> ?until:float -> name:string -> unit -> Ff_util.Series.t
 (** Aggregate goodput divided by [baseline] (the no-attack stable
     throughput), i.e. exactly the y-axis of paper Figure 3. *)

@@ -45,6 +45,10 @@ and dirlink = {
   tx_window : Ff_util.Stats.Window_counter.t;
   mutable drops : int;
   mutable tx_packets : int;
+  mutable fluid_bps : float;
+      (* analytic background load from the fluid tier, bits/s; 0. when no
+         fluid population touches the link — and the packet hot path must
+         then take exactly the pre-fluid arithmetic (bit-identity) *)
   (* registry handle resolved once per metrics attachment, not per packet *)
   mutable tx_bytes_ctr : Ff_obs.Metrics.Counter.t option;
 }
@@ -237,7 +241,10 @@ let utilization t ~from_ ~to_ =
         let dl = Array.unsafe_get links i in
         if dl.to_node = to_ then
           let rate = Ff_util.Stats.Window_counter.rate dl.tx_window ~now:(now t) in
-          Float.min 1. (rate *. 8. /. dl.link.Topology.capacity)
+          (* fluid background load counts toward utilization — detectors see
+             a fluid-tier flood exactly like a packet-tier one. [+. 0.] when
+             no fluid load, which is bit-identical to the pre-fluid value. *)
+          Float.min 1. (((rate *. 8.) +. dl.fluid_bps) /. dl.link.Topology.capacity)
         else go (i + 1)
     in
     go 0
@@ -248,6 +255,27 @@ let link_drops t ~from_ ~to_ =
 
 let link_tx_packets t ~from_ ~to_ =
   match dirlink_opt t ~from_ ~to_ with None -> 0 | Some dl -> dl.tx_packets
+
+let set_fluid_load t ~from_ ~to_ bps =
+  match dirlink_opt t ~from_ ~to_ with
+  | Some dl -> dl.fluid_bps <- (if bps > 0. then bps else 0.)
+  | None -> invalid_arg "Net.set_fluid_load: nodes not adjacent"
+
+let fluid_load t ~from_ ~to_ =
+  match dirlink_opt t ~from_ ~to_ with Some dl -> dl.fluid_bps | None -> 0.
+
+let link_packet_bps t ~from_ ~to_ =
+  match dirlink_opt t ~from_ ~to_ with
+  | Some dl -> Ff_util.Stats.Window_counter.rate dl.tx_window ~now:(now t) *. 8.
+  | None -> 0.
+
+let link_capacity t ~from_ ~to_ =
+  match dirlink_opt t ~from_ ~to_ with
+  | Some dl -> dl.link.Topology.capacity
+  | None -> 0.
+
+let link_delay t ~from_ ~to_ =
+  match dirlink_opt t ~from_ ~to_ with Some dl -> dl.link.Topology.delay | None -> 0.
 
 let total_tx_packets t =
   Array.fold_left
@@ -271,7 +299,21 @@ let access_switch t ~host:h =
 
 let rec transmit t dl (pkt : Packet.t) =
   let tnow = now t in
-  let cap = dl.link.Topology.capacity in
+  let cap =
+    (* capacity left for the packet tier once the fluid background load is
+       subtracted, floored at 1% so a fluid-saturated link still drains (and
+       overflows) rather than dividing by zero. The [> 0.] guard keeps the
+       no-fluid arithmetic bit-identical to the pre-fluid engine: the else
+       branch binds the raw capacity with no float ops applied. *)
+    let c = dl.link.Topology.capacity in
+    let f = dl.fluid_bps in
+    if f > 0. then begin
+      let avail = c -. f in
+      let floor_ = 0.01 *. c in
+      if avail > floor_ then avail else floor_
+    end
+    else c
+  in
   (* open-coded max: [Float.max] is a cross-module call on the per-hop
      path, and its NaN handling is irrelevant for simulation clocks *)
   let waiting = dl.busy.busy_until -. tnow in
@@ -514,6 +556,7 @@ let create ?(queue_limit_bytes = 37_500.) engine topo =
                  tx_window = Ff_util.Stats.Window_counter.create ~width:0.2;
                  drops = 0;
                  tx_packets = 0;
+                 fluid_bps = 0.;
                  tx_bytes_ctr = None;
                })
         |> Array.of_list)

@@ -168,10 +168,43 @@ val flood_from_switch : t -> sw:int -> except:int list ->
 (** {1 Observation} *)
 
 val utilization : t -> from_:int -> to_:int -> float
-(** Recent utilization of the directed link, in [0,1]. *)
+(** Recent utilization of the directed link, in [0,1]: windowed packet-tier
+    transmission rate {e plus} the fluid-tier background load, over
+    capacity — detectors see a fluid-tier flood exactly like a packet one. *)
 
 val link_drops : t -> from_:int -> to_:int -> int
 val link_tx_packets : t -> from_:int -> to_:int -> int
+
+(** {2 Fluid background load}
+
+    The hybrid fluid tier ({!Ff_fluid.Fluid}) pushes each directed link's
+    analytic background load here after every rate recomputation. A
+    non-zero load (a) counts toward [utilization], and (b) shrinks the
+    capacity the packet tier transmits against (floored at 1% of the raw
+    capacity), so packet-tier traffic sharing a link with fluid flows sees
+    the queueing delay and drop pressure the fluid load implies. With
+    every load at 0 the packet path is bit-identical to the pre-fluid
+    engine — the guard branches never execute a float op. *)
+
+val set_fluid_load : t -> from_:int -> to_:int -> float -> unit
+(** Set the fluid background load on a directed link, bits/s (negative is
+    clamped to 0). Raises [Invalid_argument] if the nodes are not
+    adjacent. *)
+
+val fluid_load : t -> from_:int -> to_:int -> float
+(** Current fluid load on the directed link (0. when none or not
+    adjacent). *)
+
+val link_packet_bps : t -> from_:int -> to_:int -> float
+(** Windowed packet-tier transmission rate on the directed link, bits/s —
+    what the fluid solver subtracts from capacity so the two tiers share
+    bandwidth in both directions. *)
+
+val link_capacity : t -> from_:int -> to_:int -> float
+(** Raw link capacity, bits/s (0. when not adjacent). *)
+
+val link_delay : t -> from_:int -> to_:int -> float
+(** Propagation delay, seconds (0. when not adjacent). *)
 
 val total_tx_packets : t -> int
 (** Sum of per-hop transmissions over every directed link: the

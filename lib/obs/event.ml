@@ -19,6 +19,8 @@ type t =
   | Probe of { sw : int; kind : string }
   | Fault of { kind : string; a : int; b : int; up : bool }
   | Repair of { subsystem : string; node : int; info : string }
+  | Fluid_rates of { flows : int; classes : int; total_bps : float }
+  | Fluid_tier of { node : int; flows : int; demoted : bool }
 
 let phase_label = function
   | Xfer_start -> "start"
@@ -35,14 +37,16 @@ let kind = function
   | Probe _ -> "probe"
   | Fault _ -> "fault"
   | Repair _ -> "repair"
+  | Fluid_rates _ -> "fluid_rates"
+  | Fluid_tier _ -> "fluid_tier"
 
 let node = function
   | Mode_transition { sw; _ } | Reroute { sw; _ } | Probe { sw; _ } -> sw
   | State_transfer { src; _ } -> src
-  | Fec_recovery _ -> -1
+  | Fec_recovery _ | Fluid_rates _ -> -1
   | Drop { node; _ } -> node
   | Fault { a; _ } -> a
-  | Repair { node; _ } -> node
+  | Repair { node; _ } | Fluid_tier { node; _ } -> node
 
 (* minimal JSON rendering: values are pre-rendered strings *)
 let jstr s =
@@ -79,6 +83,11 @@ let json_fields = function
     [ ("kind", jstr kind); ("a", jint a); ("b", jint b); ("up", jbool up) ]
   | Repair { subsystem; node; info } ->
     [ ("subsystem", jstr subsystem); ("node", jint node); ("info", jstr info) ]
+  | Fluid_rates { flows; classes; total_bps } ->
+    [ ("flows", jint flows); ("classes", jint classes);
+      ("total_bps", Printf.sprintf "%.1f" total_bps) ]
+  | Fluid_tier { node; flows; demoted } ->
+    [ ("node", jint node); ("flows", jint flows); ("demoted", jbool demoted) ]
 
 let detail ev =
   String.concat " "

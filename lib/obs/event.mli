@@ -33,6 +33,12 @@ type t =
       (** a self-healing action: a mode readvert repairing a stale
           neighbor, a transfer rerouting around a failure, a repurpose
           rolling back — the "repair" side of fault→repair timelines *)
+  | Fluid_rates of { flows : int; classes : int; total_bps : float }
+      (** the fluid tier recomputed its max-min allocation: attached flow
+          count, path classes solved, and the aggregate allocated rate *)
+  | Fluid_tier of { node : int; flows : int; demoted : bool }
+      (** a batch of flows crossing [node] changed simulation tier:
+          demoted to packet level ([demoted = true]) or promoted back *)
 
 val kind : t -> string
 (** Stable snake_case tag, also the JSONL ["event"] field. *)

@@ -392,6 +392,39 @@ let waxman ?(capacity = 10_000_000.) ?(alpha = 0.6) ?(beta = 0.4) ~n ~seed () =
   in
   attempt seed
 
+let isp ?(core_capacity = 2_000_000_000.) ?(access_capacity = 1_000_000_000.)
+    ?(host_capacity = 400_000_000.) ?(cores = 12) ?(access_per_core = 2)
+    ?(hosts_per_access = 4) () =
+  assert (cores >= 3 && access_per_core >= 1 && hosts_per_access >= 1);
+  let t = create () in
+  let core =
+    Array.init cores (fun i -> add_node t ~kind:Switch ~name:(Printf.sprintf "core%d" i))
+  in
+  let core_link a b = ignore (add_link t ~capacity:core_capacity ~delay:0.002 core.(a) core.(b)) in
+  for i = 0 to cores - 1 do
+    core_link i ((i + 1) mod cores)
+  done;
+  (* chords keep core paths short so no single PoP carries much transit *)
+  if cores > 4 then
+    for i = 0 to cores - 1 do
+      if i mod 2 = 0 then core_link i ((i + 2) mod cores)
+    done;
+  if cores >= 8 then
+    for i = 0 to (cores / 2) - 1 do
+      if i mod 2 = 0 then core_link i ((i + (cores / 2)) mod cores)
+    done;
+  for i = 0 to cores - 1 do
+    for j = 0 to access_per_core - 1 do
+      let a = add_node t ~kind:Switch ~name:(Printf.sprintf "a%d_%d" i j) in
+      ignore (add_link t ~capacity:access_capacity ~delay:0.0005 core.(i) a);
+      for k = 0 to hosts_per_access - 1 do
+        let h = add_node t ~kind:Host ~name:(Printf.sprintf "h%d_%d_%d" i j k) in
+        ignore (add_link t ~capacity:host_capacity ~delay:0.0001 a h)
+      done
+    done
+  done;
+  t
+
 module Fig2 = struct
   type landmarks = {
     topo : t;

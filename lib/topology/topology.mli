@@ -113,6 +113,19 @@ val waxman : ?capacity:float -> ?alpha:float -> ?beta:float -> n:int -> seed:int
 (** Random Waxman graph over [n] switches (re-drawn until connected),
     one host per switch. *)
 
+val isp :
+  ?core_capacity:float -> ?access_capacity:float -> ?host_capacity:float ->
+  ?cores:int -> ?access_per_core:int -> ?hosts_per_access:int -> unit -> t
+(** An ISP-like three-tier topology for large hybrid fluid/packet runs:
+    [cores] PoP switches in a chorded ring (short paths, little transit
+    through any single PoP), [access_per_core] access switches per PoP and
+    [hosts_per_access] hosts per access switch. Node creation order is
+    cores first, then per-PoP (access, its hosts), so
+    [List.filteri (fun i _ -> i / hosts_per_access = a) (hosts t)] are the
+    hosts behind the [a]-th access switch (PoP [a / access_per_core]).
+    Defaults: 12 PoPs x 2 x 4 = 96 hosts; 2 Gb/s core, 1 Gb/s access,
+    400 Mb/s host links. *)
+
 (** The paper's case-study topology (Figure 2): source edges behind an
     aggregation switch, two critical links toward the victim side, a longer
     detour path, and a victim region hosting the victim plus public decoy

@@ -1,0 +1,363 @@
+(* Tests for the hybrid fluid/packet simulation tier: the max-min solver,
+   analytic delivery, fluid<->packet coupling, demote/promote conservation,
+   and the differential properties anchoring the hybrid engine to the pure
+   packet engine. *)
+
+module T = Ff_topology.Topology
+module Engine = Ff_netsim.Engine
+module Net = Ff_netsim.Net
+module Flow = Ff_netsim.Flow
+module Monitor = Ff_netsim.Monitor
+module Fluid = Ff_fluid.Fluid
+module Hybrid = Ff_fluid.Hybrid
+module Scenario = Fastflex.Scenario
+module Prng = Ff_util.Prng
+
+let deep = match Sys.getenv_opt "DEEP" with Some ("1" | "true") -> true | _ -> false
+
+let make_net topo =
+  let engine = Engine.create () in
+  let net = Net.create engine topo in
+  Scenario.install_all_routes net;
+  (engine, net)
+
+(* dumbbell host ids: nodes are (left, right) switches then pairs of
+   (sender, receiver) hosts, so sender i = 2 + 2i, receiver i = 3 + 2i *)
+let db_src i = 2 + (2 * i)
+let db_dst i = 3 + (2 * i)
+
+(* ---------------- solver ---------------- *)
+
+let test_solver_maxmin_dumbbell () =
+  (* 3 constant classes over a 10 Mb/s bottleneck: demands 2, 8, 8 Mb/s.
+     Max-min: the 2 Mb/s class is served in full, the rest split the
+     remainder -> 4 Mb/s each. *)
+  let topo = T.dumbbell ~pairs:3 ~bottleneck:10_000_000. () in
+  let _, net = make_net topo in
+  let fl = Fluid.create net () in
+  let f1 = Fluid.add fl ~src:(db_src 0) ~dst:(db_dst 0) (Fluid.Constant { rate = 2e6 }) in
+  let f2 = Fluid.add fl ~src:(db_src 1) ~dst:(db_dst 1) (Fluid.Constant { rate = 8e6 }) in
+  let f3 = Fluid.add fl ~src:(db_src 2) ~dst:(db_dst 2) (Fluid.Constant { rate = 8e6 }) in
+  Fluid.recompute fl;
+  Alcotest.(check (float 1.)) "small demand served" 2e6 (Fluid.rate f1);
+  Alcotest.(check (float 1.)) "fair share 1" 4e6 (Fluid.rate f2);
+  Alcotest.(check (float 1.)) "fair share 2" 4e6 (Fluid.rate f3);
+  Alcotest.(check (float 1.)) "bottleneck load" 10e6 (Net.fluid_load net ~from_:0 ~to_:1);
+  Alcotest.(check (float 0.001)) "utilization folds fluid" 1.
+    (Net.utilization net ~from_:0 ~to_:1)
+
+let test_solver_multi_member_class () =
+  (* 5 flows of one class against 1 of another over the same bottleneck:
+     per-flow max-min shares are equal, so the 5-member class gets 5x the
+     aggregate of the single-member class. *)
+  let topo = T.dumbbell ~pairs:2 ~bottleneck:6_000_000. () in
+  let _, net = make_net topo in
+  let fl = Fluid.create net () in
+  let fives =
+    List.init 5 (fun _ ->
+        Fluid.add fl ~src:(db_src 0) ~dst:(db_dst 0) (Fluid.Constant { rate = 5e6 }))
+  in
+  let one = Fluid.add fl ~src:(db_src 1) ~dst:(db_dst 1) (Fluid.Constant { rate = 5e6 }) in
+  Fluid.recompute fl;
+  List.iter
+    (fun f -> Alcotest.(check (float 1.)) "per-flow share" 1e6 (Fluid.rate f))
+    (one :: fives);
+  Alcotest.(check int) "two classes" 2 (Fluid.classes fl)
+
+let test_fluid_delivery () =
+  (* analytic accrual: a single unconstrained 1 Mb/s flow delivers
+     exactly rate x time (no packetization slack) *)
+  let topo = T.dumbbell ~pairs:1 () in
+  let engine, net = make_net topo in
+  let fl = Fluid.create net () in
+  let f = Fluid.add fl ~src:(db_src 0) ~dst:(db_dst 0) (Fluid.Constant { rate = 1e6 }) in
+  Engine.run engine ~until:8.;
+  Alcotest.(check (float 1.)) "delivered = rate*t/8" 1e6 (Fluid.delivered_bytes fl f);
+  Alcotest.(check (float 1.)) "population total" 1e6 (Fluid.total_delivered_bytes fl);
+  Alcotest.(check (float 10.)) "hop bytes = delivered * 3 links" 3e6 (Fluid.hop_bytes fl);
+  Alcotest.(check bool) "solver ran periodically" true (Fluid.rate_events fl > 10)
+
+let test_fluid_displaces_packets () =
+  (* a fluid flood near capacity squeezes the packet tier's transmit
+     capacity down to the floor -> queue overflow drops *)
+  let topo = T.dumbbell ~pairs:2 ~bottleneck:1_000_000. () in
+  let engine, net = make_net topo in
+  let fl = Fluid.create net () in
+  let _flood =
+    Fluid.add fl ~src:(db_src 0) ~dst:(db_dst 0) (Fluid.Constant { rate = 5e6 })
+  in
+  let _cbr =
+    Flow.Cbr.start net ~src:(db_src 1) ~dst:(db_dst 1) ~rate_pps:60. ~at:0.
+      ~packet_size:1000 ()
+  in
+  Engine.run engine ~until:6.;
+  Alcotest.(check bool) "bottleneck drops under fluid load" true
+    (Net.link_drops net ~from_:0 ~to_:1 > 0);
+  Alcotest.(check bool) "utilization saturated" true
+    (Net.utilization net ~from_:0 ~to_:1 > 0.95)
+
+let test_aimd_ramp () =
+  (* an adaptive class alone on a big link ramps toward its window cap;
+     a constant class arriving mid-run knocks its share down *)
+  let topo = T.dumbbell ~pairs:2 ~bottleneck:10_000_000. () in
+  let engine, net = make_net topo in
+  let fl = Fluid.create net ~update_period:0.1 () in
+  let f =
+    Fluid.add fl ~src:(db_src 0) ~dst:(db_dst 0)
+      (Fluid.Adaptive { rtt = 0.05; max_rate = 8e6 })
+  in
+  Engine.run engine ~until:4.;
+  let ramped = Fluid.rate f in
+  Alcotest.(check bool) "ramped up" true (ramped > 1e6);
+  Alcotest.(check bool) "capped" true (ramped <= 8e6 +. 1.);
+  let _squeeze =
+    Fluid.add fl ~src:(db_src 1) ~dst:(db_dst 1) (Fluid.Constant { rate = 10e6 })
+  in
+  Engine.run engine ~until:8.;
+  Alcotest.(check bool) "share under contention below solo ramp" true
+    (Fluid.rate f < ramped)
+
+(* ---------------- monitor probes (flow-kind-agnostic goodput) ------------ *)
+
+let test_counter_probe () =
+  let topo = T.dumbbell ~pairs:1 () in
+  let engine, net = make_net topo in
+  let fl = Fluid.create net () in
+  let f = Fluid.add fl ~src:(db_src 0) ~dst:(db_dst 0) (Fluid.Constant { rate = 8e5 }) in
+  let series =
+    Monitor.aggregate_goodput net
+      ~probes:[ Monitor.counter_probe (fun () -> Fluid.delivered_bytes fl f) ]
+      ~period:0.5 ~until:10. ~name:"fluid" ()
+  in
+  Engine.run engine ~until:10.;
+  let pts = Ff_util.Series.points series in
+  Alcotest.(check bool) "sampled" true (List.length pts > 10);
+  (* steady state: every non-first sample sees 100 kB/s *)
+  let _, last = List.nth pts (List.length pts - 1) in
+  Alcotest.(check (float 100.)) "steady goodput" 1e5 last
+
+let test_cbr_probe () =
+  let topo = T.dumbbell ~pairs:1 () in
+  let engine, net = make_net topo in
+  let cbr =
+    Flow.Cbr.start net ~src:(db_src 0) ~dst:(db_dst 0) ~rate_pps:100. ~at:0.
+      ~packet_size:1000 ()
+  in
+  let series =
+    Monitor.aggregate_goodput net ~probes:[ Monitor.cbr_probe cbr ] ~period:1.
+      ~until:10. ~name:"cbr" ()
+  in
+  Engine.run engine ~until:10.;
+  let pts = Ff_util.Series.points series in
+  let _, last = List.nth pts (List.length pts - 1) in
+  Alcotest.(check (float 5_000.)) "cbr goodput ~100 kB/s" 1e5 last
+
+(* ---------------- hybrid demote/promote ---------------- *)
+
+let test_demote_promote_conservation () =
+  let topo = T.dumbbell ~pairs:1 () in
+  let engine, net = make_net topo in
+  let hy = Hybrid.create ~update_period:0.1 net () in
+  let m =
+    Hybrid.add_flow hy ~src:(db_src 0) ~dst:(db_dst 0)
+      (Hybrid.Cbr { rate_pps = 100.; packet_size = 1000 })
+  in
+  (* node 0 (left switch) is on the path: hot during [2,4] and [6,8] *)
+  List.iter
+    (fun at -> Engine.schedule engine ~at (fun () -> Hybrid.mark_hot hy ~node:0))
+    [ 2.; 6. ];
+  List.iter
+    (fun at -> Engine.schedule engine ~at (fun () -> Hybrid.clear_hot hy ~node:0))
+    [ 4.; 8. ];
+  Engine.run engine ~until:10.;
+  Alcotest.(check int) "two demotions" 2 (Hybrid.demotions hy);
+  Alcotest.(check int) "two promotions" 2 (Hybrid.promotions hy);
+  Alcotest.(check bool) "ends promoted" true (not (Hybrid.is_demoted m));
+  (* 100 kB/s x 10 s across four tier switches, conserved within a few
+     packets of in-flight slack at each switchover *)
+  let delivered = Hybrid.delivered_bytes hy m in
+  Alcotest.(check bool)
+    (Printf.sprintf "conserved across round-trips (got %.0f)" delivered)
+    true
+    (delivered > 0.97e6 && delivered < 1.01e6)
+
+let test_hybrid_scenario_smoke () =
+  let r =
+    (* only 3 bot PoPs exist at cores:6, so each aggregate carries more
+       volume to keep the flood above the 0.85 utilization threshold *)
+    Scenario.run_lfa_fluid ~flows:2_000 ~duration:10. ~cores:6 ~attack_start:2.
+      ~attack_stop:6. ~roll_at:4. ~flow_rate_bps:50_000.
+      ~attack_bps_per_flow:150_000_000. ()
+  in
+  Alcotest.(check bool) "benign bytes delivered" true (r.Scenario.fr_delivered_bytes > 0.);
+  Alcotest.(check bool) "modes fired" true (r.Scenario.fr_mode_changes > 0);
+  Alcotest.(check bool) "flows demoted around the attack" true (r.Scenario.fr_demotions > 0);
+  Alcotest.(check bool) "promoted back" true (r.Scenario.fr_promotions > 0);
+  Alcotest.(check bool) "rolled" true (r.Scenario.fr_rolls = 1);
+  Alcotest.(check bool) "fluid did the bulk of the work" true
+    (r.Scenario.fr_fluid_hop_bytes /. 1000. > float_of_int r.Scenario.fr_packet_tx)
+
+(* ---------------- differential properties ---------------- *)
+
+(* random multi-flow workload on a ring: (src, dst, rate_pps, start) *)
+let gen_workload =
+  QCheck2.Gen.(
+    let* n = int_range 3 6 in
+    let* flows = int_range 1 10 in
+    let* specs =
+      list_size (return flows)
+        (let* si = int_range 0 (n - 1) in
+         let* d_off = int_range 1 (n - 1) in
+         let* rate = int_range 5 40 in
+         let* at = int_range 0 20 in
+         return (si, (si + d_off) mod n, float_of_int rate, float_of_int at /. 10.))
+    in
+    return (n, specs))
+
+(* ring host ids: switches are 0..n-1, host i = n + i *)
+let ring_host n i = n + i
+
+let run_pure_packet (n, specs) =
+  let engine, net = make_net (T.ring ~n ()) in
+  let flows =
+    List.map
+      (fun (s, d, rate_pps, at) ->
+        Flow.Cbr.start net ~src:(ring_host n s) ~dst:(ring_host n d) ~rate_pps ~at
+          ~packet_size:600 ())
+      specs
+  in
+  Engine.run engine ~until:6.;
+  ( List.map Flow.Cbr.delivered_bytes flows,
+    Net.total_tx_packets net,
+    List.sort compare (Net.drops_by_reason net),
+    Engine.steps engine )
+
+let prop_force_packet_bit_identical =
+  QCheck2.Test.make ~count:(if deep then 200 else 40)
+    ~name:"hybrid(All_packet) is bit-identical to the pure packet engine"
+    gen_workload (fun ((n, specs) as w) ->
+      let d1, tx1, drops1, steps1 = run_pure_packet w in
+      let engine, net = make_net (T.ring ~n ()) in
+      let hy = Hybrid.create ~force:Hybrid.All_packet net () in
+      let members =
+        List.map
+          (fun (s, d, rate_pps, at) ->
+            Hybrid.add_flow hy ~src:(ring_host n s) ~dst:(ring_host n d) ~at
+              (Hybrid.Cbr { rate_pps; packet_size = 600 }))
+          specs
+      in
+      (* a hot-region source must be inert under All_packet forcing *)
+      Hybrid.mark_hot hy ~node:0;
+      Engine.run engine ~until:6.;
+      let d2 = List.map (Hybrid.delivered_bytes hy) members in
+      d1 = d2
+      && tx1 = Net.total_tx_packets net
+      && drops1 = List.sort compare (Net.drops_by_reason net)
+      && steps1 = Engine.steps engine
+      && Hybrid.demoted_count hy = 0)
+
+let prop_fluid_matches_packet_aggregate =
+  QCheck2.Test.make ~count:(if deep then 100 else 25)
+    ~name:"all-fluid aggregate delivery within 15% of all-packet (uncongested)"
+    gen_workload (fun (n, specs) ->
+      (* keep each link uncongested: ring links are 10 Mb/s and worst-case
+         overlap is all flows on one link; 10 flows x 40 pps x 600 B
+         = 1.9 Mb/s << capacity, so both tiers deliver the offered load *)
+      let d_packet, _, _, _ = run_pure_packet (n, specs) in
+      let engine, net = make_net (T.ring ~n ()) in
+      let hy = Hybrid.create ~force:Hybrid.All_fluid ~update_period:0.1 net () in
+      let members =
+        List.map
+          (fun (s, d, rate_pps, at) ->
+            Hybrid.add_flow hy ~src:(ring_host n s) ~dst:(ring_host n d) ~at
+              (Hybrid.Cbr { rate_pps; packet_size = 600 }))
+          specs
+      in
+      Engine.run engine ~until:6.;
+      let sum = List.fold_left ( +. ) 0. in
+      let p = sum d_packet in
+      let f = sum (List.map (Hybrid.delivered_bytes hy) members) in
+      let tol = Float.max (0.15 *. p) 5_000. in
+      Float.abs (p -. f) <= tol)
+
+let prop_roundtrip_conserves_delivery =
+  QCheck2.Test.make ~count:(if deep then 100 else 25)
+    ~name:"demote/promote round-trips conserve delivered bytes (within slack)"
+    QCheck2.Gen.(
+      let* w = gen_workload in
+      let* toggles = int_range 1 4 in
+      return (w, toggles))
+    (fun (((n, specs) as w), toggles) ->
+      (* baseline: all-fluid, no tier churn *)
+      let engine0, net0 = make_net (T.ring ~n ()) in
+      let hy0 = Hybrid.create ~force:Hybrid.All_fluid ~update_period:0.1 net0 () in
+      let ms0 =
+        List.map
+          (fun (s, d, rate_pps, at) ->
+            Hybrid.add_flow hy0 ~src:(ring_host n s) ~dst:(ring_host n d) ~at
+              (Hybrid.Cbr { rate_pps; packet_size = 600 }))
+          specs
+      in
+      Engine.run engine0 ~until:8.;
+      let base =
+        List.fold_left (fun a m -> a +. Hybrid.delivered_bytes hy0 m) 0. ms0
+      in
+      (* same workload with every switch toggling hot/cold: every flow is
+         demoted and promoted [toggles] times *)
+      let engine, net = make_net (T.ring ~n ()) in
+      let hy = Hybrid.create ~update_period:0.1 net () in
+      let ms =
+        List.map
+          (fun (s, d, rate_pps, at) ->
+            Hybrid.add_flow hy ~src:(ring_host n s) ~dst:(ring_host n d) ~at
+              (Hybrid.Cbr { rate_pps; packet_size = 600 }))
+          specs
+      in
+      for k = 0 to toggles - 1 do
+        let at = 2.5 +. float_of_int k in
+        Engine.schedule engine ~at (fun () ->
+            for sw = 0 to n - 1 do
+              Hybrid.mark_hot hy ~node:sw
+            done);
+        Engine.schedule engine ~at:(at +. 0.5) (fun () ->
+            for sw = 0 to n - 1 do
+              Hybrid.clear_hot hy ~node:sw
+            done)
+      done;
+      Engine.run engine ~until:8.;
+      let got = List.fold_left (fun a m -> a +. Hybrid.delivered_bytes hy m) 0. ms in
+      ignore w;
+      Hybrid.promotions hy >= List.length specs
+      (* each switchover can strand at most ~an RTT of in-flight bytes;
+         CBR rates here bound that well under 10% of total *)
+      && Float.abs (got -. base) <= Float.max (0.12 *. base) 10_000.)
+
+let () =
+  Alcotest.run "fluid"
+    [
+      ( "solver",
+        [
+          Alcotest.test_case "maxmin dumbbell" `Quick test_solver_maxmin_dumbbell;
+          Alcotest.test_case "multi-member class" `Quick test_solver_multi_member_class;
+          Alcotest.test_case "analytic delivery" `Quick test_fluid_delivery;
+          Alcotest.test_case "fluid displaces packets" `Quick test_fluid_displaces_packets;
+          Alcotest.test_case "aimd ramp" `Quick test_aimd_ramp;
+        ] );
+      ( "probes",
+        [
+          Alcotest.test_case "counter probe" `Quick test_counter_probe;
+          Alcotest.test_case "cbr probe" `Quick test_cbr_probe;
+        ] );
+      ( "hybrid",
+        [
+          Alcotest.test_case "demote/promote conservation" `Quick
+            test_demote_promote_conservation;
+          Alcotest.test_case "isp scenario smoke" `Quick test_hybrid_scenario_smoke;
+        ] );
+      ( "differential",
+        [
+          Test_seed.to_alcotest prop_force_packet_bit_identical;
+          Test_seed.to_alcotest prop_fluid_matches_packet_aggregate;
+          Test_seed.to_alcotest prop_roundtrip_conserves_delivery;
+        ] );
+    ]
