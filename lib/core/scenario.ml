@@ -306,6 +306,9 @@ type fluid_result = {
   fr_mode_changes : int;
   fr_rolls : int;
   fr_rate_events : int;
+  fr_solver : Fluid.solver_stats;
+  fr_touched_frac : float;
+  fr_demote_denied : int;
   fr_goodput : Series.t;
   fr_drops : (string * int) list;
 }
@@ -343,7 +346,8 @@ let run_lfa_fluid ?(flows = 100_000) ?(duration = 40.) ?(force = Hybrid.Auto)
     ?(defended = true) ?(seed = 11) ?(flow_rate_bps = 25_000.) ?(packet_size = 1000)
     ?(update_period = 0.25) ?(cores = 12) ?(access_per_core = 2) ?(hosts_per_access = 4)
     ?(attack_start = 10.) ?(attack_stop = 18.) ?(roll_at = 14.)
-    ?(attack_bps_per_flow = 60_000_000.) ?(packet_recon = true) ?obs () =
+    ?(attack_bps_per_flow = 60_000_000.) ?(packet_recon = true)
+    ?solver ?demote_budget ?(goodput_period = 0.5) ?obs () =
   let topo =
     Topology.isp ~cores ~access_per_core ~hosts_per_access ()
   in
@@ -373,7 +377,7 @@ let run_lfa_fluid ?(flows = 100_000) ?(duration = 40.) ?(force = Hybrid.Auto)
         let p = List.nth pops (int_of_float (float_of_int i *. step)) in
         host_arr.(p * access_per_core * hosts_per_access))
   in
-  let hybrid = Hybrid.create ~force ~update_period net () in
+  let hybrid = Hybrid.create ~force ~update_period ?solver ?demote_budget net () in
   (* benign population: uniform-rate CBR-class flows between random host
      pairs; one rate level keeps the path-class count at O(host pairs) *)
   let rng = Ff_util.Prng.create ~seed in
@@ -426,7 +430,7 @@ let run_lfa_fluid ?(flows = 100_000) ?(duration = 40.) ?(force = Hybrid.Auto)
   let fr_goodput =
     Monitor.aggregate_goodput net
       ~probes:[ Monitor.counter_probe benign_delivered ]
-      ~period:0.5 ~until:duration ~name:"fluid_goodput" ()
+      ~period:goodput_period ~until:duration ~name:"fluid_goodput" ()
   in
   Engine.run engine ~until:duration;
   ignore volume;
@@ -455,6 +459,9 @@ let run_lfa_fluid ?(flows = 100_000) ?(duration = 40.) ?(force = Hybrid.Auto)
       | None -> 0);
     fr_rolls = List.length (Ff_attacks.Lfa.Fluid_volume.rolls volume);
     fr_rate_events = Fluid.rate_events fluid;
+    fr_solver = Fluid.solver_stats fluid;
+    fr_touched_frac = Fluid.touched_frac fluid;
+    fr_demote_denied = Hybrid.demote_denied hybrid;
     fr_goodput;
     fr_drops = Net.drops_by_reason net;
   }

@@ -119,6 +119,12 @@ type fluid_result = {
   fr_mode_changes : int;
   fr_rolls : int;
   fr_rate_events : int;  (** fluid solver invocations *)
+  fr_solver : Ff_fluid.Fluid.solver_stats;
+      (** incremental-solver telemetry: full-solve fallbacks, classes
+          touched per re-solve, loss-coupled AIMD cuts *)
+  fr_touched_frac : float;
+      (** fraction of active classes the solver actually re-assigned *)
+  fr_demote_denied : int;  (** demotions suppressed by [demote_budget] *)
   fr_goodput : Ff_util.Series.t;  (** benign aggregate goodput, bytes/s *)
   fr_drops : (string * int) list;
 }
@@ -144,6 +150,9 @@ val run_lfa_fluid :
   ?roll_at:float ->
   ?attack_bps_per_flow:float ->
   ?packet_recon:bool ->
+  ?solver:Ff_fluid.Fluid.solver_mode ->
+  ?demote_budget:int ->
+  ?goodput_period:float ->
   ?obs:Ff_obs.Trace.t ->
   unit ->
   fluid_result

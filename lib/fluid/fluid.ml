@@ -1,24 +1,50 @@
 module Net = Ff_netsim.Net
 module Engine = Ff_netsim.Engine
 module Event = Ff_obs.Event
+module Vec = Ff_util.Vec
 
 type kind =
   | Constant of { rate : float }
   | Adaptive of { rtt : float; max_rate : float }
 
+type solver_mode = Incremental | Always_full
+
+type solver_stats = {
+  solves : int;
+  skipped : int;
+  full_solves : int;
+  touched_classes : int;
+  seen_classes : int;
+  loss_cuts : int;
+  max_component : int;
+}
+
 type clss = {
+  c_id : int;
   c_src : int;
   c_dst : int;
   c_kind : kind;
+  mutable c_gen : int;  (* bumped on re-route; stale incidence entries carry old gens *)
   mutable c_path : int array;  (* node ids, hosts included; [||] = unroutable *)
+  mutable c_links : int array;  (* directed-link indices along c_path *)
   mutable c_members : int;
   mutable c_rate : float;  (* per-flow allocated rate, bits/s *)
   mutable c_cum_bits : float;  (* per-flow delivered-bits integral *)
-  mutable c_cap : float;  (* AIMD cap (Adaptive); offered rate (Constant) *)
+  (* Closed-form AIMD cap: cap(t) = min(max_rate, base + slope*(t - t0)).
+     Evaluated absolutely at every solve (never accumulated) so a class
+     solved lazily produces the same bits as one solved eagerly. *)
+  mutable c_cap : float;  (* cap(now) as of the last evaluation *)
+  mutable c_cap_base : float;
+  mutable c_cap_t0 : float;
   mutable c_last_cut : float;
-  (* solver scratch *)
-  mutable c_frozen : bool;
+  mutable c_pending : bool;  (* queued as a dirty seed for the next solve *)
+  (* solver scratch, epoch/stamp-guarded so it never needs clearing *)
   mutable c_bound : float;
+  mutable c_active : bool;
+  mutable c_touch : int;  (* epoch: member of the touched set *)
+  mutable c_done : int;  (* epoch: rate assigned this solve *)
+  mutable c_comp : int;  (* fill stamp: collected into the current component *)
+  mutable c_frozen : int;  (* fill stamp: frozen during the current fill *)
 }
 
 type flow = {
@@ -32,65 +58,294 @@ type t = {
   net : Net.t;
   period : float;
   mss_bits : float;
+  mode : solver_mode;
+  full_frac : float;
   tbl : (int * int * kind, clss) Hashtbl.t;
+  mutable cls : clss array;  (* dense store, index = c_id *)
+  mutable n_cls : int;
+  nil : clss;  (* growth filler *)
+  (* per directed link, dense; all arrays sized Net.n_dirlinks *)
+  n_links : int;
+  l_inc : Vec.t array;  (* incidence: flat (class id, gen) pairs *)
+  l_stale : int array;  (* stale incidence entries, drives compaction *)
+  l_has : bool array;  (* ever carried a class (member of links_used) *)
+  l_demand : float array;  (* sum of member-weighted bounds crossing *)
+  l_avail : float array;  (* capacity net of measured packet bps *)
+  l_pkt : float array;  (* last observed packet bps, for drift detection *)
+  l_load : float array;  (* fluid load pushed to Net last solve *)
+  l_rem : float array;  (* fill scratch: remaining capacity *)
+  l_w : float array;  (* fill scratch: unfrozen member weight *)
+  l_contended : bool array;  (* demand exceeds avail: a potential bottleneck *)
+  l_pending : bool array;
+  l_dropped : bool array;
+  l_seen : int array;  (* epoch: expanded during the touched closure *)
+  l_fill : int array;  (* fill stamp: member of the current component *)
+  l_reload : int array;  (* epoch: queued for a load re-push *)
+  links_used : Vec.t;
+  pending_cls : Vec.t;
+  pending_links : Vec.t;
+  drop_links : Vec.t;
+  touched : Vec.t;
+  comp : Vec.t;
+  comp_links : Vec.t;
+  reload : Vec.t;
+  mutable sort_buf : int array;
+  mutable epoch : int;
+  mutable fill_stamp : int;
   mutable attached : int;
   mutable armed : bool;  (* a solve tick is scheduled *)
   mutable last_advance : float;
-  mutable last_solve : float;
   mutable delivered_bits : float;
   mutable hop_bits : float;
   mutable rate_events : int;
-  mutable loaded : (int * int) list;  (* links carrying fluid load last solve *)
+  mutable st_solves : int;
+  mutable st_skipped : int;
+  mutable st_full : int;
+  mutable st_touched : int;
+  mutable st_seen : int;
+  mutable st_loss_cuts : int;
+  mutable st_max_comp : int;
 }
 
-let create ?(update_period = 0.25) ?(mss_bits = 12_000.) net () =
+let nil_class =
+  {
+    c_id = -1;
+    c_src = -1;
+    c_dst = -1;
+    c_kind = Constant { rate = 0. };
+    c_gen = 0;
+    c_path = [||];
+    c_links = [||];
+    c_members = 0;
+    c_rate = 0.;
+    c_cum_bits = 0.;
+    c_cap = 0.;
+    c_cap_base = 0.;
+    c_cap_t0 = 0.;
+    c_last_cut = 0.;
+    c_pending = false;
+    c_bound = 0.;
+    c_active = false;
+    c_touch = 0;
+    c_done = 0;
+    c_comp = 0;
+    c_frozen = 0;
+  }
+
+let create ?(update_period = 0.25) ?(mss_bits = 12_000.)
+    ?(solver = Incremental) ?(full_frac = 0.6) net () =
+  let n_links = Net.n_dirlinks net in
   {
     net;
     period = update_period;
     mss_bits;
+    mode = solver;
+    full_frac;
     tbl = Hashtbl.create 256;
+    cls = Array.make 64 nil_class;
+    n_cls = 0;
+    nil = nil_class;
+    n_links;
+    l_inc = Array.init n_links (fun _ -> Vec.create ());
+    l_stale = Array.make n_links 0;
+    l_has = Array.make n_links false;
+    l_demand = Array.make n_links 0.;
+    l_avail = Array.make n_links 0.;
+    l_pkt = Array.make n_links 0.;
+    l_load = Array.make n_links 0.;
+    l_rem = Array.make n_links 0.;
+    l_w = Array.make n_links 0.;
+    l_contended = Array.make n_links false;
+    l_pending = Array.make n_links false;
+    l_dropped = Array.make n_links false;
+    l_seen = Array.make n_links 0;
+    l_fill = Array.make n_links 0;
+    l_reload = Array.make n_links 0;
+    links_used = Vec.create ();
+    pending_cls = Vec.create ();
+    pending_links = Vec.create ();
+    drop_links = Vec.create ();
+    touched = Vec.create ();
+    comp = Vec.create ();
+    comp_links = Vec.create ();
+    reload = Vec.create ();
+    sort_buf = Array.make 64 0;
+    epoch = 0;
+    fill_stamp = 0;
     attached = 0;
     armed = false;
     last_advance = Net.now net;
-    last_solve = Net.now net;
     delivered_bits = 0.;
     hop_bits = 0.;
     rate_events = 0;
-    loaded = [];
+    st_solves = 0;
+    st_skipped = 0;
+    st_full = 0;
+    st_touched = 0;
+    st_seen = 0;
+    st_loss_cuts = 0;
+    st_max_comp = 0;
   }
 
 let net t = t.net
 let update_period t = t.period
+let solver t = t.mode
 let is_attached f = f.f_attached
 let src f = f.f_cls.c_src
 let dst f = f.f_cls.c_dst
 let path f = Array.to_list f.f_cls.c_path
+let class_id f = f.f_cls.c_id
 let rate f = if f.f_attached then f.f_cls.c_rate else 0.
+let cap f = f.f_cls.c_cap
 let attached_flows t = t.attached
-let classes t = Hashtbl.length t.tbl
+let classes t = t.n_cls
 let rate_events t = t.rate_events
 let hop_bytes t = t.hop_bits /. 8.
 
-let resolve_path t ~src ~dst =
-  match Net.current_path t.net ~src ~dst with
-  | Some p when List.length p >= 2 -> Array.of_list p
-  | _ -> [||]
+let path_crosses f ~f:pred =
+  let p = f.f_cls.c_path in
+  let n = Array.length p in
+  let rec go i = i < n && (pred p.(i) || go (i + 1)) in
+  go 0
+
+let solver_stats t =
+  {
+    solves = t.st_solves;
+    skipped = t.st_skipped;
+    full_solves = t.st_full;
+    touched_classes = t.st_touched;
+    seen_classes = t.st_seen;
+    loss_cuts = t.st_loss_cuts;
+    max_component = t.st_max_comp;
+  }
+
+let touched_frac t =
+  if t.st_seen = 0 then 0.
+  else float_of_int t.st_touched /. float_of_int t.st_seen
+
+let dump_rates t =
+  let acc = ref [] in
+  for id = t.n_cls - 1 downto 0 do
+    let c = t.cls.(id) in
+    acc := (id, c.c_rate, c.c_cap) :: !acc
+  done;
+  !acc
+
+let cap_now t c now =
+  match c.c_kind with
+  | Constant { rate } -> rate
+  | Adaptive { rtt; max_rate } ->
+    let v = c.c_cap_base +. (t.mss_bits /. (rtt *. rtt) *. (now -. c.c_cap_t0)) in
+    if v > max_rate then max_rate else v
+
+(* ---- dirty-set plumbing ------------------------------------------------ *)
+
+let mark_class_dirty t c =
+  if not c.c_pending then begin
+    c.c_pending <- true;
+    Vec.push t.pending_cls c.c_id
+  end
+
+let mark_link_dirty t li =
+  if li >= 0 && li < t.n_links && not t.l_pending.(li) then begin
+    t.l_pending.(li) <- true;
+    Vec.push t.pending_links li
+  end
+
+let note_drop t li =
+  if li >= 0 && li < t.n_links && not t.l_dropped.(li) then begin
+    t.l_dropped.(li) <- true;
+    Vec.push t.drop_links li
+  end
+
+(* The hook only mutates solver-side flags — it schedules no engine events
+   and touches no packet state, so installing it preserves the All_packet
+   bit-identity anchor. *)
+let enable_loss_coupling t = Net.set_drop_hook t.net (Some (fun li -> note_drop t li))
+
+(* Iterate the live incident classes of a link (stale generations skipped). *)
+let iter_inc t li f =
+  let inc = t.l_inc.(li) in
+  let n = Vec.length inc in
+  let j = ref 0 in
+  while !j + 1 < n do
+    let id = Vec.get inc !j and gen = Vec.get inc (!j + 1) in
+    let c = t.cls.(id) in
+    if c.c_gen = gen then f c;
+    j := !j + 2
+  done
+
+(* ---- routing / incidence maintenance ----------------------------------- *)
+
+let link_path t nodes =
+  let n = Array.length nodes in
+  if n < 2 then [||]
+  else begin
+    let ls = Array.make (n - 1) (-1) in
+    let ok = ref true in
+    for i = 0 to n - 2 do
+      let li = Net.link_index t.net ~from_:nodes.(i) ~to_:nodes.(i + 1) in
+      if li < 0 then ok := false else ls.(i) <- li
+    done;
+    if !ok then ls else [||]
+  end
+
+let resolve_class t c =
+  (* retire the old incidence entries and make sure the old links' loads
+     get re-pushed even if no live class references them afterwards *)
+  Array.iter
+    (fun li ->
+      t.l_stale.(li) <- t.l_stale.(li) + 1;
+      mark_link_dirty t li)
+    c.c_links;
+  c.c_gen <- c.c_gen + 1;
+  let nodes =
+    match Net.current_path t.net ~src:c.c_src ~dst:c.c_dst with
+    | Some p when List.length p >= 2 -> Array.of_list p
+    | _ -> [||]
+  in
+  let links = link_path t nodes in
+  if Array.length links = 0 then begin
+    c.c_path <- [||];
+    c.c_links <- [||]
+  end
+  else begin
+    c.c_path <- nodes;
+    c.c_links <- links;
+    Array.iter
+      (fun li ->
+        if not t.l_has.(li) then begin
+          t.l_has.(li) <- true;
+          Vec.push t.links_used li
+        end;
+        let inc = t.l_inc.(li) in
+        Vec.push inc c.c_id;
+        Vec.push inc c.c_gen;
+        (* compact when over half the entries are stale *)
+        if t.l_stale.(li) * 4 > Vec.length inc then begin
+          Vec.filter_pairs_in_place (fun id gen -> t.cls.(id).c_gen = gen) inc;
+          t.l_stale.(li) <- 0
+        end)
+      links
+  end
+
+(* ---- analytic advance -------------------------------------------------- *)
 
 let advance t =
   let now = Net.now t.net in
   let dt = now -. t.last_advance in
   if dt > 0. then begin
-    Hashtbl.iter
-      (fun _ c ->
-        if c.c_members > 0 && c.c_rate > 0. then begin
-          let per_flow = c.c_rate *. dt in
-          let agg = per_flow *. float_of_int c.c_members in
-          c.c_cum_bits <- c.c_cum_bits +. per_flow;
-          t.delivered_bits <- t.delivered_bits +. agg;
-          t.hop_bits <-
-            t.hop_bits +. (agg *. float_of_int (Array.length c.c_path - 1))
-        end)
-      t.tbl;
+    for id = 0 to t.n_cls - 1 do
+      let c = t.cls.(id) in
+      if c.c_members > 0 && c.c_rate > 0. then begin
+        let per_flow = c.c_rate *. dt in
+        let agg = per_flow *. float_of_int c.c_members in
+        c.c_cum_bits <- c.c_cum_bits +. per_flow;
+        t.delivered_bits <- t.delivered_bits +. agg;
+        t.hop_bits <-
+          t.hop_bits +. (agg *. float_of_int (Array.length c.c_path - 1))
+      end
+    done;
     t.last_advance <- now
   end
 
@@ -99,20 +354,25 @@ let total_delivered_bytes t =
   t.delivered_bits /. 8.
 
 let total_rate t =
-  Hashtbl.fold
-    (fun _ c acc -> acc +. (c.c_rate *. float_of_int c.c_members))
-    t.tbl 0.
+  let acc = ref 0. in
+  for id = 0 to t.n_cls - 1 do
+    let c = t.cls.(id) in
+    acc := !acc +. (c.c_rate *. float_of_int c.c_members)
+  done;
+  !acc
 
 let offered_rate t =
-  Hashtbl.fold
-    (fun _ c acc ->
-      let per =
-        match c.c_kind with
-        | Constant { rate } -> rate
-        | Adaptive { max_rate; _ } -> max_rate
-      in
-      acc +. (per *. float_of_int c.c_members))
-    t.tbl 0.
+  let acc = ref 0. in
+  for id = 0 to t.n_cls - 1 do
+    let c = t.cls.(id) in
+    let per =
+      match c.c_kind with
+      | Constant { rate } -> rate
+      | Adaptive { max_rate; _ } -> max_rate
+    in
+    acc := !acc +. (per *. float_of_int c.c_members)
+  done;
+  !acc
 
 let delivered_bytes t f =
   if f.f_attached then begin
@@ -121,157 +381,400 @@ let delivered_bytes t f =
   end
   else f.f_base
 
-(* ---- the max-min solver ------------------------------------------------ *)
+(* ---- the incremental max-min solver ------------------------------------ *)
+(*
+   The max-min allocation decomposes exactly: a link whose member-weighted
+   bound demand fits inside its available capacity can never saturate during
+   progressive filling (every class's rate is at most its bound), so only
+   "contended" links — demand > avail — act as constraints. Classes crossing
+   no contended link take rate = bound outright; the rest split into
+   connected components through shared contended links, and each component
+   is water-filled independently with its own level.
 
-type slink = {
-  mutable s_rem : float;  (* capacity left for still-unfrozen classes *)
-  s_init : float;
-  mutable s_w : float;  (* member count of unfrozen classes crossing *)
-  mutable s_classes : clss list;
-  mutable s_load : float;
-}
+   Both solver modes run exactly this per-component algorithm; Incremental
+   merely skips components with no dirtied input. Because a component solve
+   is a pure function of (its class set, bounds, link avails) evaluated in
+   a canonical order (entry at the lowest class id, classes sorted by
+   (bound, id)), splicing a re-solved component into an untouched global
+   solution is bit-identical to re-solving everything.
+*)
 
-let solve t =
-  let now = Net.now t.net in
-  let dt_ai = now -. t.last_solve in
-  t.last_solve <- now;
-  (* gather active classes; unroutable or empty ones get rate 0 *)
-  let active = ref [] in
-  Hashtbl.iter
-    (fun _ c ->
-      if c.c_members > 0 && Array.length c.c_path >= 2 then begin
-        (match c.c_kind with
-        | Constant { rate } -> c.c_bound <- rate
-        | Adaptive { rtt; max_rate } ->
-          (* additive increase: one MSS per RTT, each RTT *)
-          if dt_ai > 0. then
-            c.c_cap <-
-              Float.min max_rate (c.c_cap +. (t.mss_bits /. (rtt *. rtt) *. dt_ai));
-          c.c_bound <- c.c_cap);
-        c.c_frozen <- false;
-        active := c :: !active
+(* In-place heapsort of sort_buf[0..n-1] by (c_bound, c_id): allocation-free
+   and deterministic, unlike sorting a freshly built array per component. *)
+let sort_comp t n =
+  let a = t.sort_buf in
+  let less i j =
+    let ci = t.cls.(a.(i)) and cj = t.cls.(a.(j)) in
+    ci.c_bound < cj.c_bound || (ci.c_bound = cj.c_bound && ci.c_id < cj.c_id)
+  in
+  let swap i j =
+    let x = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- x
+  in
+  let rec sift i len =
+    let l = (2 * i) + 1 in
+    if l < len then begin
+      let m = if l + 1 < len && less l (l + 1) then l + 1 else l in
+      if less i m then begin
+        swap i m;
+        sift m len
       end
-      else c.c_rate <- 0.)
-    t.tbl;
-  let acts = Array.of_list !active in
-  Array.sort (fun a b -> compare a.c_bound b.c_bound) acts;
-  let n = Array.length acts in
-  (* per-solve directed-link table: capacity net of measured packet load *)
-  let ltbl : (int * int, slink) Hashtbl.t = Hashtbl.create 512 in
-  let slink_of from_ to_ =
-    match Hashtbl.find_opt ltbl (from_, to_) with
-    | Some sl -> sl
-    | None ->
-      let cap = Net.link_capacity t.net ~from_ ~to_ in
-      let avail = Float.max 0. (cap -. Net.link_packet_bps t.net ~from_ ~to_) in
-      let sl =
-        { s_rem = avail; s_init = avail; s_w = 0.; s_classes = []; s_load = 0. }
-      in
-      Hashtbl.add ltbl (from_, to_) sl;
-      sl
+    end
   in
-  let iter_hops c f =
-    for i = 0 to Array.length c.c_path - 2 do
-      f (slink_of c.c_path.(i) c.c_path.(i + 1))
-    done
-  in
-  Array.iter
-    (fun c ->
-      let w = float_of_int c.c_members in
-      iter_hops c (fun sl ->
-          sl.s_w <- sl.s_w +. w;
-          sl.s_classes <- c :: sl.s_classes))
-    acts;
-  let links = Hashtbl.fold (fun _ sl acc -> sl :: acc) ltbl [] in
-  (* progressive filling: all unfrozen classes share one rising water
-     level; each round freezes the classes that hit their bound or cross a
-     link that just saturated, so rounds <= distinct bounds + links. *)
+  for i = (n / 2) - 1 downto 0 do
+    sift i n
+  done;
+  for len = n - 1 downto 1 do
+    swap 0 len;
+    sift 0 len
+  done
+
+let fill_component t epoch entry now =
+  let stamp = t.fill_stamp + 1 in
+  t.fill_stamp <- stamp;
+  Vec.clear t.comp;
+  Vec.clear t.comp_links;
+  entry.c_comp <- stamp;
+  Vec.push t.comp entry.c_id;
+  let qi = ref 0 in
+  while !qi < Vec.length t.comp do
+    let c = t.cls.(Vec.get t.comp !qi) in
+    incr qi;
+    Array.iter
+      (fun li ->
+        if t.l_contended.(li) && t.l_fill.(li) <> stamp then begin
+          t.l_fill.(li) <- stamp;
+          Vec.push t.comp_links li;
+          t.l_rem.(li) <- t.l_avail.(li);
+          t.l_w.(li) <- 0.;
+          iter_inc t li (fun c2 ->
+              if c2.c_active && c2.c_comp <> stamp then begin
+                c2.c_comp <- stamp;
+                Vec.push t.comp c2.c_id
+              end)
+        end)
+      c.c_links
+  done;
+  let n = Vec.length t.comp in
+  if n > t.st_max_comp then t.st_max_comp <- n;
+  if Array.length t.sort_buf < n then t.sort_buf <- Array.make (2 * n) 0;
+  for k = 0 to n - 1 do
+    t.sort_buf.(k) <- Vec.get t.comp k
+  done;
+  sort_comp t n;
+  let nlc = Vec.length t.comp_links in
+  for k = 0 to n - 1 do
+    let c = t.cls.(t.sort_buf.(k)) in
+    let w = float_of_int c.c_members in
+    Array.iter
+      (fun li -> if t.l_fill.(li) = stamp then t.l_w.(li) <- t.l_w.(li) +. w)
+      c.c_links
+  done;
+  (* progressive filling: the component's unfrozen classes share one rising
+     water level; each round freezes the classes that hit their bound or
+     cross a link that just saturated. *)
   let unfrozen = ref n in
   let level = ref 0. in
   let bi = ref 0 in
   let freeze c r =
-    c.c_frozen <- true;
+    c.c_frozen <- stamp;
+    c.c_done <- epoch;
     c.c_rate <- Float.max 0. r;
     decr unfrozen;
     let w = float_of_int c.c_members in
-    iter_hops c (fun sl -> sl.s_w <- sl.s_w -. w)
+    Array.iter
+      (fun li -> if t.l_fill.(li) = stamp then t.l_w.(li) <- t.l_w.(li) -. w)
+      c.c_links
   in
   while !unfrozen > 0 do
-    while !bi < n && acts.(!bi).c_frozen do incr bi done;
-    let b = if !bi < n then acts.(!bi).c_bound -. !level else infinity in
-    let s =
-      List.fold_left
-        (fun acc sl -> if sl.s_w > 0. then Float.min acc (sl.s_rem /. sl.s_w) else acc)
-        infinity links
+    while !bi < n && t.cls.(t.sort_buf.(!bi)).c_frozen = stamp do
+      incr bi
+    done;
+    let b =
+      if !bi < n then t.cls.(t.sort_buf.(!bi)).c_bound -. !level else infinity
     in
-    let delta = Float.max 0. (Float.min b s) in
+    let s = ref infinity in
+    for k = 0 to nlc - 1 do
+      let li = Vec.get t.comp_links k in
+      if t.l_w.(li) > 0. then begin
+        let v = t.l_rem.(li) /. t.l_w.(li) in
+        if v < !s then s := v
+      end
+    done;
+    let delta = Float.max 0. (Float.min b !s) in
     level := !level +. delta;
-    List.iter
-      (fun sl -> if sl.s_w > 0. then sl.s_rem <- sl.s_rem -. (delta *. sl.s_w))
-      links;
+    for k = 0 to nlc - 1 do
+      let li = Vec.get t.comp_links k in
+      if t.l_w.(li) > 0. then t.l_rem.(li) <- t.l_rem.(li) -. (delta *. t.l_w.(li))
+    done;
     let before = !unfrozen in
-    if b <= s then begin
+    if b <= !s then begin
       (* bound(s) reached: freeze every class whose bound is at the level *)
-      let continue = ref true in
-      while !continue && !bi < n do
-        let c = acts.(!bi) in
-        if c.c_frozen then incr bi
+      let continue_ = ref true in
+      while !continue_ && !bi < n do
+        let c = t.cls.(t.sort_buf.(!bi)) in
+        if c.c_frozen = stamp then incr bi
         else if c.c_bound <= !level +. (1e-9 *. (Float.abs !level +. 1.)) then begin
           freeze c c.c_bound;
           incr bi
         end
-        else continue := false
+        else continue_ := false
       done
     end
     else
       (* a link saturated: its surviving classes are stuck at the level *)
-      List.iter
-        (fun sl ->
-          if sl.s_w > 0. && sl.s_rem <= 1e-9 *. (sl.s_init +. 1.) then
-            List.iter (fun c -> if not c.c_frozen then freeze c !level) sl.s_classes)
-        links;
+      for k = 0 to nlc - 1 do
+        let li = Vec.get t.comp_links k in
+        if t.l_w.(li) > 0. && t.l_rem.(li) <= 1e-9 *. (t.l_avail.(li) +. 1.) then
+          iter_inc t li (fun c2 ->
+              if c2.c_comp = stamp && c2.c_frozen <> stamp then freeze c2 !level)
+      done;
     if !unfrozen = before && !unfrozen > 0 then begin
       (* numerical failsafe: force progress at the bound pointer *)
-      while !bi < n && acts.(!bi).c_frozen do incr bi done;
-      if !bi < n then freeze acts.(!bi) !level else unfrozen := 0
+      while !bi < n && t.cls.(t.sort_buf.(!bi)).c_frozen = stamp do
+        incr bi
+      done;
+      if !bi < n then begin
+        freeze t.cls.(t.sort_buf.(!bi)) !level;
+        incr bi
+      end
+      else unfrozen := 0
     end
   done;
   (* AIMD back-off: bottlenecked adaptive classes halve their overshoot
      toward the share, at most once per RTT *)
-  Array.iter
-    (fun c ->
-      match c.c_kind with
-      | Adaptive { rtt; _ } ->
-        if c.c_rate < c.c_cap *. 0.999 && now -. c.c_last_cut >= rtt then begin
-          c.c_cap <-
-            Float.max (t.mss_bits /. rtt) (c.c_rate +. (0.5 *. (c.c_cap -. c.c_rate)));
-          c.c_last_cut <- now
-        end
-      | Constant _ -> ())
-    acts;
-  (* push per-link fluid loads into the packet tier *)
-  Array.iter
-    (fun c ->
-      let load = c.c_rate *. float_of_int c.c_members in
-      iter_hops c (fun sl -> sl.s_load <- sl.s_load +. load))
-    acts;
-  let newly_loaded = ref [] in
-  Hashtbl.iter
-    (fun (from_, to_) sl ->
-      Net.set_fluid_load t.net ~from_ ~to_ sl.s_load;
-      if sl.s_load > 0. then newly_loaded := (from_, to_) :: !newly_loaded)
-    ltbl;
-  List.iter
-    (fun (from_, to_) ->
-      if not (Hashtbl.mem ltbl (from_, to_)) then
-        Net.set_fluid_load t.net ~from_ ~to_ 0.)
-    t.loaded;
-  t.loaded <- !newly_loaded;
+  for k = 0 to n - 1 do
+    let c = t.cls.(t.sort_buf.(k)) in
+    match c.c_kind with
+    | Adaptive { rtt; _ } ->
+      if c.c_rate < c.c_cap *. 0.999 && now -. c.c_last_cut >= rtt then begin
+        c.c_cap_base <-
+          Float.max (t.mss_bits /. rtt) (c.c_rate +. (0.5 *. (c.c_cap -. c.c_rate)));
+        c.c_cap_t0 <- now;
+        c.c_last_cut <- now
+      end
+    | Constant _ -> ()
+  done
+
+let solve t =
+  let now = Net.now t.net in
   t.rate_events <- t.rate_events + 1;
-  if Net.obs_active t.net then
-    Net.obs_emit t.net
-      (Event.Fluid_rates
-         { flows = t.attached; classes = n; total_bps = total_rate t })
+  let epoch = t.epoch + 1 in
+  t.epoch <- epoch;
+  (* 1. loss coupling: packet drops since the last solve halve the AIMD cap
+     of adaptive classes crossing the dropping link (once per RTT) *)
+  let n_drop = Vec.length t.drop_links in
+  for k = 0 to n_drop - 1 do
+    let li = Vec.get t.drop_links k in
+    t.l_dropped.(li) <- false;
+    iter_inc t li (fun c ->
+        if c.c_members > 0 then
+          match c.c_kind with
+          | Adaptive { rtt; _ } when now -. c.c_last_cut >= rtt ->
+            let cp = cap_now t c now in
+            c.c_cap_base <- Float.max (t.mss_bits /. rtt) (0.5 *. cp);
+            c.c_cap_t0 <- now;
+            c.c_last_cut <- now;
+            t.st_loss_cuts <- t.st_loss_cuts + 1;
+            mark_class_dirty t c
+          | _ -> ())
+  done;
+  Vec.clear t.drop_links;
+  (* 2. class scan: activity, closed-form bounds, volatile seeding. An
+     adaptive class whose cap moved since the last solve (ramping — incl.
+     the final step onto the max_rate ceiling) or that is overshooting its
+     cap (cut pending) has a time-dependent bound, so it seeds the dirty
+     set — in both modes, keeping cut times solve-schedule-free. [c_cap]
+     holds the previous solve's evaluation, so the comparison is against
+     the same reference whether or not the class was touched then. *)
+  let active = ref 0 in
+  for id = 0 to t.n_cls - 1 do
+    let c = t.cls.(id) in
+    let act = c.c_members > 0 && Array.length c.c_links > 0 in
+    c.c_active <- act;
+    if act then begin
+      incr active;
+      let cp = cap_now t c now in
+      let moved = cp <> c.c_cap in
+      c.c_cap <- cp;
+      c.c_bound <- cp;
+      match c.c_kind with
+      | Adaptive _ ->
+        if moved || c.c_rate < cp *. 0.999 then mark_class_dirty t c
+      | Constant _ -> ()
+    end
+    else if c.c_rate <> 0. then mark_class_dirty t c
+  done;
+  (* 3. link scan: availability is re-read every solve; packet-rate drift
+     dirties the link only when it can move the solution — the link was a
+     potential bottleneck before, or the new availability dips under the
+     standing demand. A link uncontended on both sides of the drift never
+     constrains the filling (load <= demand <= avail), so its crossing
+     classes keep their rates; without this gate, background packet noise
+     on every link degenerates each pass into a full solve. Demand may be
+     one solve stale here; a rise that makes the link contended leaves a
+     pending class behind and is caught by the flip scan below. *)
+  let nl = Vec.length t.links_used in
+  for k = 0 to nl - 1 do
+    let li = Vec.get t.links_used k in
+    let pkt = Net.link_packet_bps_i t.net li in
+    let avail = Float.max 0. (Net.link_capacity_i t.net li -. pkt) in
+    t.l_avail.(li) <- avail;
+    if pkt <> t.l_pkt.(li) then begin
+      t.l_pkt.(li) <- pkt;
+      if t.l_contended.(li) || t.l_demand.(li) > avail then mark_link_dirty t li
+    end
+  done;
+  if Vec.length t.pending_cls = 0 && Vec.length t.pending_links = 0 then begin
+    (* nothing moved since the last solve: the stored solution is already
+       what a full re-solve would produce *)
+    t.st_skipped <- t.st_skipped + 1;
+    if Net.obs_active t.net then
+      Net.obs_emit t.net
+        (Event.Fluid_rates
+           { flows = t.attached; classes = !active; total_bps = total_rate t })
+  end
+  else begin
+    (* 4. demand pass: only bound/membership/path changes move demand, and
+       all of those leave a pending class behind *)
+    if Vec.length t.pending_cls > 0 then begin
+      for k = 0 to nl - 1 do
+        t.l_demand.(Vec.get t.links_used k) <- 0.
+      done;
+      for id = 0 to t.n_cls - 1 do
+        let c = t.cls.(id) in
+        if c.c_active then begin
+          let d = c.c_bound *. float_of_int c.c_members in
+          Array.iter (fun li -> t.l_demand.(li) <- t.l_demand.(li) +. d) c.c_links
+        end
+      done
+    end;
+    (* 5. contended flips dirty the link: crossing classes may switch between
+       bound-limited and bottleneck-limited *)
+    for k = 0 to nl - 1 do
+      let li = Vec.get t.links_used k in
+      let con = t.l_demand.(li) > t.l_avail.(li) in
+      if con <> t.l_contended.(li) then begin
+        t.l_contended.(li) <- con;
+        mark_link_dirty t li
+      end
+    done;
+    (* 6. touched closure: dirty seeds expand through contended links to
+       whole components (a component is re-solved entirely or not at all) *)
+    Vec.clear t.touched;
+    let touch c =
+      if c.c_touch <> epoch then begin
+        c.c_touch <- epoch;
+        Vec.push t.touched c.c_id
+      end
+    in
+    let np = Vec.length t.pending_cls in
+    for k = 0 to np - 1 do
+      let c = t.cls.(Vec.get t.pending_cls k) in
+      c.c_pending <- false;
+      touch c
+    done;
+    Vec.clear t.pending_cls;
+    Vec.clear t.reload;
+    let npl = Vec.length t.pending_links in
+    for k = 0 to npl - 1 do
+      let li = Vec.get t.pending_links k in
+      t.l_pending.(li) <- false;
+      if t.l_reload.(li) <> epoch then begin
+        t.l_reload.(li) <- epoch;
+        Vec.push t.reload li
+      end;
+      iter_inc t li touch
+    done;
+    Vec.clear t.pending_links;
+    let qi = ref 0 in
+    while !qi < Vec.length t.touched do
+      let c = t.cls.(Vec.get t.touched !qi) in
+      incr qi;
+      (* expand through the class's links whether or not it is still
+         active: a freshly-detached class is dirty precisely because the
+         rate it gave back must be re-filled across its old links *)
+      Array.iter
+        (fun li ->
+          if t.l_contended.(li) && t.l_seen.(li) <> epoch then begin
+            t.l_seen.(li) <- epoch;
+            iter_inc t li touch
+          end)
+        c.c_links
+    done;
+    (* fallback: once the dirty region covers most of the population, the
+       bookkeeping costs more than it saves *)
+    let full =
+      t.mode = Always_full
+      || float_of_int (Vec.length t.touched)
+         > t.full_frac *. float_of_int (max 1 !active)
+    in
+    if full then begin
+      t.st_full <- t.st_full + 1;
+      for id = 0 to t.n_cls - 1 do
+        let c = t.cls.(id) in
+        if (c.c_active || c.c_rate <> 0.) && c.c_touch <> epoch then begin
+          c.c_touch <- epoch;
+          Vec.push t.touched c.c_id
+        end
+      done
+    end;
+    t.st_solves <- t.st_solves + 1;
+    t.st_touched <- t.st_touched + Vec.length t.touched;
+    t.st_seen <- t.st_seen + !active;
+    (* 7. rate assignment: bound-limited classes directly, bottlenecked ones
+       by water-filling their component (entered at its lowest class id in
+       either mode, so the float-op order is canonical) *)
+    for id = 0 to t.n_cls - 1 do
+      let c = t.cls.(id) in
+      if c.c_touch = epoch then begin
+        if c.c_done <> epoch then begin
+          if not c.c_active then begin
+            c.c_done <- epoch;
+            c.c_rate <- 0.
+          end
+          else begin
+            let contended = ref false in
+            Array.iter
+              (fun li -> if t.l_contended.(li) then contended := true)
+              c.c_links;
+            if not !contended then begin
+              c.c_done <- epoch;
+              c.c_rate <- c.c_bound
+            end
+            else fill_component t epoch c now
+          end
+        end;
+        Array.iter
+          (fun li ->
+            if t.l_reload.(li) <> epoch then begin
+              t.l_reload.(li) <- epoch;
+              Vec.push t.reload li
+            end)
+          c.c_links
+      end
+    done;
+    (* 8. push the affected links' fluid loads into the packet tier; the sum
+       runs in incidence order, so a link recomputed from unchanged rates
+       reproduces its previous value bit-for-bit *)
+    let nr = Vec.length t.reload in
+    for k = 0 to nr - 1 do
+      let li = Vec.get t.reload k in
+      let sum = ref 0. in
+      iter_inc t li (fun c ->
+          if c.c_members > 0 then
+            sum := !sum +. (c.c_rate *. float_of_int c.c_members));
+      if !sum <> t.l_load.(li) then begin
+        t.l_load.(li) <- !sum;
+        Net.set_fluid_load_i t.net li !sum
+      end
+    done;
+    if Net.obs_active t.net then
+      Net.obs_emit t.net
+        (Event.Fluid_rates
+           { flows = t.attached; classes = !active; total_bps = total_rate t })
+  end
 
 let recompute t =
   advance t;
@@ -290,7 +793,7 @@ let rec tick t =
 (* Lazily arm the periodic solve: nothing is ever scheduled while the
    population is empty, so a run that never attaches a fluid flow executes
    the exact event sequence of a fluid-free run (bit-identity). *)
-let request_solve t =
+let arm t =
   if not t.armed then begin
     t.armed <- true;
     Engine.schedule (Net.engine t.net) ~at:(Net.now t.net) (fun () -> tick t)
@@ -298,9 +801,11 @@ let request_solve t =
 
 let refresh_paths t =
   advance t;
-  Hashtbl.iter
-    (fun _ c -> c.c_path <- resolve_path t ~src:c.c_src ~dst:c.c_dst)
-    t.tbl
+  for id = 0 to t.n_cls - 1 do
+    let c = t.cls.(id) in
+    resolve_class t c;
+    mark_class_dirty t c
+  done
 
 let attach t f =
   if not f.f_attached then begin
@@ -309,7 +814,8 @@ let attach t f =
     f.f_attached <- true;
     f.f_cls.c_members <- f.f_cls.c_members + 1;
     t.attached <- t.attached + 1;
-    request_solve t
+    mark_class_dirty t f.f_cls;
+    arm t
   end
 
 let detach t f =
@@ -319,7 +825,8 @@ let detach t f =
     f.f_attached <- false;
     f.f_cls.c_members <- f.f_cls.c_members - 1;
     t.attached <- t.attached - 1;
-    request_solve t
+    mark_class_dirty t f.f_cls;
+    arm t
   end
 
 let remove t f = detach t f
@@ -330,29 +837,95 @@ let add t ~src ~dst kind =
     match Hashtbl.find_opt t.tbl key with
     | Some c -> c
     | None ->
+      let now = Net.now t.net in
+      let id = t.n_cls in
+      if id = Array.length t.cls then begin
+        let b = Array.make (2 * id) t.nil in
+        Array.blit t.cls 0 b 0 id;
+        t.cls <- b
+      end;
       let c =
         {
+          c_id = id;
           c_src = src;
           c_dst = dst;
           c_kind = kind;
-          c_path = resolve_path t ~src ~dst;
+          c_gen = 0;
+          c_path = [||];
+          c_links = [||];
           c_members = 0;
           c_rate = 0.;
           c_cum_bits = 0.;
-          c_cap =
+          c_cap = 0.;
+          c_cap_base =
             (match kind with
             | Constant { rate } -> rate
             | Adaptive { rtt; max_rate } ->
               (* slow-start-ish initial window: 10 MSS per RTT *)
               Float.min max_rate (10. *. t.mss_bits /. rtt));
-          c_last_cut = Net.now t.net;
-          c_frozen = false;
+          c_cap_t0 = now;
+          c_last_cut = now;
+          c_pending = false;
           c_bound = 0.;
+          c_active = false;
+          c_touch = 0;
+          c_done = 0;
+          c_comp = 0;
+          c_frozen = 0;
         }
       in
+      c.c_cap <- c.c_cap_base;
+      t.cls.(id) <- c;
+      t.n_cls <- id + 1;
       Hashtbl.add t.tbl key c;
+      resolve_class t c;
       c
   in
   let f = { f_cls = cls; f_attached = false; f_base = 0.; f_join = 0. } in
   attach t f;
   f
+
+let clear t =
+  let nl = Vec.length t.links_used in
+  for k = 0 to nl - 1 do
+    let li = Vec.get t.links_used k in
+    if t.l_load.(li) <> 0. then begin
+      t.l_load.(li) <- 0.;
+      Net.set_fluid_load_i t.net li 0.
+    end;
+    t.l_pkt.(li) <- 0.;
+    t.l_avail.(li) <- 0.;
+    t.l_demand.(li) <- 0.;
+    t.l_contended.(li) <- false;
+    t.l_pending.(li) <- false;
+    t.l_dropped.(li) <- false;
+    t.l_has.(li) <- false;
+    t.l_stale.(li) <- 0;
+    Vec.clear t.l_inc.(li)
+  done;
+  Vec.clear t.links_used;
+  Vec.clear t.pending_cls;
+  Vec.clear t.pending_links;
+  Vec.clear t.drop_links;
+  Vec.clear t.touched;
+  Vec.clear t.comp;
+  Vec.clear t.comp_links;
+  Vec.clear t.reload;
+  Hashtbl.reset t.tbl;
+  for id = 0 to t.n_cls - 1 do
+    t.cls.(id) <- t.nil
+  done;
+  t.n_cls <- 0;
+  t.attached <- 0;
+  t.armed <- false;
+  t.last_advance <- Net.now t.net;
+  t.delivered_bits <- 0.;
+  t.hop_bits <- 0.;
+  t.rate_events <- 0;
+  t.st_solves <- 0;
+  t.st_skipped <- 0;
+  t.st_full <- 0;
+  t.st_touched <- 0;
+  t.st_seen <- 0;
+  t.st_loss_cuts <- 0;
+  t.st_max_comp <- 0

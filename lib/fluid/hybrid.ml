@@ -28,36 +28,57 @@ type member = {
   mutable m_done : bool;
 }
 
+(* Members sharing a fluid path class live in one bucket: they share a
+   route, so they demote and promote together, and the reevaluation sweep
+   can test hotness once per class instead of once per member. *)
+type bucket = {
+  b_cls : int;
+  mutable b_members : member list;
+  mutable b_size : int;
+  mutable b_rep : Fluid.flow;  (* any member's flow: path lookups *)
+  mutable b_hot : bool;
+  mutable b_demoted : int;
+}
+
 type t = {
   net : Net.t;
   fl : Fluid.t;
   force : force;
   hot : int array;  (* per-node active-region count (nests) *)
+  demote_budget : int;
+  buckets : (int, bucket) Hashtbl.t;  (* fluid class id -> bucket *)
   mutable members : member list;
   mutable n_members : int;
   mutable demoted : int;
   mutable demoted_peak : int;
   mutable demotions : int;
   mutable promotions : int;
+  mutable demote_denied : int;
   mutable reeval_pending : bool;
   mutable last_hot : int;
 }
 
-let create ?(force = Auto) ?update_period net () =
+let create ?(force = Auto) ?update_period ?solver ?full_frac ?demote_budget net
+    () =
   let n_nodes =
     1 + List.fold_left max (-1) (Net.switch_ids net @ Net.host_ids net)
   in
+  let fl = Fluid.create ?update_period ?solver ?full_frac net () in
+  Fluid.enable_loss_coupling fl;
   {
     net;
-    fl = Fluid.create ?update_period net ();
+    fl;
     force;
     hot = Array.make (max 1 n_nodes) 0;
+    demote_budget = (match demote_budget with Some b -> b | None -> max_int);
+    buckets = Hashtbl.create 256;
     members = [];
     n_members = 0;
     demoted = 0;
     demoted_peak = 0;
     demotions = 0;
     promotions = 0;
+    demote_denied = 0;
     reeval_pending = false;
     last_hot = -1;
   }
@@ -70,6 +91,7 @@ let demoted_count t = t.demoted
 let demoted_peak t = t.demoted_peak
 let demotions t = t.demotions
 let promotions t = t.promotions
+let demote_denied t = t.demote_denied
 let is_demoted m = m.m_demoted
 let demotions_of m = m.m_demotions
 
@@ -120,16 +142,32 @@ let silence_packet m =
     m.m_retired <- pf :: m.m_retired;
     m.m_packet <- None
 
+let bucket_demoted t m d =
+  match m.m_fluid with
+  | Some fl -> (
+    match Hashtbl.find_opt t.buckets (Fluid.class_id fl) with
+    | Some b -> b.b_demoted <- b.b_demoted + d
+    | None -> ())
+  | None -> ()
+
 let demote t m =
   match m.m_fluid with
   | Some fl when Fluid.is_attached fl ->
+    if m.m_tier = Tier_auto && t.demoted >= t.demote_budget then
+      (* over budget: the member stays on the fluid tier at full fidelity's
+         expense — counted so scenarios can report the shortfall. Only
+         Tier_auto members are deniable; Packet_only is a contract. *)
+      t.demote_denied <- t.demote_denied + 1
+    else begin
     Fluid.detach t.fl fl;
     start_packet t m ~at:(Net.now t.net);
     m.m_demoted <- true;
     m.m_demotions <- m.m_demotions + 1;
+    bucket_demoted t m 1;
     t.demotions <- t.demotions + 1;
     t.demoted <- t.demoted + 1;
     if t.demoted > t.demoted_peak then t.demoted_peak <- t.demoted
+    end
   | _ -> ()
 
 let promote t m =
@@ -137,35 +175,63 @@ let promote t m =
     silence_packet m;
     (match m.m_fluid with Some fl -> Fluid.attach t.fl fl | None -> ());
     m.m_demoted <- false;
+    bucket_demoted t m (-1);
     t.promotions <- t.promotions + 1;
     t.demoted <- t.demoted - 1
   end
 
 let path_hot t fl =
-  List.exists
-    (fun n -> n >= 0 && n < Array.length t.hot && t.hot.(n) > 0)
-    (Fluid.path fl)
+  Fluid.path_crosses fl ~f:(fun n ->
+      n >= 0 && n < Array.length t.hot && t.hot.(n) > 0)
 
+let bucket_of t fl =
+  let cid = Fluid.class_id fl in
+  match Hashtbl.find_opt t.buckets cid with
+  | Some b -> b
+  | None ->
+    let b =
+      { b_cls = cid; b_members = []; b_size = 0; b_rep = fl; b_hot = false;
+        b_demoted = 0 }
+    in
+    Hashtbl.add t.buckets cid b;
+    b
+
+(* O(classes + members of classes whose hotness flipped): a mode change on
+   a handful of switches no longer walks the whole member population. *)
 let reevaluate t =
   if t.force = Auto then begin
     Fluid.refresh_paths t.fl;
     let n_dem = ref 0 and n_pro = ref 0 in
-    List.iter
-      (fun m ->
-        if (not m.m_done) && m.m_tier = Tier_auto then
-          match m.m_fluid with
-          | None -> ()
-          | Some fl ->
-            let hot = path_hot t fl in
-            if hot && Fluid.is_attached fl then begin
-              demote t m;
-              incr n_dem
-            end
-            else if (not hot) && m.m_demoted then begin
-              promote t m;
-              incr n_pro
-            end)
-      t.members;
+    let sweep m hot =
+      if (not m.m_done) && m.m_tier = Tier_auto then
+        match m.m_fluid with
+        | None -> ()
+        | Some fl ->
+          if hot && Fluid.is_attached fl then begin
+            demote t m;
+            if m.m_demoted then incr n_dem
+          end
+          else if (not hot) && m.m_demoted then begin
+            promote t m;
+            incr n_pro
+          end
+    in
+    Hashtbl.iter
+      (fun _ b ->
+        let hot = path_hot t b.b_rep in
+        (* paths may have changed while hotness didn't: flips and hot
+           buckets both rescan, a cold bucket that stayed cold is skipped.
+           A hot bucket with nothing demoted is denied wholesale once the
+           budget is spent — walking its members to deny them one by one
+           made every sweep O(population) at 10^6-flow scale. *)
+        if hot || b.b_hot || b.b_demoted > 0 then begin
+          if hot && b.b_demoted = 0 && t.demoted >= t.demote_budget then begin
+            if not b.b_hot then t.demote_denied <- t.demote_denied + b.b_size
+          end
+          else List.iter (fun m -> sweep m hot) b.b_members
+        end;
+        b.b_hot <- hot)
+      t.buckets;
     Fluid.recompute t.fl;
     if Net.obs_active t.net then begin
       if !n_dem > 0 then
@@ -217,6 +283,10 @@ let admit t m =
       (fluid_kind t ~src:m.m_src ~dst:m.m_dst m.m_profile)
   in
   m.m_fluid <- Some fl;
+  let b = bucket_of t fl in
+  b.b_members <- m :: b.b_members;
+  b.b_size <- b.b_size + 1;
+  b.b_rep <- fl;
   if t.force = Auto && (m.m_tier = Packet_only || (m.m_tier = Tier_auto && path_hot t fl))
   then demote t m
 
@@ -225,6 +295,7 @@ let stop_member t m =
     m.m_done <- true;
     if m.m_demoted then begin
       m.m_demoted <- false;
+      bucket_demoted t m (-1);
       t.demoted <- t.demoted - 1
     end;
     silence_packet m;

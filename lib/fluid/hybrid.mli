@@ -44,7 +44,23 @@ type profile =
 type t
 type member
 
-val create : ?force:force -> ?update_period:float -> Ff_netsim.Net.t -> unit -> t
+(** [solver]/[full_frac] are passed through to {!Fluid.create}; loss
+    coupling ({!Fluid.enable_loss_coupling}) is always installed.
+    [demote_budget] caps how many [Tier_auto] members may be concurrently
+    demoted to the packet tier (default unlimited): at 10^6-flow scale an
+    attack crossing most paths would otherwise flip the population to
+    packet level and erase the fluid tier's throughput win. Members denied
+    by the budget stay on the fluid tier and are counted in
+    {!demote_denied}; [Packet_only] members are never denied. *)
+val create :
+  ?force:force ->
+  ?update_period:float ->
+  ?solver:Fluid.solver_mode ->
+  ?full_frac:float ->
+  ?demote_budget:int ->
+  Ff_netsim.Net.t ->
+  unit ->
+  t
 val net : t -> Ff_netsim.Net.t
 val fluid : t -> Fluid.t
 val force_mode : t -> force
@@ -92,6 +108,12 @@ val demoted_count : t -> int
 val demoted_peak : t -> int
 val demotions : t -> int
 val promotions : t -> int
+
+val demote_denied : t -> int
+(** Demotions suppressed by the [demote_budget] cap (counting each member
+    of a wholesale-denied path class). The denial is sticky until the
+    member's class next changes hotness — freed budget is not
+    retroactively applied. *)
 
 val demoted_fraction : t -> float
 (** [demoted_count / members] (0. when empty). *)

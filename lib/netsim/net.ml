@@ -39,6 +39,9 @@ and dirlink = {
   link : Topology.link;
   from_node : int;
   to_node : int;
+  mutable dl_index : int;
+      (* position in [t.dirlinks] — the dense directed-link key the fluid
+         solver's flat scratch arrays are indexed by *)
   mutable link_up : bool;
   busy : busy; (* single-float record: flat layout, unboxed writes *)
   queue_limit : float; (* bytes *)
@@ -64,6 +67,12 @@ and t = {
   adj : dirlink array array;
       (* outgoing directed links indexed by source node, in
          [Topology.neighbors] order — the per-packet lookup structure *)
+  dirlinks : dirlink array;
+      (* the same links flattened in node-major order; [dl_index] points
+         back here, giving O(1) by-index access for the fluid solver *)
+  mutable drop_hook : (int -> unit) option;
+      (* called with the directed-link index on every queue-overflow drop;
+         the fluid tier uses it to dirty links for loss-coupled AIMD *)
   stage_cache : stage array array;
       (* per node id; rebuilt by add_stage/remove_stage so the per-packet
          pipeline walk reads an array, not cons cells *)
@@ -277,6 +286,36 @@ let link_capacity t ~from_ ~to_ =
 let link_delay t ~from_ ~to_ =
   match dirlink_opt t ~from_ ~to_ with Some dl -> dl.link.Topology.delay | None -> 0.
 
+(* ---------------- dense directed-link indexing ---------------- *)
+
+let n_dirlinks t = Array.length t.dirlinks
+
+let link_index t ~from_ ~to_ =
+  match dirlink_opt t ~from_ ~to_ with Some dl -> dl.dl_index | None -> -1
+
+let check_dirlink t what i =
+  if i < 0 || i >= Array.length t.dirlinks then
+    invalid_arg (Printf.sprintf "Net.%s: directed-link index %d out of range" what i)
+
+let link_ends_i t i =
+  check_dirlink t "link_ends_i" i;
+  let dl = t.dirlinks.(i) in
+  (dl.from_node, dl.to_node)
+
+let link_capacity_i t i =
+  check_dirlink t "link_capacity_i" i;
+  t.dirlinks.(i).link.Topology.capacity
+
+let link_packet_bps_i t i =
+  check_dirlink t "link_packet_bps_i" i;
+  Ff_util.Stats.Window_counter.rate t.dirlinks.(i).tx_window ~now:(now t) *. 8.
+
+let set_fluid_load_i t i bps =
+  check_dirlink t "set_fluid_load_i" i;
+  t.dirlinks.(i).fluid_bps <- (if bps > 0. then bps else 0.)
+
+let set_drop_hook t hook = t.drop_hook <- hook
+
 let total_tx_packets t =
   Array.fold_left
     (fun acc links -> Array.fold_left (fun acc dl -> acc + dl.tx_packets) acc links)
@@ -322,6 +361,7 @@ let rec transmit t dl (pkt : Packet.t) =
   if not dl.link_up then drop_packet t ~node:dl.from_node pkt "link-down"
   else if backlog_bytes +. size > dl.queue_limit then begin
     dl.drops <- dl.drops + 1;
+    (match t.drop_hook with None -> () | Some f -> f dl.dl_index);
     drop_packet t ~node:dl.from_node pkt "queue-overflow"
   end
   else begin
@@ -550,6 +590,7 @@ let create ?(queue_limit_bytes = 37_500.) engine topo =
                  link = l;
                  from_node = id;
                  to_node = peer;
+                 dl_index = -1;
                  link_up = true;
                  busy = { busy_until = 0. };
                  queue_limit = queue_limit_bytes;
@@ -564,12 +605,19 @@ let create ?(queue_limit_bytes = 37_500.) engine topo =
   let stage_cache =
     Array.map (function Sw s -> Array.of_list s.stages | Ho _ -> [||]) nodes
   in
+  let dirlinks =
+    let all = Array.concat (Array.to_list adj) in
+    Array.iteri (fun i dl -> dl.dl_index <- i) all;
+    all
+  in
   let t =
     {
       engine;
       topo;
       nodes;
       adj;
+      dirlinks;
+      drop_hook = None;
       stage_cache;
       drop_ctrs = Array.make num_nodes None;
       sw_peers =

@@ -206,6 +206,41 @@ val link_capacity : t -> from_:int -> to_:int -> float
 val link_delay : t -> from_:int -> to_:int -> float
 (** Propagation delay, seconds (0. when not adjacent). *)
 
+(** {2 Dense directed-link indexing}
+
+    Every directed link carries a stable index in [0, n_dirlinks).
+    The incremental fluid solver keys its scratch arrays and dirty sets
+    on these indices instead of [(from_, to_)] pairs, so per-solve
+    hashtable rebuilds disappear. Indices are assigned at [create] and
+    never change (links that flap keep their index). *)
+
+val n_dirlinks : t -> int
+(** Number of directed links (twice the undirected link count). *)
+
+val link_index : t -> from_:int -> to_:int -> int
+(** Dense index of a directed link, or -1 if the nodes are not
+    adjacent. O(degree of [from_]). *)
+
+val link_ends_i : t -> int -> int * int
+(** [(from_, to_)] endpoints of a directed link by index. *)
+
+val link_capacity_i : t -> int -> float
+(** Raw capacity, bits/s, of a directed link by index. *)
+
+val link_packet_bps_i : t -> int -> float
+(** Windowed packet-tier transmission rate, bits/s, by index — same
+    figure as {!link_packet_bps} without the adjacency scan. *)
+
+val set_fluid_load_i : t -> int -> float -> unit
+(** Index-keyed {!set_fluid_load} (negative clamped to 0). *)
+
+val set_drop_hook : t -> (int -> unit) option -> unit
+(** Install a callback invoked with the directed-link index on every
+    queue-overflow drop. The hook must not schedule engine events or
+    touch packet state — the fluid tier uses it to mark links dirty so
+    the next solver tick applies loss-coupled AIMD cuts. [None]
+    uninstalls. *)
+
 val total_tx_packets : t -> int
 (** Sum of per-hop transmissions over every directed link: the
     denominator of the packets/s figure the [perf] benchmark reports. *)

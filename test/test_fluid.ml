@@ -197,6 +197,225 @@ let test_hybrid_scenario_smoke () =
   Alcotest.(check bool) "fluid did the bulk of the work" true
     (r.Scenario.fr_fluid_hop_bytes /. 1000. > float_of_int r.Scenario.fr_packet_tx)
 
+(* ---------------- incremental solver ---------------- *)
+
+(* ring host ids: switches are 0..n-1, host i = n + i *)
+let ring_host n i = n + i
+
+let bits = Int64.bits_of_float
+
+(* the bitwise comparison surface of one solver run: per-class (rate, cap)
+   and the fluid load pushed onto every directed link *)
+let solver_fingerprint net fl =
+  let rates =
+    List.map (fun (id, r, c) -> (id, bits r, bits c)) (Fluid.dump_rates fl)
+  in
+  let loads =
+    List.init (Net.n_dirlinks net) (fun i ->
+        let a, b = Net.link_ends_i net i in
+        bits (Net.fluid_load net ~from_:a ~to_:b))
+  in
+  (rates, loads, bits (Fluid.total_delivered_bytes fl))
+
+let test_solver_fallback () =
+  (* full_frac = 0.: any dirtiness at all overruns the threshold, so every
+     pass with work is a fallback full solve — and must still produce the
+     standard max-min answer *)
+  let topo = T.dumbbell ~pairs:3 ~bottleneck:10_000_000. () in
+  let engine, net = make_net topo in
+  let fl = Fluid.create net ~full_frac:0. () in
+  let f1 = Fluid.add fl ~src:(db_src 0) ~dst:(db_dst 0) (Fluid.Constant { rate = 2e6 }) in
+  let f2 = Fluid.add fl ~src:(db_src 1) ~dst:(db_dst 1) (Fluid.Constant { rate = 8e6 }) in
+  let f3 = Fluid.add fl ~src:(db_src 2) ~dst:(db_dst 2) (Fluid.Constant { rate = 8e6 }) in
+  Engine.run engine ~until:2.;
+  Fluid.detach fl f3;
+  Fluid.recompute fl;
+  let st = Fluid.solver_stats fl in
+  Alcotest.(check bool) "every working pass fell back" true
+    (st.Fluid.full_solves > 0 && st.Fluid.full_solves = st.Fluid.solves);
+  Alcotest.(check (float 1.)) "small demand served" 2e6 (Fluid.rate f1);
+  Alcotest.(check (float 1.)) "survivor takes the freed share" 8e6 (Fluid.rate f2)
+
+let test_solver_locality () =
+  (* two contended bottlenecks on opposite sides of a ring: detaching a
+     flow from one component must not touch the other's classes *)
+  let n = 8 in
+  let topo = T.ring ~n () in
+  let engine, net = make_net topo in
+  let fl = Fluid.create net () in
+  let add s d = Fluid.add fl ~src:(ring_host n s) ~dst:(ring_host n d)
+      (Fluid.Constant { rate = 8e6 })
+  in
+  (* 16 Mb/s demand against the 10 Mb/s s0->s1 link, and again at s4->s5 *)
+  let a1 = add 0 1 and a2 = add 0 1 in
+  let b1 = add 4 5 and b2 = add 4 5 in
+  ignore a2;
+  Engine.run engine ~until:1.;
+  let st1 = Fluid.solver_stats fl in
+  let rate_b1 = bits (Fluid.rate b1) and rate_b2 = bits (Fluid.rate b2) in
+  Fluid.detach fl a1;
+  Fluid.recompute fl;
+  let st2 = Fluid.solver_stats fl in
+  let touched = st2.Fluid.touched_classes - st1.Fluid.touched_classes in
+  let seen = st2.Fluid.seen_classes - st1.Fluid.seen_classes in
+  Alcotest.(check bool)
+    (Printf.sprintf "re-solve stayed in one component (touched %d of %d)" touched seen)
+    true (touched < seen);
+  Alcotest.(check bool) "no fallback" true
+    (st2.Fluid.full_solves = st1.Fluid.full_solves);
+  Alcotest.(check bool) "other component's rates untouched bitwise" true
+    (bits (Fluid.rate b1) = rate_b1 && bits (Fluid.rate b2) = rate_b2)
+
+let test_solver_clear_rerun () =
+  (* Fluid.clear + Engine.clear reuse the dense scratch: a second identical
+     run on the same instances reproduces the first bit-for-bit *)
+  let topo = T.dumbbell ~pairs:3 ~bottleneck:10_000_000. () in
+  let engine, net = make_net topo in
+  let fl = Fluid.create net ~update_period:0.1 () in
+  let run_once () =
+    let f1 =
+      Fluid.add fl ~src:(db_src 0) ~dst:(db_dst 0)
+        (Fluid.Adaptive { rtt = 0.04; max_rate = 6e6 })
+    in
+    let _f2 =
+      Fluid.add fl ~src:(db_src 1) ~dst:(db_dst 1) (Fluid.Constant { rate = 8e6 })
+    in
+    Engine.run engine ~until:2.;
+    Fluid.detach fl f1;
+    Engine.run engine ~until:4.;
+    solver_fingerprint net fl
+  in
+  let fp1 = run_once () in
+  Engine.clear engine;
+  Fluid.clear fl;
+  Alcotest.(check int) "population dropped" 0 (Fluid.classes fl);
+  let fp2 = run_once () in
+  Alcotest.(check bool) "re-run after clear is bit-identical" true (fp1 = fp2)
+
+let test_loss_coupling_cuts () =
+  (* a packet-tier flood overflows the bottleneck queue; with loss coupling
+     installed the drops must cut the adaptive fluid class's cap *)
+  let topo = T.dumbbell ~pairs:2 ~bottleneck:1_000_000. () in
+  let engine, net = make_net topo in
+  let fl = Fluid.create net ~update_period:0.05 () in
+  Fluid.enable_loss_coupling fl;
+  let f =
+    Fluid.add fl ~src:(db_src 0) ~dst:(db_dst 0)
+      (Fluid.Adaptive { rtt = 0.05; max_rate = 4e6 })
+  in
+  Engine.run engine ~until:2.;
+  let ramped_cap = Fluid.cap f in
+  let _flood =
+    Flow.Cbr.start net ~src:(db_src 1) ~dst:(db_dst 1) ~rate_pps:400. ~at:2.
+      ~packet_size:1000 ()
+  in
+  Engine.run engine ~until:6.;
+  Alcotest.(check bool) "queue overflowed" true (Net.link_drops net ~from_:0 ~to_:1 > 0);
+  let st = Fluid.solver_stats fl in
+  Alcotest.(check bool) "drops cut the aimd cap" true (st.Fluid.loss_cuts > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "cap fell below the pre-flood ramp (%.0f vs %.0f)" (Fluid.cap f)
+       ramped_cap)
+    true
+    (Fluid.cap f < ramped_cap)
+
+(* random op sequence for the incremental≡full differential: fluid flows
+   (constant and adaptive) arriving over time, some detached mid-run and
+   some re-attached, plus packet CBR cross-traffic so link drift and loss
+   coupling fire. Both solver modes replay the identical sequence on
+   identical nets; every rate, cap and pushed link load must match
+   bitwise at the end. *)
+let gen_solver_workload =
+  QCheck2.Gen.(
+    let* n = int_range 4 8 in
+    let* flows = int_range 2 12 in
+    let* specs =
+      list_size (return flows)
+        (let* si = int_range 0 (n - 1) in
+         let* d_off = int_range 1 (n - 1) in
+         let* mbps = int_range 1 12 in
+         let* adaptive = bool in
+         let* at = int_range 0 20 in
+         let* detach_at = int_range 0 40 in
+         let* reattach = bool in
+         return
+           ( si, (si + d_off) mod n, float_of_int mbps *. 1e6, adaptive,
+             float_of_int at /. 10.,
+             (* detach in [2,6) when the slot is live, maybe re-attach 1s later *)
+             (if detach_at >= 20 then Some (float_of_int detach_at /. 10.) else None),
+             reattach ))
+    in
+    let* cbrs = int_range 0 3 in
+    let* cbr_specs =
+      list_size (return cbrs)
+        (let* si = int_range 0 (n - 1) in
+         let* d_off = int_range 1 (n - 1) in
+         let* rate = int_range 50 400 in
+         return (si, (si + d_off) mod n, float_of_int rate))
+    in
+    return (n, specs, cbr_specs))
+
+let run_solver_mode ~solver (n, specs, cbr_specs) =
+  let engine, net = make_net (T.ring ~n ()) in
+  let fl = Fluid.create net ~update_period:0.25 ~solver () in
+  Fluid.enable_loss_coupling fl;
+  List.iter
+    (fun (s, d, bps, adaptive, at, detach, reattach) ->
+      let s = ring_host n s and d = ring_host n d in
+      if s <> d then
+        Engine.schedule engine ~at (fun () ->
+            let f =
+              Fluid.add fl ~src:s ~dst:d
+                (if adaptive then Fluid.Adaptive { rtt = 0.04; max_rate = bps }
+                 else Fluid.Constant { rate = bps })
+            in
+            match detach with
+            | Some dt ->
+              Engine.schedule engine ~at:dt (fun () ->
+                  Fluid.detach fl f;
+                  Fluid.recompute fl;
+                  if reattach then
+                    Engine.schedule engine ~at:(dt +. 1.) (fun () ->
+                        Fluid.attach fl f;
+                        Fluid.recompute fl))
+            | None -> ()))
+    specs;
+  List.iter
+    (fun (s, d, rate_pps) ->
+      let s = ring_host n s and d = ring_host n d in
+      if s <> d then
+        ignore (Flow.Cbr.start net ~src:s ~dst:d ~rate_pps ~at:1.5 ~packet_size:800 ()))
+    cbr_specs;
+  Engine.run engine ~until:7.;
+  let fp = solver_fingerprint net fl in
+  let st = Fluid.solver_stats fl in
+  (fp, st)
+
+let print_solver_workload (n, specs, cbrs) =
+  Printf.sprintf "ring %d; flows [%s]; cbrs [%s]" n
+    (String.concat "; "
+       (List.map
+          (fun (s, d, bps, ad, at, det, re) ->
+            Printf.sprintf "%d->%d %.0fbps %s at %.1f det %s re %b" s d bps
+              (if ad then "adp" else "cst") at
+              (match det with Some x -> Printf.sprintf "%.1f" x | None -> "-")
+              re)
+          specs))
+    (String.concat "; "
+       (List.map (fun (s, d, r) -> Printf.sprintf "%d->%d %.0fpps" s d r) cbrs))
+
+let prop_incremental_matches_full =
+  QCheck2.Test.make ~count:(if deep then 150 else 30)
+    ~print:print_solver_workload
+    ~name:"incremental solver is bit-identical to always-full"
+    gen_solver_workload (fun w ->
+      let fp_inc, st_inc = run_solver_mode ~solver:Fluid.Incremental w in
+      let fp_full, st_full = run_solver_mode ~solver:Fluid.Always_full w in
+      (* same rates, caps, link loads and accruals, bit for bit — while the
+         incremental side did no more (usually far less) assignment work *)
+      fp_inc = fp_full
+      && st_inc.Fluid.touched_classes <= st_full.Fluid.touched_classes)
+
 (* ---------------- differential properties ---------------- *)
 
 (* random multi-flow workload on a ring: (src, dst, rate_pps, start) *)
@@ -213,9 +432,6 @@ let gen_workload =
          return (si, (si + d_off) mod n, float_of_int rate, float_of_int at /. 10.))
     in
     return (n, specs))
-
-(* ring host ids: switches are 0..n-1, host i = n + i *)
-let ring_host n i = n + i
 
 let run_pure_packet (n, specs) =
   let engine, net = make_net (T.ring ~n ()) in
@@ -354,8 +570,17 @@ let () =
             test_demote_promote_conservation;
           Alcotest.test_case "isp scenario smoke" `Quick test_hybrid_scenario_smoke;
         ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "full-solve fallback" `Quick test_solver_fallback;
+          Alcotest.test_case "component locality" `Quick test_solver_locality;
+          Alcotest.test_case "clear + re-run reuses scratch" `Quick
+            test_solver_clear_rerun;
+          Alcotest.test_case "loss-coupled aimd cuts" `Quick test_loss_coupling_cuts;
+        ] );
       ( "differential",
         [
+          Test_seed.to_alcotest prop_incremental_matches_full;
           Test_seed.to_alcotest prop_force_packet_bit_identical;
           Test_seed.to_alcotest prop_fluid_matches_packet_aggregate;
           Test_seed.to_alcotest prop_roundtrip_conserves_delivery;
