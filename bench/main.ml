@@ -1569,6 +1569,158 @@ let micro () =
   Table.print ~header:[ "operation"; "ns/op" ] ~rows
 
 (* ------------------------------------------------------------------ *)
+(* adversarial: closed-loop adaptive attackers vs hardened defenses     *)
+(* ------------------------------------------------------------------ *)
+
+(* bench/ADVERSARIAL_BASELINE holds the pre-hardening (unhardened,
+   closed-loop) work factor per strategy and seed:
+     <strategy> <seed> <work_factor>
+   The hardened run must post a work factor at least
+   [wf_floor_factor] x that baseline — the "evasion resistance raised
+   the attacker's cost" assertion. Re-record after an intentional
+   defense change with ADVERSARIAL_RECORD=1. *)
+(* invoked both from the repo root (dune exec bench/main.exe) and from
+   bench/ itself (the @adversarial alias action runs there) *)
+let adversarial_baseline_file =
+  if Sys.file_exists "ADVERSARIAL_BASELINE" then "ADVERSARIAL_BASELINE"
+  else "bench/ADVERSARIAL_BASELINE"
+let adversarial_wf_floor = 3.0
+let adversarial_damage_gain = 2.0 (* adaptive must beat open-loop by this *)
+let adversarial_damage_residual = 1.25 (* hardened adaptive vs open-loop *)
+
+let read_adversarial_baseline () =
+  if not (Sys.file_exists adversarial_baseline_file) then []
+  else
+    let ic = open_in adversarial_baseline_file in
+    let rec go acc =
+      match input_line ic with
+      | exception End_of_file -> acc
+      | line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go acc
+        else begin
+          match String.split_on_char ' ' line with
+          | [ strat; seed; wf ] ->
+            go (((strat, int_of_string seed), float_of_string wf) :: acc)
+          | _ -> go acc
+        end
+    in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> go [])
+
+let adversarial_seeds () =
+  match Sys.getenv_opt "ADVERSARIAL_SEEDS" with
+  | Some s -> List.filter_map int_of_string_opt (String.split_on_char ',' s)
+  | None -> [ 1; 2 ]
+
+let adversarial () =
+  banner "adversarial"
+    "closed-loop adaptive attackers vs evasion-hardened defenses (attacker work factor)";
+  let module A = Ff_attacks.Adaptive in
+  let record = Sys.getenv_opt "ADVERSARIAL_RECORD" <> None in
+  let baseline = read_adversarial_baseline () in
+  let seeds = adversarial_seeds () in
+  let failures = ref [] in
+  let recorded = ref [] in
+  let check name ok detail =
+    if not ok then failures := Printf.sprintf "%s: %s" name detail :: !failures
+  in
+  let rows =
+    List.concat_map
+      (fun strategy ->
+        let sname = A.strategy_name strategy in
+        List.concat_map
+          (fun seed ->
+            Printf.printf "  %-15s seed %d ...%!" sname seed;
+            let t0 = Unix.gettimeofday () in
+            let open_loop =
+              Scenario.run_adversarial ~strategy ~adversary:Scenario.Open_loop ~seed ()
+            in
+            let adaptive =
+              Scenario.run_adversarial ~strategy ~adversary:Scenario.Closed_loop ~seed ()
+            in
+            let hardened =
+              Scenario.run_adversarial ~strategy ~adversary:Scenario.Closed_loop
+                ~hardened:true ~seed ()
+            in
+            Printf.printf " %.1fs\n%!" (Unix.gettimeofday () -. t0);
+            if Sys.getenv_opt "ADVERSARIAL_DEBUG" <> None then
+              List.iter
+                (fun r ->
+                  Format.printf "    %a" Scenario.pp_adversarial r;
+                  List.iter (fun l -> Printf.printf "      | %s\n" l) r.Scenario.ar_log)
+                [ open_loop; adaptive; hardened ];
+            let tag = Printf.sprintf "%s/seed=%d" sname seed in
+            (* the adaptive loop must beat the defense the blast cannot *)
+            check tag
+              (adaptive.Scenario.ar_damage
+              >= adversarial_damage_gain *. open_loop.Scenario.ar_damage)
+              (Printf.sprintf "adaptive damage %.2f < %.1fx open-loop %.2f"
+                 adaptive.Scenario.ar_damage adversarial_damage_gain
+                 open_loop.Scenario.ar_damage);
+            (* hardening must blunt it back to (near) open-loop damage *)
+            check tag
+              (hardened.Scenario.ar_damage
+              <= adversarial_damage_residual *. Float.max 0.5 open_loop.Scenario.ar_damage)
+              (Printf.sprintf "hardened damage %.2f > %.2fx open-loop %.2f"
+                 hardened.Scenario.ar_damage adversarial_damage_residual
+                 open_loop.Scenario.ar_damage);
+            (* ... and raise the attacker's cost against the committed
+               pre-hardening baseline *)
+            (match List.assoc_opt (sname, seed) baseline with
+            | Some base_wf when not record ->
+              check tag
+                (hardened.Scenario.ar_work_factor >= adversarial_wf_floor *. base_wf)
+                (Printf.sprintf "hardened work factor %.0f < %.1fx baseline %.0f"
+                   hardened.Scenario.ar_work_factor adversarial_wf_floor base_wf)
+            | _ ->
+              if not record then
+                failures :=
+                  Printf.sprintf "%s: no baseline in %s (run with ADVERSARIAL_RECORD=1)"
+                    tag adversarial_baseline_file
+                  :: !failures);
+            recorded :=
+              (sname, seed, adaptive.Scenario.ar_work_factor) :: !recorded;
+            let row (r : Scenario.adversarial_result) which =
+              [ sname; string_of_int seed; which;
+                string_of_int r.Scenario.ar_probes;
+                Printf.sprintf "%.2f" r.Scenario.ar_damage;
+                Printf.sprintf "%.2f" r.Scenario.ar_peak_util;
+                (match r.Scenario.ar_effective_at with
+                | Some _ -> Printf.sprintf "%.1f" r.Scenario.ar_time_to_effective
+                | None -> "never");
+                Printf.sprintf "%.0f" r.Scenario.ar_work_factor;
+                string_of_int r.Scenario.ar_alarms;
+                string_of_int r.Scenario.ar_drops ]
+            in
+            [ row open_loop "open-loop";
+              row adaptive "adaptive";
+              row hardened "adaptive+hard" ])
+          seeds)
+      [ A.Threshold_hug; A.Collision_probe; A.Epoch_time ]
+  in
+  Table.print
+    ~header:
+      [ "strategy"; "seed"; "adversary"; "probes"; "damage"; "peak"; "tte"; "wf";
+        "alarms"; "drops" ]
+    ~rows;
+  if record then begin
+    let oc = open_out adversarial_baseline_file in
+    output_string oc
+      "# pre-hardening (unhardened, closed-loop) work factors: <strategy> <seed> <wf>\n\
+       # regenerate with: ADVERSARIAL_RECORD=1 dune exec bench/main.exe -- adversarial\n";
+    List.iter
+      (fun (s, seed, wf) -> Printf.fprintf oc "%s %d %.1f\n" s seed wf)
+      (List.rev !recorded);
+    close_out oc;
+    Printf.printf "[adversarial] baselines -> %s\n" adversarial_baseline_file
+  end;
+  match !failures with
+  | [] -> print_endline "[adversarial] all work-factor and damage floors hold"
+  | fs ->
+    List.iter (fun f -> Printf.eprintf "[adversarial] FAIL %s\n" f) fs;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1585,6 +1737,7 @@ let experiments =
     ("abl-topo", abl_topo);
     ("abl-vol", abl_vol);
     ("chaos", chaos_exp);
+    ("adversarial", adversarial);
     ("perf", perf);
     ("micro", micro);
   ]

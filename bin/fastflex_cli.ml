@@ -321,6 +321,78 @@ let fluid_command =
   Cmd.v (Cmd.info "fluid" ~doc)
     Term.(ret (const fluid_cmd $ flows_arg $ fduration_arg $ force_arg $ trace_arg))
 
+let adversarial_cmd strategy seed show_log =
+  let module A = Ff_attacks.Adaptive in
+  let strategies =
+    match strategy with
+    | "hug" -> [ A.Threshold_hug ]
+    | "probe" -> [ A.Collision_probe ]
+    | "timer" -> [ A.Epoch_time ]
+    | "all" -> [ A.Threshold_hug; A.Collision_probe; A.Epoch_time ]
+    | s -> invalid_arg (Printf.sprintf "unknown strategy %S (hug|probe|timer|all)" s)
+  in
+  let open Fastflex.Scenario in
+  List.iter
+    (fun strategy ->
+      let runs =
+        [ ("open-loop", run_adversarial ~strategy ~adversary:Open_loop ~seed ());
+          ("adaptive", run_adversarial ~strategy ~adversary:Closed_loop ~seed ());
+          ( "adaptive+hardened",
+            run_adversarial ~strategy ~adversary:Closed_loop ~hardened:true ~seed () ) ]
+      in
+      Printf.printf "== %s (seed %d) ==\n" (A.strategy_name strategy) seed;
+      Ff_util.Table.print
+        ~header:
+          [ "adversary"; "probes"; "damage"; "peak"; "time-to-effective"; "work factor";
+            "alarms"; "drops"; "rotations" ]
+        ~rows:
+          (List.map
+             (fun (which, r) ->
+               [ which;
+                 string_of_int r.ar_probes;
+                 Printf.sprintf "%.2f" r.ar_damage;
+                 Printf.sprintf "%.2f" r.ar_peak_util;
+                 (match r.ar_effective_at with
+                 | Some _ -> Printf.sprintf "%.1f s" r.ar_time_to_effective
+                 | None -> "never");
+                 Printf.sprintf "%.0f" r.ar_work_factor;
+                 string_of_int r.ar_alarms;
+                 string_of_int r.ar_drops;
+                 string_of_int r.ar_rotations ])
+             runs);
+      List.iter
+        (fun (which, r) ->
+          if r.ar_summary <> "open-loop" then
+            Printf.printf "%s: %s\n" which r.ar_summary;
+          if show_log && r.ar_log <> [] then
+            List.iter (fun l -> Printf.printf "  | %s\n" l) r.ar_log)
+        runs;
+      print_newline ())
+    strategies;
+  `Ok ()
+
+let strategy_arg =
+  Arg.(value & opt string "all" & info [ "strategy"; "s" ] ~docv:"STRATEGY"
+         ~doc:"Attacker strategy: hug (threshold hugger), probe (collision \
+               prober), timer (epoch timer), or all.")
+
+let adv_seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N"
+         ~doc:"Run seed (attacker and defense draws both derive from it; the \
+               same seed replays the identical run).")
+
+let adv_log_arg =
+  Arg.(value & flag & info [ "log" ]
+         ~doc:"Print the attacker's timestamped decision log for each \
+               closed-loop run.")
+
+let adversarial_command =
+  let doc = "Pit the closed-loop adaptive attackers (threshold hugger, \
+             collision prober, epoch timer) against unhardened and hardened \
+             defenses and report damage and attacker work factor." in
+  Cmd.v (Cmd.info "adversarial" ~doc)
+    Term.(ret (const adversarial_cmd $ strategy_arg $ adv_seed_arg $ adv_log_arg))
+
 let () =
   let doc = "FastFlex: programmable data plane defenses architected into the network" in
   let info = Cmd.info "fastflex" ~version:"1.0.0" ~doc in
@@ -328,4 +400,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ lfa_cmd; compile_command; stability_command; verify_command; dot_command;
-            parallel_command; fluid_command ]))
+            parallel_command; fluid_command; adversarial_command ]))

@@ -15,11 +15,37 @@ val install :
   ?stages:int ->
   ?slots:int ->
   ?threshold_bps:float ->
+  ?key_of:(Ff_dataplane.Packet.t -> int) ->
+  ?epoch_jitter:float ->
+  ?threshold_jitter:float ->
+  ?rotate_period:float ->
+  ?src_hold:float ->
+  ?seed:int ->
   on_alarm:(Lfa_detector.alarm -> unit) ->
   on_clear:(Lfa_detector.alarm -> unit) ->
   unit ->
   t
-(** Defaults: 1 s epochs, 4x64 HashPipe, alarm above 4 Mb/s per flow. *)
+(** Defaults: 1 s epochs, 4x64 HashPipe, alarm above 4 Mb/s per flow,
+    keyed by [pkt.flow] ([key_of] substitutes e.g. the source id for
+    per-sender accounting, which an attacker with a fixed bot population
+    cannot spread its way out of).
+
+    Hardening (all inert at their 0. defaults — the booster is then
+    bit-identical to the unhardened one): [epoch_jitter] draws each
+    epoch's length uniformly from [epoch*(1-j), epoch*(1+j)] so
+    measurement boundaries can't be learned and straddled;
+    [threshold_jitter] shrinks the effective threshold per epoch by a
+    uniform fraction in [0, j] so it can't be hugged; [rotate_period] > 0
+    re-salts the HashPipe ({!Ff_dataplane.Hashpipe.reseed}) at the first
+    epoch boundary after each period elapses — after the offender scan
+    and reset, so a rotation never disturbs an epoch's accounting while
+    still invalidating probed hash collisions within about an epoch;
+    [src_hold] > 0 brands the *source* of any offending packet for that
+    many seconds ({!mark_offenders_stage} keeps marking everything a
+    branded sender emits, and the alarm stays raised while holds are
+    live), so detection's one-epoch latency cannot be laundered away
+    with fresh flow keys. All draws come from a PRNG seeded by [seed]
+    xor the switch id. *)
 
 val top : t -> k:int -> (int * float) list
 (** Current epoch's top flows by bytes. *)
@@ -28,6 +54,15 @@ val offenders : t -> int list
 (** Flows above threshold in the last completed epoch. *)
 
 val alarmed : t -> bool
+
+val epochs : t -> int
+(** Completed measurement epochs. *)
+
+val rotations : t -> int
+(** Hash-salt rotations performed so far. *)
+
+val current_threshold : t -> float
+(** The effective (possibly jittered) per-flow threshold, bits/s. *)
 
 val mark_offenders_stage : t -> Ff_netsim.Net.stage
 (** Optional stage marking offender packets suspicious (so the generic

@@ -1,6 +1,7 @@
 module Net = Ff_netsim.Net
 module Engine = Ff_netsim.Engine
 module Packet = Ff_dataplane.Packet
+module Window_counter = Ff_util.Stats.Window_counter
 
 (* All fields float so the record gets OCaml's flat-float layout: the
    mutable stores in [update_flow] run on every data packet at every
@@ -23,6 +24,7 @@ type t = {
   sw : int;
   watched : (int * int) list;
   high_threshold : float;
+  low_threshold : float;
   suspicious_rate : float;
   min_age : float;
   clear_fraction : float;
@@ -31,6 +33,26 @@ type t = {
   flows : (int, flow_rec) Hashtbl.t;
   suspicious_srcs : (int, unit) Hashtbl.t;
   dst_fanout : (int, int) Hashtbl.t; (* dst -> live flows toward it *)
+  (* Offered-load tracking (pre-mitigation): bytes whose *default* route
+     crosses a watched egress link, counted in the detector stage — i.e.
+     before the dropper polices or the reroute steers them. Hysteresis on
+     the transmitted utilization alone would flap: mitigation suppresses
+     the very signal that raised the alarm. Indexed by next-hop node id
+     via [watched_idx] (-1 = not watched / not our egress). *)
+  watched_idx : int array;
+  offered_ctr : Window_counter.t array;
+  offered_cap : float array;
+  (* Randomized-threshold hardening: the effective alarm threshold is
+     redrawn from [high_threshold - jitter, high_threshold] every
+     [jitter_period], so a threshold-hugging adversary cannot learn a
+     stable safe operating point. jitter = 0. (default) keeps the
+     detector bit-identical to the unhardened one. *)
+  threshold_jitter : float;
+  jitter_period : float;
+  rng : Ff_util.Prng.t;
+  mutable high_eff : float;
+  mutable low_eff : float;
+  mutable next_draw : float;
   mutable alarmed : bool;
   mutable calm_since : float option;
   mutable marks : int;
@@ -42,6 +64,8 @@ type t = {
    instantaneous estimates useless (intra-burst gaps dominate), so the rate
    is bytes over a half-second measurement window. *)
 let rate_window = 0.5
+
+let offered_window = 1.0
 
 let update_flow t now (pkt : Packet.t) =
   let rec_ =
@@ -90,6 +114,17 @@ let classify t now rec_ (pkt : Packet.t) =
 let classify_key = Common.mode_key Common.mode_classify
 let classifying t ctx = t.alarmed || Common.mode_on ctx.Net.sw classify_key
 
+let count_offered t (ctx : Net.ctx) (pkt : Packet.t) now =
+  let routes = ctx.Net.sw.Net.routes in
+  if pkt.dst >= 0 && pkt.dst < Array.length routes then begin
+    let nh = Array.unsafe_get routes pkt.dst in
+    if nh >= 0 then begin
+      let wi = Array.unsafe_get t.watched_idx nh in
+      if wi >= 0 then
+        Window_counter.add t.offered_ctr.(wi) ~now (float_of_int pkt.size *. 8.)
+    end
+  end
+
 let stage t =
   {
     Net.stage_name = "lfa-detector";
@@ -98,6 +133,7 @@ let stage t =
         (match pkt.Packet.payload with
         | Packet.Data ->
           let tnow = Net.now ctx.Net.net in
+          count_offered t ctx pkt tnow;
           let rec_ = update_flow t tnow pkt in
           if classifying t ctx then classify t tnow rec_ pkt
         | Packet.Traceroute_probe _ ->
@@ -114,6 +150,18 @@ let watched_utilization t =
   List.fold_left
     (fun acc (from_, to_) -> Float.max acc (Net.utilization t.net ~from_ ~to_))
     0. t.watched
+
+(* Max over watched egress links of offered load / capacity: what the
+   traffic *asks* of the link on its default route, whether or not
+   mitigation is currently shedding it. *)
+let offered_utilization t =
+  let now = Net.now t.net in
+  let acc = ref 0. in
+  for i = 0 to Array.length t.offered_ctr - 1 do
+    let u = Window_counter.rate t.offered_ctr.(i) ~now /. t.offered_cap.(i) in
+    if u > !acc then acc := u
+  done;
+  !acc
 
 let watched_capacity t =
   List.fold_left
@@ -140,12 +188,27 @@ let refresh_fanout t now =
       end)
     t.flows
 
+let redraw_thresholds t now =
+  if t.threshold_jitter > 0. && now >= t.next_draw then begin
+    t.high_eff <- t.high_threshold -. Ff_util.Prng.float t.rng t.threshold_jitter;
+    t.low_eff <- Float.min t.low_threshold (t.high_eff -. 0.03);
+    t.next_draw <- now +. t.jitter_period
+  end
+
 let check t () =
   let now = Net.now t.net in
   refresh_fanout t now;
+  redraw_thresholds t now;
   let util = watched_utilization t in
+  let offered = offered_utilization t in
+  (* Offered load drives both edges of the hysteresis: the alarm rises
+     when either the link is congested or the demand routed over it would
+     congest it; it clears only when the *demand* has subsided below
+     [low_eff] — transmitted utilization falls the moment the dropper
+     bites, which says nothing about the attacker. *)
+  let driving = Float.max util offered in
   if not t.alarmed then begin
-    if util >= t.high_threshold then begin
+    if driving >= t.high_eff then begin
       t.alarmed <- true;
       t.calm_since <- None;
       t.on_alarm { switch = t.sw; attack = Packet.Lfa }
@@ -155,7 +218,7 @@ let check t () =
     (* the attack has subsided when the suspicious flows themselves stop,
        not when mitigation hides the congestion *)
     let susp = suspicious_aggregate_rate t now in
-    let calm = susp < t.clear_fraction *. watched_capacity t && util < t.high_threshold in
+    let calm = susp < t.clear_fraction *. watched_capacity t && driving < t.low_eff in
     match (calm, t.calm_since) with
     | false, _ -> t.calm_since <- None
     | true, None -> t.calm_since <- Some now
@@ -170,14 +233,33 @@ let check t () =
   end
 
 let install net ~sw ~watched ?(check_period = 0.05) ?(high_threshold = 0.85)
+    ?low_threshold ?(threshold_jitter = 0.) ?(jitter_period = 2.0) ?(seed = 0x1FA_D)
     ?(suspicious_rate = 1_500_000.) ?(min_age = 2.0) ?(clear_fraction = 0.1)
     ?(clear_hold = 3.0) ?(dst_flows_min = 8) ~on_alarm ~on_clear () =
+  let low_threshold =
+    match low_threshold with Some l -> l | None -> high_threshold -. 0.05
+  in
+  let n_nodes = Array.length (Net.switch net sw).Net.routes in
+  let watched_idx = Array.make n_nodes (-1) in
+  let egress = List.filter (fun (from_, _) -> from_ = sw) watched in
+  let offered_ctr =
+    Array.of_list (List.map (fun _ -> Window_counter.create ~width:offered_window) egress)
+  in
+  let offered_cap = Array.make (List.length egress) 1. in
+  List.iteri
+    (fun i (from_, to_) ->
+      if to_ >= 0 && to_ < n_nodes then watched_idx.(to_) <- i;
+      (match Ff_topology.Topology.find_link (Net.topology net) from_ to_ with
+      | Some l -> offered_cap.(i) <- Float.max 1. l.Ff_topology.Topology.capacity
+      | None -> ()))
+    egress;
   let t =
     {
       net;
       sw;
       watched;
       high_threshold;
+      low_threshold;
       suspicious_rate;
       min_age;
       clear_fraction;
@@ -186,6 +268,15 @@ let install net ~sw ~watched ?(check_period = 0.05) ?(high_threshold = 0.85)
       flows = Hashtbl.create 256;
       suspicious_srcs = Hashtbl.create 32;
       dst_fanout = Hashtbl.create 32;
+      watched_idx;
+      offered_ctr;
+      offered_cap;
+      threshold_jitter;
+      jitter_period;
+      rng = Ff_util.Prng.create ~seed:(seed lxor (sw * 0x9E3779B9));
+      high_eff = high_threshold;
+      low_eff = low_threshold;
+      next_draw = 0.;
       alarmed = false;
       calm_since = None;
       marks = 0;
@@ -198,6 +289,7 @@ let install net ~sw ~watched ?(check_period = 0.05) ?(high_threshold = 0.85)
   t
 
 let alarmed t = t.alarmed
+let current_high_threshold t = t.high_eff
 
 let suspicious_flows t =
   Hashtbl.fold (fun f r acc -> if r.suspicious > 0. then f :: acc else acc) t.flows []

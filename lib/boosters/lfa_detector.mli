@@ -10,11 +10,24 @@
     [min_age] whose rate is below [suspicious_rate] as suspicious; the mark
     is what mitigation boosters (reroute, dropper) act on downstream.
 
-    The all-clear fires only when the aggregate rate of currently
-    suspicious flows falls below [clear_fraction] of the watched capacity
-    for [clear_hold] seconds — the attack subsiding, not merely the
-    mitigation masking it (otherwise alarm/mitigate/clear would oscillate,
-    the instability the paper warns about). *)
+    Hysteresis is measured on the {e offered} load — bytes whose default
+    route crosses a watched link, counted in the detector stage before
+    mitigation polices or reroutes them — not on the transmitted
+    utilization alone: once the dropper bites, transmitted utilization
+    collapses and would clear the alarm while the attacker is still
+    blasting, re-alarming the moment mitigation lifts (the oscillation
+    the paper warns about, and exactly what a threshold-hugging
+    adversary farms). The all-clear additionally requires the aggregate
+    rate of currently suspicious flows below [clear_fraction] of the
+    watched capacity, offered load below [low_threshold], and both held
+    for [clear_hold] seconds.
+
+    Against adaptive threshold-huggers the effective alarm threshold can
+    be randomized: with [threshold_jitter] > 0 it is redrawn uniformly
+    from [high_threshold - threshold_jitter, high_threshold] every
+    [jitter_period] seconds (seeded, deterministic), denying the
+    attacker a stable safe operating point. The default (0.) is
+    bit-identical to the unhardened detector. *)
 
 type t
 
@@ -26,6 +39,10 @@ val install :
   watched:(int * int) list ->
   ?check_period:float ->
   ?high_threshold:float ->
+  ?low_threshold:float ->
+  ?threshold_jitter:float ->
+  ?jitter_period:float ->
+  ?seed:int ->
   ?suspicious_rate:float ->
   ?min_age:float ->
   ?clear_fraction:float ->
@@ -45,6 +62,14 @@ val install :
     for 3 s. *)
 
 val alarmed : t -> bool
+
+val offered_utilization : t -> float
+(** Max over watched egress links of (offered load / capacity) over the
+    last second — the pre-mitigation demand the hysteresis runs on. *)
+
+val current_high_threshold : t -> float
+(** The effective (possibly jittered) alarm threshold in force now. *)
+
 val suspicious_flows : t -> int list
 val is_suspicious_flow : t -> int -> bool
 val is_suspicious_source : t -> int -> bool

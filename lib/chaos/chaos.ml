@@ -64,6 +64,24 @@ let log t = List.rev t.applied
 
 let injected t = t.injected
 
+(* Strategic (condition-driven) scheduling: instead of a fixed timeline,
+   poll a decision function and apply whatever it returns. This is the
+   bridge between the chaos harness and an adaptive adversary — e.g.
+   "cut the backup link only while the defense is mitigating", turning
+   random faults into strategic ones. The decide function sees no more
+   than the attacker does; determinism comes from the caller's seeded
+   state, not from this loop. *)
+let strategic t ~period ~start ~until ~decide =
+  let engine = Net.engine t.net in
+  let rec tick () =
+    let now = Net.now t.net in
+    if now <= until then begin
+      List.iter (apply_now t) (decide ());
+      Engine.after engine ~delay:period tick
+    end
+  in
+  Engine.schedule engine ~at:start tick
+
 let action_to_string = function
   | Link_down (a, b) -> Printf.sprintf "link %d-%d down" a b
   | Link_up (a, b) -> Printf.sprintf "link %d-%d up" a b

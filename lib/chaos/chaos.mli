@@ -43,6 +43,16 @@ val log : t -> (float * action) list
 val injected : t -> int
 (** Number of actions applied so far. *)
 
+val strategic :
+  t -> period:float -> start:float -> until:float -> decide:(unit -> action list) -> unit
+(** Condition-driven fault scheduling: poll [decide] every [period]
+    seconds in [start, until] and apply the actions it returns. The hook
+    that turns random faults into strategic ones — an adaptive adversary
+    ({!Ff_attacks.Adaptive}) exposes its belief state (e.g.
+    "mitigation detected"), and [decide] converts it into targeted
+    faults such as cutting a detour link exactly while the defense is
+    rerouting. Applied actions are logged and traced like any other. *)
+
 val action_to_string : action -> string
 
 (** {1 Schedule generators} *)

@@ -6,6 +6,27 @@ module Topology = Ff_topology.Topology
 module Transfer = Ff_scaling.Transfer
 module B = Ff_boosters
 
+type hardening = {
+  h_seed : int;
+  h_threshold_jitter : float;
+  h_jitter_period : float;
+  h_epoch_jitter : float;
+  h_hh_threshold_jitter : float;
+  h_rotate_period : float;
+  h_src_hold : float;
+}
+
+let default_hardening =
+  {
+    h_seed = 0xF1E7;
+    h_threshold_jitter = 0.17;
+    h_jitter_period = 2.0;
+    h_epoch_jitter = 0.25;
+    h_hh_threshold_jitter = 0.25;
+    h_rotate_period = 0.4;
+    h_src_hold = 12.0;
+  }
+
 type config = {
   high_threshold : float;
   suspicious_rate : float;
@@ -19,6 +40,7 @@ type config = {
   anti_entropy : float;
   drop_rate_limit : float;
   drop_prob : float;
+  hardening : hardening option;
 }
 
 let default_config =
@@ -35,7 +57,16 @@ let default_config =
     anti_entropy = 0.5;
     drop_rate_limit = 400_000.;
     drop_prob = 0.1;
+    hardening = None;
   }
+
+(* Detector hardening args from the config; the unhardened triple matches
+   [Lfa_detector.install]'s defaults so a [None] config stays
+   bit-identical to the pre-hardening deploys. *)
+let det_jitter config =
+  match config.hardening with
+  | None -> (0., 2.0, 0x1FA_D)
+  | Some h -> (h.h_threshold_jitter, h.h_jitter_period, h.h_seed)
 
 type t = {
   protocol : Ff_modes.Protocol.t;
@@ -87,9 +118,11 @@ let deploy net ~landmarks ~default_plan ?(config = default_config) () =
              ~into:victim_sketch ())
     | _ -> ()
   in
+  let threshold_jitter, jitter_period, h_seed = det_jitter config in
   let detector =
     B.Lfa_detector.install net ~sw:lm.Topology.Fig2.agg ~watched
       ~check_period:config.check_period ~high_threshold:config.high_threshold
+      ~threshold_jitter ~jitter_period ~seed:h_seed
       ~suspicious_rate:config.suspicious_rate ~min_age:config.min_age
       ~clear_hold:config.clear_hold ~dst_flows_min:config.dst_flows_min
       ~on_alarm:(fun a ->
@@ -170,8 +203,15 @@ let deploy_volumetric net ~sw ?(config = default_config) ?(threshold_bps = 4_000
     Ff_modes.Protocol.create net ~region_ttl:config.region_ttl ~min_dwell:config.min_dwell
       ~anti_entropy:config.anti_entropy ~modes_for ()
   in
+  let epoch_jitter, hh_threshold_jitter, rotate_period, src_hold, hh_seed =
+    match config.hardening with
+    | None -> (0., 0., 0., 0., 0x44_11)
+    | Some h ->
+      (h.h_epoch_jitter, h.h_hh_threshold_jitter, h.h_rotate_period, h.h_src_hold, h.h_seed)
+  in
   let hh =
-    B.Heavy_hitter.install net ~sw ~threshold_bps
+    B.Heavy_hitter.install net ~sw ~threshold_bps ~epoch_jitter
+      ~threshold_jitter:hh_threshold_jitter ~rotate_period ~src_hold ~seed:hh_seed
       ~on_alarm:(fun a ->
         Ff_modes.Protocol.raise_alarm protocol ~sw:a.B.Lfa_detector.switch
           a.B.Lfa_detector.attack)
@@ -214,9 +254,11 @@ let deploy_wide net ~protect ?(config = default_config) ?on_mode () =
         match core_egress sw with
         | [] -> None
         | watched ->
+          let threshold_jitter, jitter_period, h_seed = det_jitter config in
           let det =
             B.Lfa_detector.install net ~sw ~watched ~check_period:config.check_period
               ~high_threshold:config.high_threshold ~suspicious_rate:config.suspicious_rate
+              ~threshold_jitter ~jitter_period ~seed:h_seed
               ~min_age:config.min_age ~clear_hold:config.clear_hold
               ~dst_flows_min:config.dst_flows_min
               ~on_alarm:(fun a ->
@@ -235,8 +277,14 @@ let deploy_wide net ~protect ?(config = default_config) ?on_mode () =
      switch upstream of the congestion — where the path diversity is — can
      mark and police flows its own local evidence could never convict. *)
   let detector_switches = List.map fst detectors in
+  let sync_jitter, sync_seed =
+    match config.hardening with
+    | None -> (0., 0x5C11)
+    | Some h -> (h.h_epoch_jitter, h.h_seed)
+  in
   let source_sync =
     Ff_modes.Sync.create net ~participants:detector_switches ~period:(4. *. config.check_period)
+      ~period_jitter:sync_jitter ~seed:sync_seed
       ~local_view:(fun ~sw ->
         match List.assoc_opt sw detectors with
         | None -> []

@@ -4,6 +4,29 @@
     suspicious flows, topology obfuscation, and illusion-of-success
     dropping (paper Figure 2 and section 4.2, steps (1)-(6)). *)
 
+type hardening = {
+  h_seed : int;  (** root of all randomized-defense draws (deterministic) *)
+  h_threshold_jitter : float;
+      (** [Lfa_detector]: alarm threshold redrawn uniformly from
+          [high_threshold - j, high_threshold] every [h_jitter_period] *)
+  h_jitter_period : float;
+  h_epoch_jitter : float;
+      (** [Heavy_hitter] epoch length and [Modes.Sync] advertisement gap
+          jitter fraction *)
+  h_hh_threshold_jitter : float;  (** [Heavy_hitter] threshold shrink fraction *)
+  h_rotate_period : float;  (** HashPipe hash-salt rotation cadence, seconds *)
+  h_src_hold : float;
+      (** once a source sends an offending flow, keep marking all its
+          packets suspicious for this many seconds — repeat offenders
+          cannot launder fresh flow keys past a one-epoch detection
+          latency *)
+}
+
+val default_hardening : hardening
+(** The evasion-resistance profile the adversarial benchmark runs:
+    0.17 threshold jitter redrawn every 2 s, 25% epoch/sync jitter, 25%
+    heavy-hitter threshold jitter, 0.4 s salt rotation. *)
+
 type config = {
   high_threshold : float;  (** link utilization that raises the LFA alarm *)
   suspicious_rate : float;  (** bits/s under which a persistent flow is suspect *)
@@ -17,6 +40,10 @@ type config = {
   anti_entropy : float;  (** epoch readvert base period; [<= 0.] disables *)
   drop_rate_limit : float;  (** bits/s allowed per suspicious flow *)
   drop_prob : float;  (** extra illusion-of-success drop probability *)
+  hardening : hardening option;
+      (** evasion-resistance knobs threaded into the detectors, heavy
+          hitter and sync; [None] (the default) is bit-identical to the
+          pre-hardening stack *)
 }
 
 val default_config : config

@@ -286,33 +286,6 @@ let run_volumetric ~defended ?(duration = 60.) ?(attack_rate_pps = 600.) ?(spoof
       | None -> false);
   }
 
-(* ---- hybrid fluid/packet ISP scenario ---------------------------------- *)
-
-module Hybrid = Ff_fluid.Hybrid
-module Fluid = Ff_fluid.Fluid
-
-type fluid_result = {
-  fr_flows : int;
-  fr_classes : int;
-  fr_duration : float;
-  fr_packet_tx : int;
-  fr_fluid_hop_bytes : float;
-  fr_packet_equivalents : float;
-  fr_delivered_bytes : float;
-  fr_demoted_peak : int;
-  fr_demoted_frac_peak : float;
-  fr_demotions : int;
-  fr_promotions : int;
-  fr_mode_changes : int;
-  fr_rolls : int;
-  fr_rate_events : int;
-  fr_solver : Fluid.solver_stats;
-  fr_touched_frac : float;
-  fr_demote_denied : int;
-  fr_goodput : Series.t;
-  fr_drops : (string * int) list;
-}
-
 (* shortest-path route trees toward every host, over switches only (hosts
    are reachable but never transited) *)
 let install_all_routes net =
@@ -341,6 +314,445 @@ let install_all_routes net =
           (Net.neighbors_of net u)
       done)
     (Net.host_ids net)
+
+(* ---- closed-loop adversarial arena ------------------------------------- *)
+
+module Adaptive = Ff_attacks.Adaptive
+module Workfactor = Ff_obs.Workfactor
+
+type adversary = Closed_loop | Open_loop
+
+type adversarial_result = {
+  ar_strategy : Adaptive.strategy;
+  ar_hardened : bool;
+  ar_adversary : adversary;
+  ar_probes : int;
+  ar_damage : float;
+  ar_peak_util : float;
+  ar_effective_at : float option;
+  ar_time_to_effective : float;
+  ar_work_factor : float;
+  ar_alarms : int;
+  ar_drops : int;
+  ar_rotations : int;
+  ar_fingerprint : int;
+  ar_summary : string;
+  ar_log : string list;
+}
+
+(* Key-spreading guard for the collision arena: a windowed Bloom of
+   (src, flow) plus a per-source distinct-flow counter. A source opening
+   more than [max_flows] distinct flows inside one window is flagged and
+   its packets marked suspicious — which is why the adaptive attacker
+   must *find hash collisions* to hide volume instead of simply spraying
+   fresh keys past the HashPipe. *)
+let install_fanout_guard net ~sw ~max_flows ~window ~seed ~on_trip ~on_calm =
+  let module Bloom = Ff_dataplane.Bloom in
+  let bloom = Bloom.create ~seed ~bits:4096 ~hashes:3 () in
+  let counts : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let flagged : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  Engine.every (Net.engine net) ~start:window ~period:window (fun () ->
+      Bloom.reset bloom;
+      Hashtbl.reset counts;
+      Hashtbl.reset flagged);
+  Net.add_stage net ~sw
+    {
+      Net.stage_name = "fanout-guard";
+      process =
+        (fun _ctx pkt ->
+          (match pkt.Ff_dataplane.Packet.payload with
+          | Ff_dataplane.Packet.Data ->
+            let src = pkt.Ff_dataplane.Packet.src in
+            let k =
+              Ff_dataplane.Hash.mix ~seed ~lane:src pkt.Ff_dataplane.Packet.flow
+            in
+            if not (Bloom.mem bloom k) then begin
+              Bloom.add bloom k;
+              let c =
+                match Hashtbl.find_opt counts src with Some c -> c + 1 | None -> 1
+              in
+              Hashtbl.replace counts src c;
+              if c > max_flows && not (Hashtbl.mem flagged src) then begin
+                Hashtbl.replace flagged src ();
+                on_trip src;
+                Engine.after (Net.engine net) ~delay:window (fun () -> on_calm src)
+              end
+            end;
+            if Hashtbl.mem flagged src then pkt.Ff_dataplane.Packet.suspicious <- true
+          | _ -> ());
+          Net.Continue);
+    }
+
+let run_adversarial ~strategy ~adversary ?(hardened = false) ?(seed = 1)
+    ?(duration = 70.) ?(attack_start = 10.) () =
+  let topo = Topology.fat_tree ~k:4 () in
+  let engine = Engine.create () in
+  let net = Net.create engine topo in
+  install_all_routes net;
+  let id n = (Topology.node_by_name topo n).Topology.id in
+  let victim = id "h0_0_0" in
+  let sink = id "h0_0_1" in
+  (* the decoy set a Crossfire hugger floods: the pod-0 public hosts *)
+  let decoys = [ id "h0_0_1"; id "h0_1_0"; id "h0_1_1" ] in
+  let aggs = [ id "agg0_0"; id "agg0_1" ] in
+  let edges = [ id "edge0_0"; id "edge0_1" ] in
+  (* the decoy links whose over-utilization is the damage integral *)
+  let watched = List.concat_map (fun a -> List.map (fun e -> (a, e)) edges) aggs in
+  (* Pin path-diverse routes toward the pod-0 hosts. The default BFS
+     trees collapse every pod-0 destination onto a single core->agg
+     uplink, which then bottlenecks *upstream* of the watched agg->edge
+     links and caps their utilization well below the damage floor.
+     Spreading the four destinations across the four cores gives each
+     decoy path a dedicated uplink of the same capacity as the watched
+     link, so the watched links themselves are the contended resource. *)
+  let pin ~dst ~core ~agg ~edge =
+    let core_n = id (Printf.sprintf "core%d" core) in
+    let agg0 = id (Printf.sprintf "agg0_%d" agg) in
+    Net.set_route net ~sw:core_n ~dst ~next_hop:agg0;
+    Net.set_route net ~sw:agg0 ~dst ~next_hop:(id (Printf.sprintf "edge0_%d" edge));
+    (* upstream in pods 1-3: agg{p}_0 reaches cores 0-1, agg{p}_1 cores 2-3 *)
+    let j = core / 2 in
+    List.iter
+      (fun p ->
+        let aggp = id (Printf.sprintf "agg%d_%d" p j) in
+        Net.set_route net ~sw:aggp ~dst ~next_hop:core_n;
+        List.iter
+          (fun e ->
+            Net.set_route net ~sw:(id (Printf.sprintf "edge%d_%d" p e)) ~dst ~next_hop:aggp)
+          [ 0; 1 ])
+      [ 1; 2; 3 ]
+  in
+  pin ~dst:victim ~core:3 ~agg:1 ~edge:0;
+  pin ~dst:(id "h0_0_1") ~core:0 ~agg:0 ~edge:0;
+  pin ~dst:(id "h0_1_0") ~core:1 ~agg:0 ~edge:1;
+  pin ~dst:(id "h0_1_1") ~core:2 ~agg:1 ~edge:1;
+  let bots =
+    List.concat_map
+      (fun p ->
+        List.concat_map
+          (fun e -> List.map (fun i -> id (Printf.sprintf "h%d_%d_%d" p e i)) [ 0; 1 ])
+          [ 0; 1 ])
+      [ 1; 2 ]
+  in
+  (* light benign background: pod-3 clients of the victim and decoys *)
+  let benign_dsts = [| victim; id "h0_1_0"; victim; id "h0_1_1" |] in
+  ignore
+    (List.mapi
+       (fun i e ->
+         List.map
+           (fun h ->
+             let src = id (Printf.sprintf "h3_%d_%d" e h) in
+             Flow.Tcp.start net ~src ~dst:benign_dsts.((2 * i) + h) ~at:0.5 ~max_cwnd:2. ())
+           [ 0; 1 ])
+       [ 0; 1 ]);
+  let hardening =
+    if hardened then
+      Some
+        {
+          Orchestrator.default_hardening with
+          Orchestrator.h_seed =
+            Orchestrator.default_hardening.Orchestrator.h_seed lxor (seed * 0x1003F);
+        }
+    else None
+  in
+  let alarms = ref 0 in
+  let protocol =
+    Ff_modes.Protocol.create net ~region_ttl:2 ~min_dwell:1.0 ~anti_entropy:0.5
+      ~modes_for:Orchestrator.modes_for ()
+  in
+  (* Several independent detectors (heavy-hitter boosters, the fanout
+     guard, LFA detectors) feed the same protocol alarm per attack
+     class, but [Protocol.clear_alarm] floods a region-wide
+     deactivation unconditionally while [raise_alarm] is a no-op when
+     the attack is already active. Without reference counting, one
+     source's clear (e.g. the fanout guard calming) switches mitigation
+     off for everyone, and a still-alarmed detector never re-raises —
+     the mode deadlocks off while the attack runs. Count raises per
+     attack class and only forward the final clear. *)
+  let raised : (Ff_dataplane.Packet.attack_kind, int) Hashtbl.t = Hashtbl.create 4 in
+  let on_alarm (a : Ff_boosters.Lfa_detector.alarm) =
+    incr alarms;
+    let att = a.Ff_boosters.Lfa_detector.attack in
+    let n = match Hashtbl.find_opt raised att with Some n -> n | None -> 0 in
+    Hashtbl.replace raised att (n + 1);
+    Ff_modes.Protocol.raise_alarm protocol ~sw:a.Ff_boosters.Lfa_detector.switch att
+  in
+  let on_clear (a : Ff_boosters.Lfa_detector.alarm) =
+    let att = a.Ff_boosters.Lfa_detector.attack in
+    let n = match Hashtbl.find_opt raised att with Some n -> n | None -> 0 in
+    let n = Stdlib.max 0 (n - 1) in
+    Hashtbl.replace raised att n;
+    if n = 0 then
+      Ff_modes.Protocol.clear_alarm protocol ~sw:a.Ff_boosters.Lfa_detector.switch att
+  in
+  let det_jitter, det_period, det_seed =
+    match hardening with
+    | None -> (0., 2.0, 0x1FA_D lxor seed)
+    | Some h ->
+      (h.Orchestrator.h_threshold_jitter, h.Orchestrator.h_jitter_period, h.Orchestrator.h_seed)
+  in
+  let hh_epoch_jitter, hh_thr_jitter, hh_rotate, hh_src_hold, hh_seed =
+    match hardening with
+    | None -> (0., 0., 0., 0., 0x44_11 lxor seed)
+    | Some h ->
+      ( h.Orchestrator.h_epoch_jitter,
+        h.Orchestrator.h_hh_threshold_jitter,
+        h.Orchestrator.h_rotate_period,
+        h.Orchestrator.h_src_hold,
+        h.Orchestrator.h_seed )
+  in
+  let droppers = ref [] in
+  let hhs = ref [] in
+  (match strategy with
+  | Adaptive.Threshold_hug ->
+    (* LFA stack at the pod-0 aggregation switches: detection with
+       offered-load hysteresis, cross-switch suspicious-source sync,
+       illusion-of-success dropping *)
+    let detectors =
+      List.map
+        (fun a ->
+          ( a,
+            Ff_boosters.Lfa_detector.install net ~sw:a
+              ~watched:(List.map (fun e -> (a, e)) edges)
+              ~check_period:0.05 ~high_threshold:0.85 ~threshold_jitter:det_jitter
+              ~jitter_period:det_period ~seed:det_seed ~suspicious_rate:1_500_000.
+              ~min_age:1.0 ~clear_hold:3.0 ~dst_flows_min:8 ~on_alarm ~on_clear () ))
+        aggs
+    in
+    let sync_jitter, sync_seed =
+      match hardening with
+      | None -> (0., 0x5C11 lxor seed)
+      | Some h -> (h.Orchestrator.h_epoch_jitter, h.Orchestrator.h_seed)
+    in
+    let source_sync =
+      Ff_modes.Sync.create net ~participants:aggs ~period:0.2 ~period_jitter:sync_jitter
+        ~seed:sync_seed
+        ~local_view:(fun ~sw ->
+          match List.assoc_opt sw detectors with
+          | None -> []
+          | Some det ->
+            List.filter_map
+              (fun host ->
+                if Ff_boosters.Lfa_detector.is_suspicious_source det host then
+                  Some (host, 1.)
+                else None)
+              (Net.host_ids net))
+        ~probe_class:9 ()
+    in
+    let classify_key = Ff_boosters.Common.mode_key Ff_boosters.Common.mode_classify in
+    List.iter
+      (fun sw ->
+        Net.add_stage net ~sw
+          {
+            Net.stage_name = "synced-source-marker";
+            process =
+              (fun ctx pkt ->
+                (match pkt.Ff_dataplane.Packet.payload with
+                | Ff_dataplane.Packet.Data ->
+                  if
+                    (not pkt.Ff_dataplane.Packet.suspicious)
+                    && Ff_boosters.Common.mode_on ctx.Net.sw classify_key
+                    && Ff_modes.Sync.remote_contribution source_sync ~sw
+                         ~key:pkt.Ff_dataplane.Packet.src
+                       > 0.
+                  then pkt.Ff_dataplane.Packet.suspicious <- true
+                | _ -> ());
+                Net.Continue);
+          })
+      aggs;
+    droppers :=
+      List.map
+        (fun a -> Ff_boosters.Dropper.install net ~sw:a ~rate_limit:150_000. ~drop_prob:0.5 ())
+        aggs
+  | Adaptive.Collision_probe ->
+    (* volumetric stack, flow-keyed: a deliberately small HashPipe (one
+       stage — every slot fight is a clean eviction) that collision
+       probing can defeat, plus the fanout guard that closes the
+       key-spreading alternative *)
+    List.iter
+      (fun a ->
+        (* the hardened posture also scales the table up (FastFlex's
+           elastic-resource model: paying SRAM for resilience): in a
+           one-stage pipe every slot fight is a clean eviction, so with
+           8 slots even a low-rate cross-collider resets a heavy flow's
+           accumulation packet by packet and detection of a blast is a
+           coin flip per epoch — and an 8x larger table also scales up
+           the attacker's expected collision-search cost by 8x *)
+        let hh =
+          Ff_boosters.Heavy_hitter.install net ~sw:a ~epoch:1.0 ~stages:1
+            ~slots:(if hardened then 64 else 8) ~threshold_bps:1_200_000.
+            ~epoch_jitter:hh_epoch_jitter ~threshold_jitter:hh_thr_jitter
+            ~rotate_period:hh_rotate ~src_hold:hh_src_hold ~seed:hh_seed ~on_alarm
+            ~on_clear ()
+        in
+        hhs := hh :: !hhs;
+        Net.add_stage net ~sw:a (Ff_boosters.Heavy_hitter.mark_offenders_stage hh);
+        install_fanout_guard net ~sw:a ~max_flows:6 ~window:2.0 ~seed:(0xFA6 lxor seed)
+          ~on_trip:(fun _src ->
+            on_alarm
+              { Ff_boosters.Lfa_detector.switch = a; attack = Ff_dataplane.Packet.Volumetric })
+          ~on_calm:(fun _src ->
+            on_clear
+              { Ff_boosters.Lfa_detector.switch = a; attack = Ff_dataplane.Packet.Volumetric });
+        droppers :=
+          Ff_boosters.Dropper.install net ~sw:a ~rate_limit:100_000. ~drop_prob:0.9 ()
+          :: !droppers)
+      aggs
+  | Adaptive.Epoch_time ->
+    (* volumetric stack keyed by *source*: a fixed bot population cannot
+       spread past per-sender accounting — only timing around the epoch
+       boundaries hides the volume *)
+    List.iter
+      (fun a ->
+        let hh =
+          Ff_boosters.Heavy_hitter.install net ~sw:a ~epoch:1.0 ~threshold_bps:1_200_000.
+            ~key_of:(fun pkt -> pkt.Ff_dataplane.Packet.src)
+            ~epoch_jitter:hh_epoch_jitter ~threshold_jitter:hh_thr_jitter
+            ~rotate_period:hh_rotate ~src_hold:hh_src_hold ~seed:hh_seed ~on_alarm
+            ~on_clear ()
+        in
+        hhs := hh :: !hhs;
+        Net.add_stage net ~sw:a (Ff_boosters.Heavy_hitter.mark_offenders_stage hh);
+        droppers :=
+          Ff_boosters.Dropper.install net ~sw:a ~rate_limit:100_000. ~drop_prob:0.9 ()
+          :: !droppers)
+      aggs);
+  (* the adversary *)
+  let atk_cfg =
+    {
+      Adaptive.default_config with
+      Adaptive.seed = Adaptive.default_config.Adaptive.seed lxor (seed * 65599);
+      start = attack_start;
+      stop = duration;
+    }
+  in
+  let atk =
+    match adversary with
+    | Open_loop ->
+      (* same arena, no feedback loop: the rolling blast every strategy is
+         normalized against *)
+      (match strategy with
+      | Adaptive.Threshold_hug ->
+        let per_flow = 30_000_000. /. float_of_int (List.length bots * List.length decoys) in
+        List.iter
+          (fun bot ->
+            List.iter
+              (fun d ->
+                ignore
+                  (Flow.Cbr.start net ~src:bot ~dst:d ~rate_pps:(per_flow /. 8000.)
+                     ~at:attack_start ~stop:duration ()))
+              decoys)
+          bots
+      | Adaptive.Collision_probe | Adaptive.Epoch_time ->
+        List.iter
+          (fun bot ->
+            ignore
+              (Flow.Cbr.start net ~src:bot ~dst:sink ~rate_pps:250. ~at:attack_start
+                 ~stop:duration ()))
+          bots);
+      None
+    | Closed_loop ->
+      Some (Adaptive.launch net ~strategy ~bots ~targets:decoys ~sinks:[ sink ] ~config:atk_cfg ())
+  in
+  (* work-factor harness: damage sampled over the watched decoy links *)
+  let wf = Workfactor.create ~damage_floor:0.7 ~effective_damage:1.0 ~attack_start () in
+  (if Sys.getenv_opt "ADVERSARIAL_TRACE" <> None then
+     let last_drops = ref 0 in
+     Engine.every engine ~start:0.5 ~period:0.5 (fun () ->
+         let drops =
+           List.fold_left (fun acc d -> acc + Ff_boosters.Dropper.dropped d) 0 !droppers
+         in
+         let offn =
+           List.fold_left
+             (fun acc hh -> acc + List.length (Ff_boosters.Heavy_hitter.offenders hh))
+             0 !hhs
+         in
+         let util =
+           List.fold_left
+             (fun acc (a, e) -> Float.max acc (Net.utilization net ~from_:a ~to_:e))
+             0. watched
+         in
+         Printf.eprintf "[trace %s%s%s] t=%5.1f util=%.2f offenders=%d drops+=%d alarms=%d\n"
+           (Adaptive.strategy_name strategy)
+           (match adversary with Closed_loop -> "/closed" | Open_loop -> "/open")
+           (if hardened then "/hard" else "")
+           (Net.now net) util offn (drops - !last_drops) !alarms;
+         last_drops := drops));
+  let sample_dt = 0.1 in
+  let last_probes = ref 0 in
+  Engine.every engine ~start:sample_dt ~period:sample_dt (fun () ->
+      let now = Net.now net in
+      (match atk with
+      | Some a ->
+        let p = Adaptive.probes_sent a in
+        Workfactor.add_probes wf (p - !last_probes);
+        last_probes := p
+      | None -> ());
+      let util =
+        List.fold_left
+          (fun acc (a, e) -> Float.max acc (Net.utilization net ~from_:a ~to_:e))
+          0. watched
+      in
+      Workfactor.sample wf ~now ~dt:sample_dt ~util);
+  Engine.run engine ~until:duration;
+  {
+    ar_strategy = strategy;
+    ar_hardened = hardened;
+    ar_adversary = adversary;
+    ar_probes = Workfactor.probes wf;
+    ar_damage = Workfactor.damage wf;
+    ar_peak_util = Workfactor.peak_util wf;
+    ar_effective_at = Workfactor.effective_at wf;
+    ar_time_to_effective = Workfactor.time_to_effective wf ~horizon:duration;
+    ar_work_factor = Workfactor.work_factor wf ~horizon:duration;
+    ar_alarms = !alarms;
+    ar_drops = List.fold_left (fun acc d -> acc + Ff_boosters.Dropper.dropped d) 0 !droppers;
+    ar_rotations =
+      List.fold_left (fun acc hh -> acc + Ff_boosters.Heavy_hitter.rotations hh) 0 !hhs;
+    ar_fingerprint = (match atk with Some a -> Adaptive.fingerprint a | None -> 0);
+    ar_summary = (match atk with Some a -> Adaptive.summary a | None -> "open-loop");
+    ar_log =
+      (match atk with
+      | Some a ->
+        List.map (fun (at, msg) -> Printf.sprintf "%6.2f %s" at msg) (Adaptive.log a)
+      | None -> []);
+  }
+
+let pp_adversarial fmt r =
+  Format.fprintf fmt
+    "%s %s %s: probes=%d damage=%.2f peak=%.2f tte=%.1fs wf=%.0f alarms=%d drops=%d rot=%d@.  %s@."
+    (Adaptive.strategy_name r.ar_strategy)
+    (match r.ar_adversary with Closed_loop -> "closed-loop" | Open_loop -> "open-loop")
+    (if r.ar_hardened then "hardened" else "unhardened")
+    r.ar_probes r.ar_damage r.ar_peak_util r.ar_time_to_effective r.ar_work_factor
+    r.ar_alarms r.ar_drops r.ar_rotations r.ar_summary
+
+(* ---- hybrid fluid/packet ISP scenario ---------------------------------- *)
+
+module Hybrid = Ff_fluid.Hybrid
+module Fluid = Ff_fluid.Fluid
+
+type fluid_result = {
+  fr_flows : int;
+  fr_classes : int;
+  fr_duration : float;
+  fr_packet_tx : int;
+  fr_fluid_hop_bytes : float;
+  fr_packet_equivalents : float;
+  fr_delivered_bytes : float;
+  fr_demoted_peak : int;
+  fr_demoted_frac_peak : float;
+  fr_demotions : int;
+  fr_promotions : int;
+  fr_mode_changes : int;
+  fr_rolls : int;
+  fr_rate_events : int;
+  fr_solver : Fluid.solver_stats;
+  fr_touched_frac : float;
+  fr_demote_denied : int;
+  fr_goodput : Series.t;
+  fr_drops : (string * int) list;
+}
 
 let run_lfa_fluid ?(flows = 100_000) ?(duration = 40.) ?(force = Hybrid.Auto)
     ?(defended = true) ?(seed = 11) ?(flow_rate_bps = 25_000.) ?(packet_size = 1000)

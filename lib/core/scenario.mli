@@ -92,6 +92,59 @@ val run_volumetric :
     4.8 Mb/s heavy hitter, 38 Mb/s aggregate against a 20 Mb/s cut —
     spoofing on. *)
 
+(** {1 Closed-loop adversarial arena}
+
+    One fat-tree(4) arena per adaptive strategy
+    ({!Ff_attacks.Adaptive}), each running the defense subset that
+    strategy evades: the threshold hugger faces the LFA stack (offered-
+    load hysteresis detectors at the pod-0 aggregation switches, cross-
+    switch suspicious-source sync, droppers); the collision prober faces
+    a flow-keyed HashPipe heavy hitter plus a fanout guard that flags
+    key-spreading sources (so collisions are the only way to hide); the
+    epoch timer faces a source-keyed heavy hitter (a fixed bot
+    population cannot spread past per-sender accounting). Damage is the
+    over-utilization of the four pod-0 aggregation-to-edge decoy links,
+    integrated by {!Ff_obs.Workfactor}. [hardened] switches on
+    {!Orchestrator.default_hardening} (jittered thresholds/epochs, salt
+    rotation); [Open_loop] replaces the adaptive attacker with a fixed
+    blast in the same arena — the baseline both acceptance ratios are
+    normalized against. *)
+
+type adversary = Closed_loop | Open_loop
+
+type adversarial_result = {
+  ar_strategy : Ff_attacks.Adaptive.strategy;
+  ar_hardened : bool;
+  ar_adversary : adversary;
+  ar_probes : int;
+  ar_damage : float;  (** integral of decoy-link over-utilization, util-s *)
+  ar_peak_util : float;
+  ar_effective_at : float option;
+  ar_time_to_effective : float;  (** censored at the horizon *)
+  ar_work_factor : float;
+  ar_alarms : int;  (** defense alarm raises *)
+  ar_drops : int;  (** packets policed off *)
+  ar_rotations : int;  (** hash-salt rotations performed *)
+  ar_fingerprint : int;  (** attacker decision fingerprint (0 open-loop) *)
+  ar_summary : string;
+  ar_log : string list;  (** attacker decision log, oldest first *)
+}
+
+val run_adversarial :
+  strategy:Ff_attacks.Adaptive.strategy ->
+  adversary:adversary ->
+  ?hardened:bool ->
+  ?seed:int ->
+  ?duration:float ->
+  ?attack_start:float ->
+  unit ->
+  adversarial_result
+(** Defaults: unhardened, seed 1, 70 s with the attack from t=10. The
+    same seed replays the identical run (attacker and defense draws are
+    both derived from it). *)
+
+val pp_adversarial : Format.formatter -> adversarial_result -> unit
+
 (** {1 Hybrid fluid/packet ISP scenario}
 
     The scale tier: an ISP-like three-tier topology ({!Ff_topology.Topology.isp})

@@ -1,10 +1,17 @@
-type t = { seed : int; bits : Bytes.t; nbits : int; hashes : int }
+type t = { mutable seed : int; bits : Bytes.t; nbits : int; hashes : int }
 
 let create ?(seed = 0x01000193) ~bits ~hashes () =
   assert (bits > 0 && hashes > 0);
   { seed; bits = Bytes.make ((bits + 7) / 8) '\000'; nbits = bits; hashes }
 
-let bit_index t key h = Hashtbl.hash (key, h, t.seed) mod t.nbits
+let seed t = t.seed
+
+(* Rotating the salt does not clear the bitmap: bits set under the old
+   seed keep the no-false-negative guarantee only for keys re-[add]ed
+   after the rotation, so callers normally [reset] alongside. *)
+let reseed t seed = t.seed <- seed
+
+let bit_index t key h = Hash.mix ~seed:t.seed ~lane:h key mod t.nbits
 
 let set_bit t i =
   let byte = i / 8 and off = i mod 8 in

@@ -1,0 +1,21 @@
+(* Allocation-free mixed-integer hash for the probabilistic structures.
+
+   The previous scheme, [Hashtbl.hash (key, lane, seed)], boxed a fresh
+   3-tuple on every probe — several words per packet across Bloom /
+   HashPipe / Sketch lookups — and only inspects the tuple shallowly.
+   This is a splitmix64-style finalizer over plain ints: two
+   multiply-xorshift rounds, no allocation, full avalanche, and the
+   (seed, lane) pair folds into the input so per-epoch salt rotation is
+   just a seed swap.
+
+   Constants are the splitmix64 finalizer constants truncated to fit
+   OCaml's 63-bit native int; the final [land max_int] keeps results
+   non-negative so callers can [mod] by a table size directly. *)
+
+let mix ~seed ~lane key =
+  let z = key lxor (seed + (lane * 0x9E3779B9) + 0x3C6EF372) in
+  let z = (z lxor (z lsr 30)) * 0x1F85EBCA6B2BD1D in
+  let z = (z lxor (z lsr 27)) * 0x2545F4914F6CDD1D in
+  (z lxor (z lsr 31)) land max_int
+
+let of_string s = Hashtbl.hash s

@@ -1,0 +1,15 @@
+(** Allocation-free salted integer hash shared by the probabilistic
+    structures (Bloom, HashPipe, Sketch, registers).
+
+    Replaces [Hashtbl.hash (key, lane, seed)], which allocated a tuple
+    per probe. Salting is first-class: changing [seed] re-randomizes
+    every lane, which is what per-epoch hash rotation (defense against
+    collision-probing adversaries) relies on. *)
+
+val mix : seed:int -> lane:int -> int -> int
+(** [mix ~seed ~lane key] — deterministic, non-negative, avalanching.
+    [lane] separates the independent hash functions of a multi-row /
+    multi-stage structure under one seed. *)
+
+val of_string : string -> int
+(** Fold a string into a seed (one-time use, e.g. register names). *)

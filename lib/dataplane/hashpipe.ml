@@ -1,6 +1,6 @@
 type slot = { mutable key : int; mutable cnt : float; mutable used : bool }
 
-type t = { seed : int; stages : slot array array }
+type t = { mutable seed : int; stages : slot array array }
 
 let create ?(seed = 0x9747b28c) ~stages ~slots_per_stage () =
   assert (stages > 0 && slots_per_stage > 0);
@@ -11,7 +11,16 @@ let create ?(seed = 0x9747b28c) ~stages ~slots_per_stage () =
           Array.init slots_per_stage (fun _ -> { key = 0; cnt = 0.; used = false }));
   }
 
-let index t stage key = Hashtbl.hash (key, stage, t.seed) mod Array.length t.stages.(stage)
+let seed t = t.seed
+
+(* Resident entries stay where the old salt put them. [heavy_hitters]
+   and [resident_keys] scan every slot, so per-key epoch totals survive
+   a mid-epoch rotation exactly; only [count]'s point probe (which
+   looks where the *current* salt points) can miss pre-rotation
+   residencies. *)
+let reseed t seed = t.seed <- seed
+
+let index t stage key = Hash.mix ~seed:t.seed ~lane:stage key mod Array.length t.stages.(stage)
 
 let update t ~key ~weight =
   (* Stage 0: always insert; evict the incumbent if different. *)

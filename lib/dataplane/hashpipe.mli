@@ -6,6 +6,17 @@ type t
 
 val create : ?seed:int -> stages:int -> slots_per_stage:int -> unit -> t
 
+val seed : t -> int
+
+val reseed : t -> int -> unit
+(** Swap the hash salt. Resident (key, count) entries are kept and still
+    counted by the scanning readers ({!heavy_hitters}, {!resident_keys}),
+    so rotating mid-epoch preserves per-key epoch totals; {!count}'s
+    single-slot probe may miss residencies placed under an older salt.
+    Rotation is the defense against collision-probing adversaries: a
+    (heavy, mouse) key pair that collides under one salt almost surely
+    does not under the next. *)
+
 val update : t -> key:int -> weight:float -> unit
 (** Insert/update one packet's key following the HashPipe algorithm:
     always-insert in the first stage, carry the evicted (key,count) through

@@ -1,14 +1,14 @@
 module Array_reg = struct
-  type t = { name : string; data : float array }
+  type t = { name : string; name_seed : int; data : float array }
 
   let create ?(name = "reg") ~slots () =
     assert (slots > 0);
-    { name; data = Array.make slots 0. }
+    { name; name_seed = Hash.of_string name; data = Array.make slots 0. }
 
   let name t = t.name
   let slots t = Array.length t.data
 
-  let index_of t key = (Hashtbl.hash (key, t.name)) mod Array.length t.data
+  let index_of t key = Hash.mix ~seed:t.name_seed ~lane:0 key mod Array.length t.data
 
   let get t key = t.data.(index_of t key)
   let set t key v = t.data.(index_of t key) <- v

@@ -1,5 +1,5 @@
 type t = {
-  seed : int;
+  mutable seed : int;
   rows_n : int;
   cols_n : int;
   cells : float array; (* rows * cols, row-major *)
@@ -10,7 +10,16 @@ let create ?(seed = 0x5bd1e995) ~rows ~cols () =
   assert (rows > 0 && cols > 0);
   { seed; rows_n = rows; cols_n = cols; cells = Array.make (rows * cols) 0.; total = 0. }
 
-let index t row key = (row * t.cols_n) + (Hashtbl.hash (key, row, t.seed) mod t.cols_n)
+let seed t = t.seed
+
+(* Counts added under the old salt stay in their cells: [total],
+   [serialize]/[absorb] and index-based arithmetic are unaffected, but
+   [estimate] only covers weight added under the *current* salt (a key
+   that straddles a rotation has its earlier weight in other cells), so
+   detectors reset alongside rotation when point estimates matter. *)
+let reseed t seed = t.seed <- seed
+
+let index t row key = (row * t.cols_n) + (Hash.mix ~seed:t.seed ~lane:row key mod t.cols_n)
 
 let add t key w =
   for r = 0 to t.rows_n - 1 do

@@ -8,6 +8,15 @@ val create : ?seed:int -> rows:int -> cols:int -> unit -> t
     estimates overshoot true counts by at most [e*N/cols] with probability
     [1 - e^-rows] where [N] is the total added weight. *)
 
+val seed : t -> int
+
+val reseed : t -> int -> unit
+(** Swap the hash salt (defense against collision-probing adversaries).
+    [total], {!serialize}/{!absorb} and {!merge_into} are index-based and
+    survive rotation exactly; {!estimate} only sees weight added under
+    the current salt, so rotate at epoch boundaries (with {!reset}) when
+    point estimates matter. *)
+
 val add : t -> int -> float -> unit
 (** [add t key w] adds weight [w] to [key]. *)
 

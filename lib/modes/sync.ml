@@ -82,7 +82,7 @@ let advertise t () =
     t.participants
 
 let create net ~participants ~period ~local_view ?(threshold = 0.) ?staleness
-    ?(probe_class = 1) () =
+    ?(period_jitter = 0.) ?(seed = 0x5C11) ?(probe_class = 1) () =
   let t =
     {
       net;
@@ -98,7 +98,20 @@ let create net ~participants ~period ~local_view ?(threshold = 0.) ?staleness
     }
   in
   List.iter (fun sw -> Net.add_stage net ~sw (stage t)) (Net.switch_ids net);
-  Engine.every (Net.engine net) ~period (advertise t);
+  let engine = Net.engine net in
+  if period_jitter <= 0. then Engine.every engine ~period (advertise t)
+  else begin
+    (* Jittered advertisement cadence (anti epoch-timing): each round
+       draws the next gap from [period*(1-j), period*(1+j)], so the
+       chain reschedules itself instead of riding [Engine.every]. *)
+    let rng = Ff_util.Prng.create ~seed:(seed lxor probe_class) in
+    let rec tick () =
+      advertise t ();
+      let f = 1. -. period_jitter +. Ff_util.Prng.float rng (2. *. period_jitter) in
+      Engine.after engine ~delay:(period *. f) tick
+    in
+    Engine.after engine ~delay:period tick
+  end;
   t
 
 (* All-float single-field record: the accumulating store stays unboxed,

@@ -21,13 +21,19 @@ val create :
   local_view:(sw:int -> (int * float) list) ->
   ?threshold:float ->
   ?staleness:float ->
+  ?period_jitter:float ->
+  ?seed:int ->
   ?probe_class:int ->
   unit ->
   t
 (** [local_view ~sw] is polled at each round. [threshold] (default 0.)
     suppresses small entries from probes. Remote entries older than
     [staleness] (default 3 periods) no longer count. [probe_class]
-    disambiguates multiple sync services on one network (default 0). *)
+    disambiguates multiple sync services on one network (default 0).
+    [period_jitter] > 0 draws each advertisement gap uniformly from
+    [period*(1-j), period*(1+j)] (seeded, deterministic) so an adversary
+    cannot learn and straddle the sync cadence; 0. (default) keeps the
+    fixed-period schedule bit-identical. *)
 
 val global_value : t -> sw:int -> key:int -> float
 (** [sw]'s current estimate of the network-wide sum for [key]: its own

@@ -1,11 +1,9 @@
 module Packet = Ff_dataplane.Packet
 
-(* Atomic for the same reason as [Packet.next_uid]: flows may be started
-   while other domains run (rare — shard setup happens on one domain —
-   but an id collision would silently cross-wire two flows' receivers). *)
-let flow_counter = Atomic.make 0
-
-let fresh_flow_id () = 1 + Atomic.fetch_and_add flow_counter 1
+(* Per-net allocation (see [Net.fresh_flow_id]): a process-wide counter
+   would make flow ids — and every hash keyed on them — depend on how
+   many flows earlier simulations in the same process created. *)
+let fresh_flow_id net = Net.fresh_flow_id net
 
 module Tcp = struct
   (* All-float record: flat layout, so the per-ack congestion-control and
@@ -225,7 +223,7 @@ module Tcp = struct
     let t =
       {
         net;
-        flow = fresh_flow_id ();
+        flow = fresh_flow_id net;
         src;
         dst;
         packet_size;
@@ -335,7 +333,7 @@ module Cbr = struct
     let t =
       {
         net;
-        flow = fresh_flow_id ();
+        flow = fresh_flow_id net;
         src;
         dst;
         packet_size;
@@ -359,7 +357,7 @@ end
 
 module Traceroute = struct
   let run net ~src ~dst ?(max_ttl = 16) ?(timeout = 1.0) ?(probes_per_hop = 3) ~on_done () =
-    let flow = fresh_flow_id () in
+    let flow = fresh_flow_id net in
     let replies : (int * int) list ref = ref [] in
     let host = Net.host net src in
     Hashtbl.replace host.Net.receivers flow (fun pkt ->

@@ -7,7 +7,10 @@
     sender with optional on/off pulsing. [Traceroute] is the reconnaissance
     agent attackers use to map paths (and the obfuscation booster deceives). *)
 
-val fresh_flow_id : unit -> int
+val fresh_flow_id : Net.t -> int
+(** Allocate a flow id unique within the given net (see
+    {!Net.fresh_flow_id} — per-net so identically-seeded runs replay
+    bit-for-bit regardless of what ran earlier in the process). *)
 
 module Tcp : sig
   type t

@@ -89,6 +89,13 @@ and t = {
       (* when this net is one shard of a partitioned simulation, arrivals
          at nodes the shard does not own are diverted to [post] instead of
          the local engine *)
+  flow_ids : int Atomic.t;
+      (* per-net flow-id allocator. Process-wide allocation would make a
+         net's flow ids — and therefore every hash keyed on them
+         (HashPipe slots, Bloom bits, meter tables) — depend on how many
+         flows *earlier* simulations in the same process created,
+         breaking run-to-run determinism. Atomic because flows may be
+         started while shard domains run. *)
 }
 
 and xshard = {
@@ -113,6 +120,7 @@ and trace_kind =
   | Packet_drop of string
 
 let engine t = t.engine
+let fresh_flow_id t = 1 + Atomic.fetch_and_add t.flow_ids 1
 let topology t = t.topo
 let now t = Engine.now t.engine
 
@@ -631,6 +639,7 @@ let create ?(queue_limit_bytes = 37_500.) engine topo =
       obs = Ff_obs.Trace.ambient ();
       metrics = Ff_obs.Metrics.ambient ();
       xshard = None;
+      flow_ids = Atomic.make 0;
     }
   in
   (* hosts are directly reachable from their access switch *)

@@ -77,6 +77,12 @@ val engine : t -> Engine.t
 val topology : t -> Ff_topology.Topology.t
 val now : t -> float
 
+val fresh_flow_id : t -> int
+(** Allocate a flow id unique within this net. Per-net (not process-wide)
+    so that a run's flow ids — and every hash keyed on them — do not
+    depend on how many flows earlier simulations in the same process
+    created; two identically-seeded runs replay bit-for-bit. *)
+
 val flag_mask : string -> int
 (** Intern a boolean switch-var name into a process-wide one-hot bit mask.
     Call once at install time; at most [Sys.int_size - 1] distinct names. *)
