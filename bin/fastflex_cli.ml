@@ -371,6 +371,69 @@ let adversarial_cmd strategy seed show_log =
     strategies;
   `Ok ()
 
+let synflood_cmd defended hardened duration rate backlog syn_timeout =
+  let open Fastflex.Scenario in
+  let r =
+    run_synflood ~defended ~hardened ~duration ~attack_rate_pps:rate ~backlog
+      ~syn_timeout ()
+  in
+  Ff_util.Table.print
+    ~header:[ "metric"; "value" ]
+    ~rows:
+      [ [ "defense";
+          (if not defended then "none"
+           else if hardened then "armed+hardening"
+           else "armed") ];
+        [ "normalized goodput"; Printf.sprintf "%.2f" r.sf_normalized_mean ];
+        [ "baseline (B/s)"; Printf.sprintf "%.0f" r.sf_baseline_goodput ];
+        [ "peak backlog occupancy"; Printf.sprintf "%.2f" r.sf_peak_backlog_occupancy ];
+        [ "backlog drops"; string_of_int r.sf_backlog_drops ];
+        [ "half-open timeouts"; string_of_int r.sf_timeouts ];
+        [ "established"; string_of_int r.sf_established ];
+        [ "client handshakes ok/failed";
+          Printf.sprintf "%d / %d" r.sf_completed r.sf_failed ];
+        [ "SYNs sent"; string_of_int r.sf_syns_sent ];
+        [ "cookies sent"; string_of_int r.sf_cookies_sent ];
+        [ "validated / rejected"; Printf.sprintf "%d / %d" r.sf_validated r.sf_rejected ];
+        [ "unverified drops"; string_of_int r.sf_unverified_drops ];
+        [ "cuckoo occupancy"; Printf.sprintf "%.3f" r.sf_tracker_occupancy ];
+        [ "cuckoo failed inserts"; string_of_int r.sf_tracker_failed_inserts ];
+        [ "mode changes"; string_of_int r.sf_mode_changes ];
+        [ "alarmed at end"; string_of_bool r.sf_alarmed ] ];
+  `Ok ()
+
+let sf_defended_arg =
+  Arg.(value & opt bool true & info [ "defended" ] ~docv:"BOOL"
+         ~doc:"Deploy the split-proxy booster (false = watch the flood win).")
+
+let sf_hardened_arg =
+  Arg.(value & flag & info [ "hardened" ]
+         ~doc:"Thread the hardening profile through the guard (jittered \
+               SYN-rate threshold, cookie-secret rotation).")
+
+let sf_duration_arg =
+  Arg.(value & opt float 60. & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated seconds.")
+
+let sf_rate_arg =
+  Arg.(value & opt float 400. & info [ "rate" ] ~docv:"PPS"
+         ~doc:"SYNs per second per bot (8 bots).")
+
+let sf_backlog_arg =
+  Arg.(value & opt int 64 & info [ "backlog" ] ~docv:"N"
+         ~doc:"Server accept-backlog slots.")
+
+let sf_timeout_arg =
+  Arg.(value & opt float 3.0 & info [ "syn-timeout" ] ~docv:"SECONDS"
+         ~doc:"Half-open entry lifetime at the server.")
+
+let synflood_command =
+  let doc = "Run the SYN-flood scenario: spoofed half-opens against the accept \
+             backlog, defended by SYN cookies at the edge switch and a \
+             cuckoo-filter flow tracker." in
+  Cmd.v (Cmd.info "synflood" ~doc)
+    Term.(ret (const synflood_cmd $ sf_defended_arg $ sf_hardened_arg $ sf_duration_arg
+               $ sf_rate_arg $ sf_backlog_arg $ sf_timeout_arg))
+
 let strategy_arg =
   Arg.(value & opt string "all" & info [ "strategy"; "s" ] ~docv:"STRATEGY"
          ~doc:"Attacker strategy: hug (threshold hugger), probe (collision \
@@ -400,4 +463,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ lfa_cmd; compile_command; stability_command; verify_command; dot_command;
-            parallel_command; fluid_command; adversarial_command ]))
+            parallel_command; fluid_command; adversarial_command; synflood_command ]))

@@ -1,0 +1,81 @@
+module Net = Ff_netsim.Net
+module Engine = Ff_netsim.Engine
+module Flow = Ff_netsim.Flow
+module Packet = Ff_dataplane.Packet
+
+(* A SYN flood is not a bandwidth attack: each packet is a 64-byte SYN
+   opening a *new* connection (fresh flow id every time), aimed at the
+   victim's accept backlog rather than its links. Bots never answer the
+   SYN-ACK — spoofed sources make sure they could not even if they wanted
+   to — so every accepted SYN pins a half-open slot until the server
+   times it out. *)
+
+type bot = {
+  b_net : Net.t;
+  b_via : int;  (* emitting host *)
+  b_victim : int;
+  b_spoof : int array;  (* claimed sources, cycled; [|b_via|] when honest *)
+  b_ttl : int;
+  mutable b_sent : int;
+  mutable b_running : bool;
+}
+
+type t = { bots : bot list; mutable stop_at : float option }
+
+let burst_len = 64
+
+let send_tick b =
+  if b.b_running then begin
+    let now = Net.now b.b_net in
+    let claimed = b.b_spoof.(b.b_sent mod Array.length b.b_spoof) in
+    let pkt =
+      Packet.make ~size:Packet.control_size ~ttl:b.b_ttl ~payload:Packet.Syn ~src:claimed
+        ~dst:b.b_victim ~flow:(Flow.fresh_flow_id b.b_net) ~birth:now ()
+    in
+    b.b_sent <- b.b_sent + 1;
+    Net.send_from_host_via b.b_net ~via:b.b_via pkt;
+    true
+  end
+  else false
+
+let arm b ~start ~rate_pps ~stop =
+  let period = 1. /. rate_pps in
+  let rec go ~start =
+    Engine.schedule_burst (Net.engine b.b_net) ~start ~period ~count:burst_len (fun k ->
+        let past_stop =
+          match stop with Some s -> Net.now b.b_net >= s | None -> false
+        in
+        if past_stop then b.b_running <- false;
+        let continue = send_tick b in
+        if continue && k = burst_len - 1 then go ~start:(Net.now b.b_net +. period);
+        continue)
+  in
+  go ~start
+
+let launch net ~bots ~victim ~syn_rate_pps ?(start = 0.) ?stop ?(spoof_as = [])
+    ?(spoof_ttl = 48) () =
+  let bot_list =
+    List.map
+      (fun via ->
+        let spoof, ttl =
+          match spoof_as with
+          | [] -> ([| via |], 64)
+          | claims -> (Array.of_list claims, spoof_ttl)
+        in
+        {
+          b_net = net;
+          b_via = via;
+          b_victim = victim;
+          b_spoof = spoof;
+          b_ttl = ttl;
+          b_sent = 0;
+          b_running = true;
+        })
+      bots
+  in
+  List.iter (fun b -> arm b ~start ~rate_pps:syn_rate_pps ~stop) bot_list;
+  { bots = bot_list; stop_at = stop }
+
+let syns_sent t = List.fold_left (fun acc b -> acc + b.b_sent) 0 t.bots
+
+let stop_now t = List.iter (fun b -> b.b_running <- false) t.bots

@@ -23,3 +23,4 @@ let mode_drop = "drop"
 let mode_hcf = "hcf"
 let mode_acl = "acl"
 let mode_grl = "grl"
+let mode_syn_guard = "syn_guard"

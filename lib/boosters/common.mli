@@ -37,3 +37,6 @@ val mode_drop : string
 val mode_hcf : string
 val mode_acl : string
 val mode_grl : string
+
+val mode_syn_guard : string
+(** SYN-cookie split-proxy interception at an edge switch. *)

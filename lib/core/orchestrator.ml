@@ -86,6 +86,7 @@ let modes_for = function
   | Packet.Volumetric -> [ B.Common.mode_drop; B.Common.mode_hcf ]
   | Packet.Pulsing -> [ B.Common.mode_reroute; B.Common.mode_drop ]
   | Packet.Recon -> [ B.Common.mode_obfuscate ]
+  | Packet.Synflood -> [ B.Common.mode_syn_guard ]
 
 let deploy net ~landmarks ~default_plan ?(config = default_config) () =
   let lm : Topology.Fig2.landmarks = landmarks in
@@ -227,6 +228,35 @@ let deploy_volumetric net ~sw ?(config = default_config) ?(threshold_bps = 4_000
   in
   let hcf = B.Hop_count_filter.install net ~sw () in
   { v_protocol = protocol; v_hh = hh; v_dropper = dropper; v_hcf = hcf }
+
+type synguard = {
+  sg_protocol : Ff_modes.Protocol.t;
+  sg_guard : B.Syn_guard.t;
+}
+
+let deploy_synguard net ~sw ~protect ?(config = default_config)
+    ?(tracker_capacity = 4096) ?(syn_threshold_pps = 200.) () =
+  let protocol =
+    Ff_modes.Protocol.create net ~region_ttl:config.region_ttl ~min_dwell:config.min_dwell
+      ~anti_entropy:config.anti_entropy ~modes_for ()
+  in
+  let threshold_jitter, rotate_period, sg_seed =
+    match config.hardening with
+    | None -> (0., 0., 0x5EED)
+    | Some h -> (h.h_threshold_jitter, h.h_rotate_period, h.h_seed)
+  in
+  let guard =
+    B.Syn_guard.install net ~sw ~protect ~tracker_capacity ~syn_threshold_pps
+      ~clear_hold:config.clear_hold ~threshold_jitter ~rotate_period ~seed:sg_seed
+      ~on_alarm:(fun a ->
+        Ff_modes.Protocol.raise_alarm protocol ~sw:a.B.Lfa_detector.switch
+          a.B.Lfa_detector.attack)
+      ~on_clear:(fun a ->
+        Ff_modes.Protocol.clear_alarm protocol ~sw:a.B.Lfa_detector.switch
+          a.B.Lfa_detector.attack)
+      ()
+  in
+  { sg_protocol = protocol; sg_guard = guard }
 
 type wide = {
   w_protocol : Ff_modes.Protocol.t;

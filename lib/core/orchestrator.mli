@@ -97,6 +97,29 @@ val deploy_volumetric :
     (spoofed sources dropped at line rate). Default flow threshold
     4 Mb/s. *)
 
+type synguard = {
+  sg_protocol : Ff_modes.Protocol.t;
+  sg_guard : Ff_boosters.Syn_guard.t;
+}
+
+val deploy_synguard :
+  Ff_netsim.Net.t ->
+  sw:int ->
+  protect:int ->
+  ?config:config ->
+  ?tracker_capacity:int ->
+  ?syn_threshold_pps:float ->
+  unit ->
+  synguard
+(** CuckooGuard-style SYN-flood protection for one server: the split-proxy
+    booster ({!Ff_boosters.Syn_guard}) at the server's edge switch [sw]
+    raises [Synflood] alarms into the mode protocol, which activates the
+    [syn_guard] mode (SYN-cookie interception + cuckoo-filter flow
+    tracking). Call {!Ff_boosters.Syn_guard.attach_server_agent} with the
+    server's listener to complete the split. Hardening maps
+    [h_threshold_jitter] onto the SYN-rate threshold and [h_rotate_period]
+    onto cookie-secret rotation. *)
+
 type wide = {
   w_protocol : Ff_modes.Protocol.t;
   w_detectors : (int * Ff_boosters.Lfa_detector.t) list;  (** per switch *)

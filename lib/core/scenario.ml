@@ -286,6 +286,131 @@ let run_volumetric ~defended ?(duration = 60.) ?(attack_rate_pps = 600.) ?(spoof
       | None -> false);
   }
 
+(* ------------------------------------------------------------------ *)
+(* SYN-flood scenario                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type synflood_result = {
+  sf_normalized_mean : float;  (** completed-handshake goodput vs pre-attack *)
+  sf_baseline_goodput : float;
+  sf_peak_backlog_occupancy : float;
+  sf_backlog_drops : int;
+  sf_timeouts : int;
+  sf_established : int;
+  sf_completed : int;
+  sf_failed : int;
+  sf_cookies_sent : int;
+  sf_validated : int;
+  sf_rejected : int;
+  sf_unverified_drops : int;
+  sf_tracker_occupancy : float;
+  sf_tracker_failed_inserts : int;
+  sf_syns_sent : int;
+  sf_mode_changes : int;
+  sf_alarmed : bool;
+}
+
+let run_synflood ~defended ?(hardened = false) ?(duration = 60.)
+    ?(attack_rate_pps = 400.) ?(backlog = 64) ?(syn_timeout = 3.0) () =
+  let lm = Topology.Fig2.build ~bots:8 ~normals:4 () in
+  let topo = lm.Topology.Fig2.topo in
+  let engine = Engine.create () in
+  let net = Net.create engine topo in
+  install_default_routes net lm;
+  let matrix = normal_matrix lm ~per_flow_bps:2_300_000. in
+  let default_plan = Ff_te.Solver.solve ~k:2 topo matrix in
+  Ff_te.Solver.install net default_plan;
+  (* the resource under attack: the victim's accept backlog *)
+  let listener =
+    Flow.Listener.install net ~host:lm.Topology.Fig2.victim ~backlog ~syn_timeout ()
+  in
+  (* legitimate clients: short handshake-data-FIN connections in a loop;
+     their completion rate is the scenario's goodput *)
+  let clients =
+    List.map
+      (fun n ->
+        Flow.Handshake.start net ~src:n ~dst:lm.Topology.Fig2.victim ~at:0.5
+          ~conn_interval:0.4 ())
+      lm.Topology.Fig2.normal_sources
+  in
+  let sg =
+    if defended then begin
+      let config =
+        if hardened then
+          { Orchestrator.default_config with
+            hardening = Some Orchestrator.default_hardening }
+        else Orchestrator.default_config
+      in
+      let sg =
+        Orchestrator.deploy_synguard net ~sw:lm.Topology.Fig2.victim_agg
+          ~protect:lm.Topology.Fig2.victim ~config ()
+      in
+      Ff_boosters.Syn_guard.attach_server_agent sg.Orchestrator.sg_guard listener;
+      Some sg
+    end
+    else None
+  in
+  let attack_start = 10. in
+  let atk =
+    Ff_attacks.Synflood.launch net ~bots:lm.Topology.Fig2.bot_sources
+      ~victim:lm.Topology.Fig2.victim ~syn_rate_pps:attack_rate_pps
+      ~start:attack_start ~spoof_as:lm.Topology.Fig2.normal_sources ()
+  in
+  let goodput =
+    Monitor.aggregate_goodput net
+      ~probes:
+        [ Monitor.counter_probe (fun () ->
+              List.fold_left
+                (fun acc c -> acc +. Flow.Handshake.completed_bytes c)
+                0. clients) ]
+      ~period:0.5 ~name:"goodput" ()
+  in
+  Engine.run engine ~until:duration;
+  let vals t0 t1 =
+    List.filter_map
+      (fun (t, v) -> if t >= t0 && t <= t1 then Some v else None)
+      (Series.points goodput)
+  in
+  let baseline =
+    Float.max 1. (Ff_util.Stats.mean (vals (attack_start -. 6.) (attack_start -. 1.)))
+  in
+  let guard = Option.map (fun s -> s.Orchestrator.sg_guard) sg in
+  let sum f = List.fold_left (fun acc c -> acc + f c) 0 clients in
+  {
+    sf_normalized_mean =
+      Ff_util.Stats.mean (vals (attack_start +. 2.) duration) /. baseline;
+    sf_baseline_goodput = baseline;
+    sf_peak_backlog_occupancy = Flow.Listener.peak_occupancy listener;
+    sf_backlog_drops = Flow.Listener.backlog_drops listener;
+    sf_timeouts = Flow.Listener.timeouts listener;
+    sf_established = Flow.Listener.established listener;
+    sf_completed = sum Flow.Handshake.completed;
+    sf_failed = sum Flow.Handshake.failed;
+    sf_cookies_sent =
+      (match guard with Some g -> Ff_boosters.Syn_guard.cookies_sent g | None -> 0);
+    sf_validated =
+      (match guard with Some g -> Ff_boosters.Syn_guard.validated g | None -> 0);
+    sf_rejected =
+      (match guard with Some g -> Ff_boosters.Syn_guard.rejected g | None -> 0);
+    sf_unverified_drops =
+      (match guard with Some g -> Ff_boosters.Syn_guard.unverified_drops g | None -> 0);
+    sf_tracker_occupancy =
+      (match guard with
+      | Some g -> Ff_dataplane.Cuckoo.occupancy (Ff_boosters.Syn_guard.tracker g)
+      | None -> 0.);
+    sf_tracker_failed_inserts =
+      (match guard with
+      | Some g -> Ff_dataplane.Cuckoo.failed_inserts (Ff_boosters.Syn_guard.tracker g)
+      | None -> 0);
+    sf_syns_sent = Ff_attacks.Synflood.syns_sent atk;
+    sf_mode_changes =
+      (match sg with
+      | Some s -> List.length (Ff_modes.Protocol.log s.Orchestrator.sg_protocol)
+      | None -> 0);
+    sf_alarmed =
+      (match guard with Some g -> Ff_boosters.Syn_guard.alarmed g | None -> false);
+  }
+
 (* shortest-path route trees toward every host, over switches only (hosts
    are reachable but never transited) *)
 let install_all_routes net =

@@ -92,6 +92,53 @@ val run_volumetric :
     4.8 Mb/s heavy hitter, 38 Mb/s aggregate against a 20 Mb/s cut —
     spoofing on. *)
 
+(** {1 SYN-flood scenario}
+
+    The split-proxy driver: bots open spoofed connections they never
+    finish, exhausting the victim's accept backlog; the defense is the
+    CuckooGuard-style booster ({!Ff_boosters.Syn_guard}) — SYN-cookie
+    interception at the victim's edge switch plus a cuckoo-filter flow
+    tracker, with the server's listener trusting edge-validated
+    handshakes. Goodput is the legitimate clients' completed-handshake
+    byte rate, normalized against the pre-attack window. *)
+
+type synflood_result = {
+  sf_normalized_mean : float;  (** completed-handshake goodput vs pre-attack *)
+  sf_baseline_goodput : float;
+  sf_peak_backlog_occupancy : float;
+      (** high-water accept-backlog occupancy: 1.0 undefended, by design *)
+  sf_backlog_drops : int;  (** SYNs the server refused, backlog full *)
+  sf_timeouts : int;  (** half-open entries that expired unacked *)
+  sf_established : int;
+  sf_completed : int;  (** client handshakes that completed *)
+  sf_failed : int;  (** client connection attempts that gave up *)
+  sf_cookies_sent : int;
+  sf_validated : int;
+  sf_rejected : int;  (** forged handshake acks dropped at the edge *)
+  sf_unverified_drops : int;
+  sf_tracker_occupancy : float;  (** cuckoo load at run end, must stay < 0.95 *)
+  sf_tracker_failed_inserts : int;
+  sf_syns_sent : int;
+  sf_mode_changes : int;
+  sf_alarmed : bool;
+}
+
+val run_synflood :
+  defended:bool ->
+  ?hardened:bool ->
+  ?duration:float ->
+  ?attack_rate_pps:float ->
+  ?backlog:int ->
+  ?syn_timeout:float ->
+  unit ->
+  synflood_result
+(** Defaults: 60 s, 400 SYNs/s per bot (3200/s aggregate against a
+    64-slot backlog with a 3 s half-open timeout — refills a freed slot
+    five hundred times faster than legitimate clients retry), spoofing
+    always on. [hardened] threads {!Orchestrator.default_hardening}
+    (jittered SYN-rate threshold, cookie-secret rotation) through
+    {!Orchestrator.deploy_synguard}. *)
+
 (** {1 Closed-loop adversarial arena}
 
     One fat-tree(4) arena per adaptive strategy

@@ -1,12 +1,13 @@
-type attack_kind = Lfa | Volumetric | Pulsing | Recon
+type attack_kind = Lfa | Volumetric | Pulsing | Recon | Synflood
 
 let attack_kind_to_string = function
   | Lfa -> "lfa"
   | Volumetric -> "volumetric"
   | Pulsing -> "pulsing"
   | Recon -> "recon"
+  | Synflood -> "synflood"
 
-let all_attack_kinds = [ Lfa; Volumetric; Pulsing; Recon ]
+let all_attack_kinds = [ Lfa; Volumetric; Pulsing; Recon; Synflood ]
 
 type payload =
   | Data
@@ -20,6 +21,10 @@ type payload =
   | State_chunk of { xfer_id : int; group : int; index : int; of_group : int; parity : bool;
                      entries : (string * float) list }
   | State_ack of { xfer_id : int; group : int }
+  | Syn
+  | Syn_ack of { cookie : int }
+  | Handshake_ack of { cookie : int }
+  | Fin
 
 type t = {
   uid : int;
@@ -72,7 +77,8 @@ let make_control ~payload ~src ~dst ~flow ~birth =
   { uid = fresh_uid (); src; dst; flow; size; seq = 0; payload; birth; ttl = 64;
     suspicious = false; tags = [] }
 
-let is_control p = match p.payload with Data | Ack _ -> false | _ -> true
+let is_control p =
+  match p.payload with Data | Ack _ | Syn | Syn_ack _ | Handshake_ack _ | Fin -> false | _ -> true
 
 let tag p key v =
   (* [List.remove_assoc] copies the list even when the key is absent —
@@ -96,6 +102,10 @@ let pp fmt p =
     | Sync_probe _ -> "sync-probe"
     | State_chunk _ -> "state-chunk"
     | State_ack _ -> "state-ack"
+    | Syn -> "syn"
+    | Syn_ack _ -> "syn-ack"
+    | Handshake_ack _ -> "hs-ack"
+    | Fin -> "fin"
   in
   Format.fprintf fmt "[pkt#%d %s %d->%d flow=%d seq=%d %dB%s]" p.uid kind p.src p.dst p.flow
     p.seq p.size

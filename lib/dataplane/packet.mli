@@ -5,7 +5,7 @@
     and state-transfer chunks (dynamic scaling). *)
 
 (** Attack classes a detector can report in a mode-change probe. *)
-type attack_kind = Lfa | Volumetric | Pulsing | Recon
+type attack_kind = Lfa | Volumetric | Pulsing | Recon | Synflood
 
 val attack_kind_to_string : attack_kind -> string
 val all_attack_kinds : attack_kind list
@@ -30,6 +30,14 @@ type payload =
       (** one unit of piggybacked state transfer; [parity] chunks carry the
           XOR of their FEC group *)
   | State_ack of { xfer_id : int; group : int }
+  | Syn  (** open a TCP connection (consumes a server backlog slot) *)
+  | Syn_ack of { cookie : int }
+      (** server (or proxy) handshake reply; [cookie] is 0 from a real
+          server backlog and a SYN-cookie when a split-proxy booster
+          answers statelessly on the server's behalf *)
+  | Handshake_ack of { cookie : int }
+      (** client's final handshake step, echoing the [Syn_ack] cookie *)
+  | Fin  (** connection teardown (frees tracker/server state) *)
 
 type t = {
   uid : int;  (** globally unique packet id *)
@@ -72,7 +80,9 @@ val created : unit -> int
     around a run to relate per-hop costs to per-packet ones. *)
 
 val is_control : t -> bool
-(** True for every payload other than [Data] and [Ack]. *)
+(** True for in-band control-plane payloads (probes, state transfer) —
+    transport-level payloads ([Data], [Ack], and the handshake payloads
+    [Syn]/[Syn_ack]/[Handshake_ack]/[Fin]) are ordinary traffic. *)
 
 val tag : t -> string -> float -> unit
 (** Set (or overwrite) a metadata tag. *)

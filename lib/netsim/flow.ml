@@ -266,6 +266,241 @@ module Tcp = struct
     end
 end
 
+module Listener = struct
+  (* Server-side accept state: the resource a SYN flood actually exhausts.
+     Each SYN that reaches the host occupies one half-open slot until the
+     peer's handshake ack arrives or the slot times out — the accept
+     backlog is capped, so a flood starves legitimate handshakes at the
+     server even when every link has headroom. *)
+  type t = {
+    net : Net.t;
+    host : int;
+    backlog : int;
+    syn_timeout : float;
+    half_open : (int, float) Hashtbl.t;  (* flow id -> SYN arrival time *)
+    established_rx : (int, unit) Hashtbl.t;
+    mutable trust_validated : bool;
+    mutable established : int;
+    mutable backlog_drops : int;
+    mutable timeouts : int;
+    mutable data_bytes : float;
+    mutable peak_half_open : int;
+  }
+
+  let half_open_count t = Hashtbl.length t.half_open
+  let established t = t.established
+  let backlog t = t.backlog
+  let backlog_drops t = t.backlog_drops
+  let timeouts t = t.timeouts
+  let data_bytes t = t.data_bytes
+  let peak_occupancy t = float_of_int t.peak_half_open /. float_of_int t.backlog
+  let occupancy t = float_of_int (half_open_count t) /. float_of_int t.backlog
+
+  (* The server-side split-proxy agent flips this: when the edge switch
+     validates cookies, a handshake ack arriving without a half-open entry
+     is accepted on the edge's word instead of being dropped as stray. *)
+  let set_trust_validated t v = t.trust_validated <- v
+  let trust_validated t = t.trust_validated
+
+  let reply t (pkt : Packet.t) payload =
+    let p =
+      Packet.make_control ~payload ~src:t.host ~dst:pkt.Packet.src ~flow:pkt.Packet.flow
+        ~birth:(Net.now t.net)
+    in
+    Net.send_from_host t.net p
+
+  let expire t flow =
+    match Hashtbl.find_opt t.half_open flow with
+    | Some opened when Net.now t.net >= opened +. t.syn_timeout -. 1e-9 ->
+      Hashtbl.remove t.half_open flow;
+      t.timeouts <- t.timeouts + 1
+    | _ -> ()
+
+  let on_syn t (pkt : Packet.t) =
+    let flow = pkt.Packet.flow in
+    if Hashtbl.mem t.half_open flow then
+      (* duplicate/retried SYN of a connection we already hold: re-reply
+         without consuming another slot *)
+      reply t pkt (Packet.Syn_ack { cookie = 0 })
+    else if Hashtbl.length t.half_open >= t.backlog then begin
+      t.backlog_drops <- t.backlog_drops + 1;
+      Net.count_drop t.net "backlog-full"
+    end
+    else begin
+      Hashtbl.replace t.half_open flow (Net.now t.net);
+      let occ = Hashtbl.length t.half_open in
+      if occ > t.peak_half_open then t.peak_half_open <- occ;
+      Engine.after (Net.engine t.net) ~delay:t.syn_timeout (fun () -> expire t flow);
+      reply t pkt (Packet.Syn_ack { cookie = 0 })
+    end
+
+  let establish t flow =
+    Hashtbl.replace t.established_rx flow ();
+    t.established <- t.established + 1
+
+  let on_handshake_ack t (pkt : Packet.t) cookie =
+    let flow = pkt.Packet.flow in
+    if Hashtbl.mem t.half_open flow then begin
+      Hashtbl.remove t.half_open flow;
+      establish t flow
+    end
+    else if t.trust_validated && cookie <> 0 && not (Hashtbl.mem t.established_rx flow) then
+      (* split proxy: the edge switch completed the cookie handshake and
+         forwarded only the validated ack — no half-open entry ever
+         existed here *)
+      establish t flow
+  (* else: stray ack (or duplicate) — ignore *)
+
+  let rx t (pkt : Packet.t) =
+    match pkt.Packet.payload with
+    | Packet.Syn -> on_syn t pkt
+    | Packet.Handshake_ack { cookie } -> on_handshake_ack t pkt cookie
+    | Packet.Data ->
+      if Hashtbl.mem t.established_rx pkt.Packet.flow then
+        t.data_bytes <- t.data_bytes +. float_of_int pkt.Packet.size
+    | Packet.Fin ->
+      Hashtbl.remove t.established_rx pkt.Packet.flow;
+      Hashtbl.remove t.half_open pkt.Packet.flow
+    | _ -> ()
+
+  let install net ~host ?(backlog = 64) ?(syn_timeout = 3.0) () =
+    let t =
+      {
+        net;
+        host;
+        backlog;
+        syn_timeout;
+        half_open = Hashtbl.create 64;
+        established_rx = Hashtbl.create 64;
+        trust_validated = false;
+        established = 0;
+        backlog_drops = 0;
+        timeouts = 0;
+        data_bytes = 0.;
+        peak_half_open = 0;
+      }
+    in
+    (Net.host net host).Net.fallback_rx <- Some (rx t);
+    t
+end
+
+module Handshake = struct
+  (* A legitimate client opening short connections in a loop: SYN, wait
+     for SYN-ACK (retrying a few times), complete with the echoed cookie,
+     push a small data burst, FIN, repeat. Completed handshakes are the
+     scenario's goodput unit — a flooded (or guarded) server shows up
+     directly in this counter. *)
+  type t = {
+    net : Net.t;
+    src : int;
+    dst : int;
+    conn_interval : float;
+    syn_timeout : float;
+    max_retries : int;
+    data_packets : int;
+    data_size : int;
+    stop : float option;
+    mutable attempts : int;
+    mutable completed : int;
+    mutable failed : int;
+    mutable running : bool;
+  }
+
+  let attempts t = t.attempts
+  let completed t = t.completed
+  let failed t = t.failed
+  let src t = t.src
+  let dst t = t.dst
+  let stop_now t = t.running <- false
+
+  (* Completed handshakes expressed as bytes for goodput probes: one
+     handshake stands for its data burst. *)
+  let completed_bytes t = float_of_int (t.completed * t.data_packets * t.data_size)
+
+  let stopped t now = match t.stop with Some s -> now >= s | None -> false
+
+  let send_ctl t ~flow payload =
+    let p =
+      Packet.make_control ~payload ~src:t.src ~dst:t.dst ~flow ~birth:(Net.now t.net)
+    in
+    Net.send_from_host t.net p
+
+  let rec attempt t =
+    let now = Net.now t.net in
+    if t.running && not (stopped t now) then begin
+      let flow = fresh_flow_id t.net in
+      t.attempts <- t.attempts + 1;
+      let state = ref `Waiting (* `Waiting -> `Done | `Failed *) in
+      let host = Net.host t.net t.src in
+      let finish () =
+        Hashtbl.remove host.Net.receivers flow;
+        Engine.after (Net.engine t.net) ~delay:t.conn_interval (fun () -> attempt t)
+      in
+      Hashtbl.replace host.Net.receivers flow (fun (pkt : Packet.t) ->
+          match pkt.Packet.payload with
+          | Packet.Syn_ack { cookie } when !state = `Waiting ->
+            state := `Done;
+            t.completed <- t.completed + 1;
+            send_ctl t ~flow (Packet.Handshake_ack { cookie });
+            (* short data burst, then teardown; paced a few ms apart so
+               the burst does not self-congest the access link *)
+            for i = 0 to t.data_packets - 1 do
+              Engine.after (Net.engine t.net)
+                ~delay:(0.002 *. float_of_int (i + 1))
+                (fun () ->
+                  let d =
+                    Packet.make_data ~size:t.data_size ~seq:i ~ttl:64 ~src:t.src ~dst:t.dst
+                      ~flow ~birth:(Net.now t.net)
+                  in
+                  Net.send_from_host t.net d)
+            done;
+            Engine.after (Net.engine t.net)
+              ~delay:(0.002 *. float_of_int (t.data_packets + 2))
+              (fun () ->
+                send_ctl t ~flow Packet.Fin;
+                finish ())
+          | _ -> ());
+      let rec arm_timeout tries_left =
+        Engine.after (Net.engine t.net) ~delay:t.syn_timeout (fun () ->
+            if !state = `Waiting then
+              if tries_left > 0 then begin
+                send_ctl t ~flow Packet.Syn;
+                arm_timeout (tries_left - 1)
+              end
+              else begin
+                state := `Failed;
+                t.failed <- t.failed + 1;
+                finish ()
+              end)
+      in
+      send_ctl t ~flow Packet.Syn;
+      arm_timeout t.max_retries
+    end
+
+  let start net ~src ~dst ?at ?stop ?(conn_interval = 0.5) ?(syn_timeout = 1.0)
+      ?(max_retries = 2) ?(data_packets = 4) ?(data_size = 1000) () =
+    let at = match at with Some a -> a | None -> Net.now net in
+    let t =
+      {
+        net;
+        src;
+        dst;
+        conn_interval;
+        syn_timeout;
+        max_retries;
+        data_packets;
+        data_size;
+        stop;
+        attempts = 0;
+        completed = 0;
+        failed = 0;
+        running = true;
+      }
+    in
+    Engine.schedule (Net.engine net) ~at (fun () -> attempt t);
+    t
+end
+
 module Cbr = struct
   type t = {
     net : Net.t;

@@ -51,6 +51,83 @@ module Tcp : sig
   val resume : t -> now:float -> unit
 end
 
+module Listener : sig
+  (** Server-side TCP accept state — the resource a SYN flood exhausts.
+      Installed as the host's fallback receiver: SYN/handshake/data
+      packets of flows without a dedicated receiver land here. Each SYN
+      occupies one half-open backlog slot until the handshake ack arrives
+      or [syn_timeout] expires; SYNs past the (capped) backlog are
+      dropped with reason ["backlog-full"]. *)
+  type t
+
+  val install : Net.t -> host:int -> ?backlog:int -> ?syn_timeout:float ->
+    unit -> t
+
+  val established : t -> int
+  (** Connections that completed the three-way handshake. *)
+
+  val half_open_count : t -> int
+  val backlog : t -> int
+
+  val occupancy : t -> float
+  (** [half_open_count / backlog], in [0,1]. *)
+
+  val peak_occupancy : t -> float
+  (** High-water backlog occupancy over the listener's lifetime. *)
+
+  val backlog_drops : t -> int
+  (** SYNs refused because the backlog was full. *)
+
+  val timeouts : t -> int
+  (** Half-open entries that expired unacked (each freed its slot). *)
+
+  val data_bytes : t -> float
+  (** Bytes delivered on established flows. *)
+
+  val set_trust_validated : t -> bool -> unit
+  (** The server-side split-proxy agent: when [true], a handshake ack
+      carrying a non-zero cookie but no half-open entry establishes
+      directly — the edge switch already validated the peer, the server
+      never saw its SYN. *)
+
+  val trust_validated : t -> bool
+end
+
+module Handshake : sig
+  (** A legitimate client opening short connections in a loop: SYN →
+      SYN-ACK (with retries) → handshake ack echoing the cookie → a small
+      data burst → FIN, then the next connection after [conn_interval].
+      Completed handshakes are the goodput unit of the SYN-flood
+      scenario. *)
+  type t
+
+  val start :
+    Net.t ->
+    src:int ->
+    dst:int ->
+    ?at:float ->
+    ?stop:float ->
+    ?conn_interval:float ->
+    ?syn_timeout:float ->
+    ?max_retries:int ->
+    ?data_packets:int ->
+    ?data_size:int ->
+    unit ->
+    t
+
+  val attempts : t -> int
+  val completed : t -> int
+  val failed : t -> int
+
+  val completed_bytes : t -> float
+  (** Cumulative completed handshakes expressed as bytes (one handshake
+      counts its data burst) — feed to {!Monitor.counter_probe}. *)
+
+  val src : t -> int
+  val dst : t -> int
+  val stop_now : t -> unit
+end
+
 module Cbr : sig
   type t
 

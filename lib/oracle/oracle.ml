@@ -116,6 +116,43 @@ module Routing = struct
       (Topology.switches topo)
 end
 
+module Cuckoo_ref = struct
+  (* The specification of [Ff_dataplane.Cuckoo] is just a multiset of
+     keys: no buckets, no fingerprints, no eviction — membership is a
+     table lookup. The differential suite holds the filter to this
+     semantics wherever it is exact (never a false negative, deletion
+     removes one copy) and to its analytic bound where it is
+     probabilistic (false positives). *)
+
+  type t = { counts : (int, int) Hashtbl.t; mutable size : int }
+
+  let create () = { counts = Hashtbl.create 64; size = 0 }
+
+  let count t key = match Hashtbl.find_opt t.counts key with Some n -> n | None -> 0
+
+  let insert t key =
+    Hashtbl.replace t.counts key (count t key + 1);
+    t.size <- t.size + 1
+
+  let member t key = count t key > 0
+
+  let delete t key =
+    match count t key with
+    | 0 -> false
+    | 1 ->
+      Hashtbl.remove t.counts key;
+      t.size <- t.size - 1;
+      true
+    | n ->
+      Hashtbl.replace t.counts key (n - 1);
+      t.size <- t.size - 1;
+      true
+
+  let size t = t.size
+
+  let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.counts []
+end
+
 module Modes = struct
   type 'attack cmd = { c_origin : int; c_attack : 'attack; c_activate : bool }
 

@@ -63,6 +63,31 @@ module Routing : sig
       origin included): exactly the set a [ttl]-budgeted flood reaches. *)
 end
 
+(** The specification of the cuckoo filter ([Ff_dataplane.Cuckoo]): a
+    plain multiset of keys. Exact where the filter is exact — an inserted
+    key is a member until deleted, deletion removes exactly one copy —
+    and silent about false positives, which the differential suite bounds
+    against the filter's analytic rate instead. *)
+module Cuckoo_ref : sig
+  type t
+
+  val create : unit -> t
+  val insert : t -> int -> unit
+  val member : t -> int -> bool
+
+  val delete : t -> int -> bool
+  (** Remove one copy; [false] when the key is absent. *)
+
+  val count : t -> int -> int
+  (** Copies of this key currently held. *)
+
+  val size : t -> int
+  (** Total copies across all keys. *)
+
+  val keys : t -> int list
+  (** Distinct members, unspecified order. *)
+end
+
 (** The declarative specification of [Modes.Protocol]: a fold over the
     command history instead of a distributed flood. Once the network has
     carried every probe (no loss, commands spaced beyond the dwell), the

@@ -331,6 +331,60 @@ let send_sketch net ~src_sw ~dst_sw ~sketch ~into ?group_size ?per_chunk ?fec
       on_complete ())
     ()
 
+(* Cuckoo snapshots carry exact members, so the wire format must be
+   lossless: geometry rides as ["geom:*"] entries and each (bucket,
+   fingerprint) pair packs into one float as [bucket * 2^fp_bits + fp]
+   (both components are small ints, so the product is exact in a float).
+   Entry keys are indexed only to survive the chunker's keying. *)
+let cuckoo_wire_entries (snap : Ff_dataplane.Cuckoo.snapshot) =
+  let open Ff_dataplane.Cuckoo in
+  [ ("geom:buckets", float_of_int snap.ck_buckets);
+    ("geom:slots", float_of_int snap.ck_slots);
+    ("geom:fp_bits", float_of_int snap.ck_fp_bits);
+    ("geom:seed", float_of_int snap.ck_seed) ]
+  @ List.mapi
+      (fun i (b, fp) ->
+        (Printf.sprintf "fp:%d" i, float_of_int ((b lsl snap.ck_fp_bits) lor fp)))
+      snap.ck_entries
+
+let cuckoo_snapshot_of_entries entries =
+  let geom k =
+    match List.assoc_opt ("geom:" ^ k) entries with
+    | Some v -> int_of_float v
+    | None -> invalid_arg (Printf.sprintf "Transfer.cuckoo_snapshot_of_entries: missing geom:%s" k)
+  in
+  let fp_bits = geom "fp_bits" in
+  let mask = (1 lsl fp_bits) - 1 in
+  let packed =
+    List.filter_map
+      (fun (k, v) ->
+        match String.index_opt k ':' with
+        | Some i when String.sub k 0 i = "fp" -> (
+          match int_of_string_opt (String.sub k (i + 1) (String.length k - i - 1)) with
+          | Some idx -> Some (idx, int_of_float v)
+          | None -> None)
+        | _ -> None)
+      entries
+  in
+  let ordered = List.sort (fun (a, _) (b, _) -> compare a b) packed in
+  {
+    Ff_dataplane.Cuckoo.ck_buckets = geom "buckets";
+    ck_slots = geom "slots";
+    ck_fp_bits = fp_bits;
+    ck_seed = geom "seed";
+    ck_entries = List.map (fun (_, p) -> (p lsr fp_bits, p land mask)) ordered;
+  }
+
+let send_cuckoo net ~src_sw ~dst_sw ~cuckoo ~into ?group_size ?per_chunk ?fec
+    ?retransmit_timeout ?max_retries ?seed ?on_fail ?(on_complete = fun () -> ()) () =
+  let entries = cuckoo_wire_entries (Ff_dataplane.Cuckoo.serialize cuckoo) in
+  send net ~src_sw ~dst_sw ~entries ?group_size ?per_chunk ?fec
+    ?retransmit_timeout ?max_retries ?seed ?on_fail
+    ~on_complete:(fun entries ->
+      Ff_dataplane.Cuckoo.absorb into (cuckoo_snapshot_of_entries entries);
+      on_complete ())
+    ()
+
 let chunks_sent t = t.chunks_sent
 let retransmitted_groups t = t.retransmitted_groups
 let fec_recoveries t = t.fec_recoveries

@@ -65,6 +65,45 @@ val send_sketch :
     (summing cells would overcount by the row count). Both sketches must
     share geometry for the cell indices to be meaningful. *)
 
+val send_cuckoo :
+  Ff_netsim.Net.t ->
+  src_sw:int ->
+  dst_sw:int ->
+  cuckoo:Ff_dataplane.Cuckoo.t ->
+  into:Ff_dataplane.Cuckoo.t ->
+  ?group_size:int ->
+  ?per_chunk:int ->
+  ?fec:bool ->
+  ?retransmit_timeout:float ->
+  ?max_retries:int ->
+  ?seed:int ->
+  ?on_fail:(string -> unit) ->
+  ?on_complete:(unit -> unit) ->
+  unit ->
+  t
+(** Exact-member state transfer: ship a snapshot of the [cuckoo] tracker
+    from [src_sw] to [dst_sw] and union-merge it into [into] on
+    completion ({!Ff_dataplane.Cuckoo.absorb}). The correctness rule is
+    {e no false negatives after migration}: every member of the source at
+    snapshot time answers [member = true] at the destination, even when
+    the destination's buckets are full (overflow parks in the stash).
+    Unlike {!send_sketch}'s component-wise sum, merging the same snapshot
+    twice would double the entries — the FEC/ack layer's exactly-once
+    group delivery is what makes the union exact. Both filters must share
+    geometry and seed. *)
+
+val cuckoo_wire_entries :
+  Ff_dataplane.Cuckoo.snapshot -> (string * float) list
+(** The lossless wire encoding [send_cuckoo] uses: geometry as ["geom:*"]
+    entries, each (bucket, fingerprint) pair packed exactly into one
+    float. Exposed for the differential tests. *)
+
+val cuckoo_snapshot_of_entries :
+  (string * float) list -> Ff_dataplane.Cuckoo.snapshot
+(** Inverse of {!cuckoo_wire_entries} (entry order need not survive the
+    chunker). Raises [Invalid_argument] when the geometry entries are
+    missing. *)
+
 val chunks_sent : t -> int
 val retransmitted_groups : t -> int
 val fec_recoveries : t -> int

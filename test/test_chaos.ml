@@ -24,6 +24,7 @@ let modes_for = function
   | Packet.Volumetric -> [ "drop" ]
   | Packet.Pulsing -> [ "reroute" ]
   | Packet.Recon -> [ "obfuscate" ]
+  | Packet.Synflood -> [ "syn_guard" ]
 
 let entries n = List.init n (fun i -> (Printf.sprintf "reg[%d]" i, float_of_int i))
 

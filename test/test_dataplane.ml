@@ -9,6 +9,8 @@ module Bloom = Ff_dataplane.Bloom
 module Hashpipe = Ff_dataplane.Hashpipe
 module Match_table = Ff_dataplane.Match_table
 module Ppm = Ff_dataplane.Ppm
+module Cuckoo = Ff_dataplane.Cuckoo
+module Cuckoo_ref = Ff_oracle.Oracle.Cuckoo_ref
 
 (* ---------------- Packet ---------------- *)
 
@@ -233,6 +235,170 @@ let test_hashpipe_reset () =
   Alcotest.(check (float 0.)) "reset" 0. (Hashpipe.count hp ~key:1);
   Alcotest.(check (list int)) "no residents" [] (Hashpipe.resident_keys hp)
 
+(* ---------------- Cuckoo filter ---------------- *)
+
+(* The differential ring: every property drives the filter and the naive
+   multiset oracle ([Ff_oracle.Oracle.Cuckoo_ref]) over the same random
+   inputs. Case counts scale 5x under the @deep alias (DEEP=1). *)
+let ck_count n = if Test_seed.deep then 5 * n else n
+
+let test_cuckoo_basics () =
+  let c = Cuckoo.create ~capacity:64 () in
+  Alcotest.(check bool) "insert" true (Cuckoo.insert c 42);
+  Alcotest.(check bool) "member" true (Cuckoo.member c 42);
+  Alcotest.(check int) "size" 1 (Cuckoo.size c);
+  Alcotest.(check bool) "delete" true (Cuckoo.delete c 42);
+  Alcotest.(check bool) "gone" false (Cuckoo.member c 42);
+  Alcotest.(check int) "empty" 0 (Cuckoo.size c);
+  Alcotest.(check bool) "delete absent" false (Cuckoo.delete c 42)
+
+let test_cuckoo_delete_one_copy () =
+  let c = Cuckoo.create ~capacity:64 () in
+  Alcotest.(check bool) "first copy" true (Cuckoo.insert c 7);
+  Alcotest.(check bool) "second copy" true (Cuckoo.insert c 7);
+  Alcotest.(check int) "two slots" 2 (Cuckoo.size c);
+  Alcotest.(check bool) "delete one" true (Cuckoo.delete c 7);
+  Alcotest.(check bool) "still member" true (Cuckoo.member c 7);
+  Alcotest.(check bool) "delete other" true (Cuckoo.delete c 7);
+  Alcotest.(check bool) "now gone" false (Cuckoo.member c 7)
+
+let test_cuckoo_resource_per_entry () =
+  let small = Cuckoo.resource (Cuckoo.create ~capacity:256 ()) in
+  let large = Cuckoo.resource (Cuckoo.create ~capacity:4096 ()) in
+  Alcotest.(check bool) "sram grows with capacity" true
+    (large.Resource.sram_kb >= 8. *. small.Resource.sram_kb);
+  Alcotest.(check (float 0.)) "no tcam" 0. large.Resource.tcam
+
+let test_cuckoo_absorb_union () =
+  let a = Cuckoo.create ~capacity:128 () in
+  let b = Cuckoo.create ~capacity:128 () in
+  for k = 0 to 39 do
+    ignore (Cuckoo.insert a k)
+  done;
+  for k = 100 to 139 do
+    ignore (Cuckoo.insert b k)
+  done;
+  Cuckoo.absorb b (Cuckoo.serialize a);
+  for k = 0 to 39 do
+    Alcotest.(check bool) "migrated member" true (Cuckoo.member b k)
+  done;
+  for k = 100 to 139 do
+    Alcotest.(check bool) "resident member" true (Cuckoo.member b k)
+  done
+
+let test_cuckoo_absorb_overflow_stashes () =
+  (* both filters nearly full: the union cannot fit, but membership must
+     survive anyway — overflow goes to the stash, never to the floor *)
+  let a = Cuckoo.create ~capacity:64 ~fp_bits:8 () in
+  let b = Cuckoo.create ~capacity:64 ~fp_bits:8 () in
+  for k = 0 to 57 do
+    ignore (Cuckoo.insert a k)
+  done;
+  for k = 1000 to 1057 do
+    ignore (Cuckoo.insert b k)
+  done;
+  Cuckoo.absorb b (Cuckoo.serialize a);
+  Alcotest.(check bool) "stash used" true (Cuckoo.stash_size b > 0);
+  for k = 0 to 57 do
+    Alcotest.(check bool) "migrated member survives overflow" true (Cuckoo.member b k)
+  done
+
+let test_cuckoo_absorb_geometry_mismatch () =
+  let a = Cuckoo.create ~capacity:64 () in
+  let b = Cuckoo.create ~capacity:128 () in
+  Alcotest.check_raises "geometry mismatch"
+    (Invalid_argument "Cuckoo.absorb: geometry/seed mismatch") (fun () ->
+      Cuckoo.absorb b (Cuckoo.serialize a))
+
+let prop_cuckoo_no_false_negatives =
+  QCheck.Test.make ~name:"cuckoo: never a false negative vs oracle"
+    ~count:(ck_count 100)
+    QCheck.(list_of_size (Gen.int_range 0 300) (pair (int_range 0 500) bool))
+    (fun ops ->
+      let c = Cuckoo.create ~capacity:1024 () in
+      let o = Cuckoo_ref.create () in
+      List.iter
+        (fun (key, del) ->
+          if del && Cuckoo_ref.member o key then begin
+            (* deletions mirror tracker usage: only keys actually held *)
+            let ok = Cuckoo.delete c key in
+            ignore (Cuckoo_ref.delete o key);
+            if not ok then failwith "delete of held key failed"
+          end
+          else if not del then if Cuckoo.insert c key then Cuckoo_ref.insert o key)
+        ops;
+      List.for_all (Cuckoo.member c) (Cuckoo_ref.keys o))
+
+let prop_cuckoo_delete_exactly_one =
+  QCheck.Test.make ~name:"cuckoo: deletion removes exactly one copy"
+    ~count:(ck_count 100)
+    QCheck.(list_of_size (Gen.int_range 1 100) (int_range 0 30))
+    (fun keys ->
+      let c = Cuckoo.create ~capacity:1024 () in
+      let o = Cuckoo_ref.create () in
+      List.iter
+        (fun k -> if Cuckoo.insert c k then Cuckoo_ref.insert o k)
+        keys;
+      (* drain each key one copy at a time; sizes must track in lockstep *)
+      List.for_all
+        (fun k ->
+          let copies = Cuckoo_ref.count o k in
+          let ok = ref true in
+          for _ = 1 to copies do
+            let before = Cuckoo.size c in
+            ok := !ok && Cuckoo.delete c k && Cuckoo.size c = before - 1;
+            ignore (Cuckoo_ref.delete o k)
+          done;
+          !ok)
+        (List.sort_uniq compare keys)
+      && Cuckoo.size c = 0)
+
+let prop_cuckoo_fp_within_analytic_bound =
+  QCheck.Test.make ~name:"cuckoo: observed fp rate within 2x analytic bound"
+    ~count:(ck_count 10)
+    QCheck.(int_range 0 10_000)
+    (fun key_base ->
+      (* narrow 8-bit fingerprints make the analytic rate large enough to
+         measure against 2000 probes without sampling noise dominating *)
+      let c = Cuckoo.create ~fp_bits:8 ~capacity:1024 () in
+      let inserted = 768 (* load 0.75 *) in
+      for k = key_base to key_base + inserted - 1 do
+        ignore (Cuckoo.insert c k)
+      done;
+      let fps = ref 0 in
+      let probes = 2000 in
+      for k = key_base + 100_000 to key_base + 100_000 + probes - 1 do
+        if Cuckoo.member c k then incr fps
+      done;
+      let analytic = Cuckoo.expected_fp_rate c in
+      float_of_int !fps /. float_of_int probes <= (2. *. analytic) +. 0.01)
+
+let prop_cuckoo_no_insert_fail_below_threshold =
+  QCheck.Test.make ~name:"cuckoo: inserts never fail below occupancy threshold"
+    ~count:(ck_count 50)
+    QCheck.(pair (int_range 0 100_000) (int_range 1 972))
+    (fun (key_base, n) ->
+      (* 972 = floor(0.95 * 1024): distinct keys up to the documented
+         threshold must always place, kicks included *)
+      let c = Cuckoo.create ~capacity:1024 () in
+      let all_ok = ref true in
+      for k = key_base to key_base + n - 1 do
+        all_ok := !all_ok && Cuckoo.insert c k
+      done;
+      !all_ok && Cuckoo.failed_inserts c = 0
+      && Cuckoo.occupancy c <= Cuckoo.occupancy_threshold)
+
+let prop_cuckoo_serialize_roundtrip =
+  QCheck.Test.make ~name:"cuckoo: serialize/absorb into empty preserves members"
+    ~count:(ck_count 100)
+    QCheck.(list_of_size (Gen.int_range 0 200) (int_range 0 1000))
+    (fun keys ->
+      let c = Cuckoo.create ~capacity:512 () in
+      let inserted = List.filter (Cuckoo.insert c) keys in
+      let d = Cuckoo.create ~capacity:512 () in
+      Cuckoo.absorb d (Cuckoo.serialize c);
+      Cuckoo.size d = Cuckoo.size c && List.for_all (Cuckoo.member d) inserted)
+
 (* ---------------- Match tables ---------------- *)
 
 let test_exact_table () =
@@ -305,7 +471,18 @@ let test_ppm_body_size () =
   Alcotest.(check int) "statements counted recursively" 4 (Ppm.body_size sample_spec)
 
 let () =
-  let qcheck = List.map Test_seed.to_alcotest [ prop_sketch_upper_bound; prop_bloom_membership ] in
+  let qcheck =
+    List.map Test_seed.to_alcotest
+      [
+        prop_sketch_upper_bound;
+        prop_bloom_membership;
+        prop_cuckoo_no_false_negatives;
+        prop_cuckoo_delete_exactly_one;
+        prop_cuckoo_fp_within_analytic_bound;
+        prop_cuckoo_no_insert_fail_below_threshold;
+        prop_cuckoo_serialize_roundtrip;
+      ]
+  in
   Alcotest.run "ff_dataplane"
     [
       ( "packet",
@@ -347,6 +524,17 @@ let () =
           Alcotest.test_case "tracks heavy keys" `Quick test_hashpipe_tracks_heavy;
           Alcotest.test_case "no overestimate" `Quick test_hashpipe_no_overestimate;
           Alcotest.test_case "reset" `Quick test_hashpipe_reset;
+        ] );
+      ( "cuckoo",
+        [
+          Alcotest.test_case "basics" `Quick test_cuckoo_basics;
+          Alcotest.test_case "delete one copy" `Quick test_cuckoo_delete_one_copy;
+          Alcotest.test_case "per-entry resource" `Quick test_cuckoo_resource_per_entry;
+          Alcotest.test_case "absorb union" `Quick test_cuckoo_absorb_union;
+          Alcotest.test_case "absorb overflow stashes" `Quick
+            test_cuckoo_absorb_overflow_stashes;
+          Alcotest.test_case "absorb geometry mismatch" `Quick
+            test_cuckoo_absorb_geometry_mismatch;
         ] );
       ( "tables",
         [

@@ -19,6 +19,7 @@ let modes_for = function
   | Packet.Volumetric -> [ "drop" ]
   | Packet.Pulsing -> [ "reroute" ]
   | Packet.Recon -> [ "obfuscate" ]
+  | Packet.Synflood -> [ "syn_guard" ]
 
 let test_alarm_propagates () =
   let _, engine, net = ring_net 6 in

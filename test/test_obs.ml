@@ -182,6 +182,7 @@ let modes_for = function
   | Packet.Volumetric -> [ "drop" ]
   | Packet.Pulsing -> [ "reroute" ]
   | Packet.Recon -> [ "obfuscate" ]
+  | Packet.Synflood -> [ "syn_guard" ]
 
 let test_mode_transitions_traced () =
   let tr = Trace.create () in
